@@ -1,0 +1,219 @@
+// Ablation benches for the design choices called out in DESIGN.md:
+//   1. rank->address representation (Section 3.1 trade-off: 2-instruction
+//      O(P)-memory table vs 11-instruction compressed map)
+//   2. eager/rendezvous threshold
+//   3. matching-queue depth sensitivity
+//   4. per-operation requests vs _NOREQ bulk completion
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "comm/rankmap.hpp"
+
+using namespace lwmpi;
+
+namespace {
+
+// --- 1. Address translation ---------------------------------------------------
+void ablate_rankmap() {
+  bench::print_header("Ablation 1: rank->network-address representation (Section 3.1)");
+  constexpr int kP = 4096;
+  constexpr int kLookups = 2'000'000;
+
+  std::vector<Rank> irregular(kP);
+  for (int i = 0; i < kP; ++i) irregular[static_cast<std::size_t>(i)] = (i * 7919) % kP;
+
+  struct Variant {
+    const char* label;
+    comm::RankMap map;
+  };
+  Variant variants[] = {
+      {"compressed offset (world)", comm::RankMap::identity(kP)},
+      {"compressed strided", comm::RankMap::strided(kP, 3, 2)},
+      {"direct O(P) table", comm::RankMap::from_list(irregular)},
+  };
+
+  std::printf("%-28s %10s %14s %14s\n", "representation", "instr", "memory [B]",
+              "lookups/s");
+  for (Variant& v : variants) {
+    cost::Meter m;
+    {
+      cost::ScopedMeter arm(m);
+      v.map.to_world(1);
+    }
+    volatile Rank sink = 0;
+    const std::uint64_t t0 = rt::now_ns();
+    for (int i = 0; i < kLookups; ++i) {
+      sink = v.map.to_world_nocharge(static_cast<Rank>(i & (kP - 1)));
+    }
+    const std::uint64_t dt = rt::now_ns() - t0;
+    (void)sink;
+    std::printf("%-28s %10llu %14zu %14.3g\n", v.label,
+                static_cast<unsigned long long>(m.total()), v.map.memory_bytes(),
+                dt > 0 ? kLookups * 1e9 / static_cast<double>(dt) : 0.0);
+  }
+  std::printf("trade-off: the direct table is 2 modeled instructions but O(P) memory per\n"
+              "communicator; compressed maps are memory-free but ~11 instructions.\n");
+}
+
+// --- 2. Eager threshold --------------------------------------------------------
+void ablate_eager_threshold() {
+  bench::print_header("Ablation 2: eager/rendezvous threshold (8 KiB messages)");
+  constexpr int kMsgBytes = 8 * 1024;
+  constexpr int kMessages = 4000;
+  std::printf("%-22s %16s %s\n", "threshold", "msg rate", "protocol");
+  for (std::size_t threshold : {1024u, 4096u, 16384u, 65536u}) {
+    WorldOptions o;
+    o.profile = net::loopback();
+    o.eager_threshold = threshold;
+    o.ranks_per_node = 1;
+    World w(2, o);
+    double rate = 0.0;
+    w.run([&](Engine& e) {
+      std::vector<char> buf(kMsgBytes, 1);
+      if (e.world_rank() == 0) {
+        const std::uint64_t t0 = rt::now_ns();
+        for (int i = 0; i < kMessages; ++i) {
+          e.send(buf.data(), kMsgBytes, kChar, 1, 0, kCommWorld);
+        }
+        const std::uint64_t dt = rt::now_ns() - t0;
+        rate = dt > 0 ? kMessages * 1e9 / static_cast<double>(dt) : 0.0;
+      } else {
+        for (int i = 0; i < kMessages; ++i) {
+          e.recv(buf.data(), kMsgBytes, kChar, 0, 0, kCommWorld, nullptr);
+        }
+      }
+    });
+    std::printf("%-22zu %16s %s\n", threshold, bench::human_rate(rate).c_str(),
+                threshold >= kMsgBytes ? "eager (1 copy, buffered)"
+                                       : "rendezvous (handshake)");
+  }
+  std::printf("below the message size the transfer pays an RTS/CTS handshake; above it,\n"
+              "a buffered copy. The crossover justifies the per-fabric default.\n");
+}
+
+// --- 3. Matching queue depth ----------------------------------------------------
+void ablate_match_depth() {
+  bench::print_header("Ablation 3: posted-receive queue depth vs match cost");
+  std::printf("%-14s %16s\n", "queue depth", "matches/s");
+  for (int depth : {0, 16, 128, 1024}) {
+    WorldOptions o;
+    o.ranks_per_node = 1;
+    World w(2, o);
+    double rate = 0.0;
+    constexpr int kMsgs = 20000;
+    w.run([&](Engine& e) {
+      if (e.world_rank() == 1) {
+        // Pre-post `depth` receives that never match (tag 9999), then serve
+        // the measured traffic on tag 1 -- every arrival scans past the cold
+        // entries first.
+        std::vector<Request> cold(static_cast<std::size_t>(depth), kRequestNull);
+        std::vector<int> sink(static_cast<std::size_t>(depth));
+        for (int i = 0; i < depth; ++i) {
+          e.irecv(&sink[static_cast<std::size_t>(i)], 1, kInt, 0, 9999, kCommWorld,
+                  &cold[static_cast<std::size_t>(i)]);
+        }
+        int v = 0;
+        const std::uint64_t t0 = rt::now_ns();
+        for (int i = 0; i < kMsgs; ++i) {
+          e.recv(&v, 1, kInt, 0, 1, kCommWorld, nullptr);
+        }
+        const std::uint64_t dt = rt::now_ns() - t0;
+        rate = dt > 0 ? kMsgs * 1e9 / static_cast<double>(dt) : 0.0;
+        for (auto& r : cold) e.cancel(&r);
+        for (auto& r : cold) e.wait(&r, nullptr);
+        int done = 1;
+        e.send(&done, 1, kInt, 0, 2, kCommWorld);
+      } else {
+        int v = 7;
+        for (int i = 0; i < kMsgs; ++i) {
+          e.send(&v, 1, kInt, 1, 1, kCommWorld);
+        }
+        int done = 0;
+        e.recv(&done, 1, kInt, 1, 2, kCommWorld, nullptr);
+      }
+    });
+    std::printf("%-14d %16s\n", depth, bench::human_rate(rate).c_str());
+  }
+  std::printf("long posted queues linearize matching -- the motivation for the related\n"
+              "matching-acceleration work the paper cites (Flajslik et al.).\n");
+}
+
+// --- 4. Requests vs NOREQ --------------------------------------------------------
+void ablate_noreq() {
+  bench::print_header("Ablation 4: per-operation requests vs _NOREQ bulk completion");
+  constexpr int kMessages = 300000;
+  const net::Profile profile = net::infinite();
+
+  const double with_req =
+      bench::isend_rate(profile, DeviceKind::Ch4, BuildConfig::no_err_single_ipo(),
+                        kMessages);
+
+  WorldOptions o;
+  o.profile = profile;
+  o.device = DeviceKind::Ch4;
+  o.build = BuildConfig::no_err_single_ipo();
+  o.ranks_per_node = 1;
+  World w(1, o);
+  double noreq_rate = 0.0;
+  w.run([&](Engine& e) {
+    char byte = 1;
+    for (int i = 0; i < 2048; ++i) e.isend_noreq(&byte, 1, kChar, 0, 0, kCommWorld);
+    e.comm_waitall(kCommWorld);
+    const std::uint64_t t0 = rt::now_ns();
+    for (int i = 0; i < kMessages; ++i) e.isend_noreq(&byte, 1, kChar, 0, 0, kCommWorld);
+    e.comm_waitall(kCommWorld);
+    const std::uint64_t dt = rt::now_ns() - t0;
+    noreq_rate = dt > 0 ? kMessages * 1e9 / static_cast<double>(dt) : 0.0;
+  });
+
+  std::printf("%-30s %16s\n", "per-operation requests", bench::human_rate(with_req).c_str());
+  std::printf("%-30s %16s\n", "_NOREQ + COMM_WAITALL", bench::human_rate(noreq_rate).c_str());
+  std::printf("gain: %.1f%% (paper Section 3.5: ~10 instructions of request management\n"
+              "replaced by a counter increment)\n",
+              with_req > 0 ? 100.0 * (noreq_rate - with_req) / with_req : 0.0);
+}
+
+// --- 5. Allreduce algorithm crossover ---------------------------------------------
+void ablate_allreduce_algorithm() {
+  bench::print_header(
+      "Ablation 5: allreduce algorithm (recursive doubling vs Rabenseifner)");
+  // The engine switches to reduce-scatter + allgather at 8 KiB on power-of-
+  // two communicators; sweeping the message size across the threshold shows
+  // the bandwidth-optimal algorithm taking over.
+  std::printf("%-14s %16s %12s\n", "doubles", "allreduces/s", "algorithm");
+  for (int count : {64, 512, 1024, 4096, 32768}) {
+    WorldOptions o;
+    o.ranks_per_node = 2;
+    World w(4, o);
+    double rate = 0.0;
+    w.run([&](Engine& e) {
+      std::vector<double> in(static_cast<std::size_t>(count), 1.0);
+      std::vector<double> out(static_cast<std::size_t>(count));
+      const int iters = count >= 4096 ? 200 : 1000;
+      for (int i = 0; i < 20; ++i) {
+        e.allreduce(in.data(), out.data(), count, kDouble, ReduceOp::Sum, kCommWorld);
+      }
+      const std::uint64_t t0 = rt::now_ns();
+      for (int i = 0; i < iters; ++i) {
+        e.allreduce(in.data(), out.data(), count, kDouble, ReduceOp::Sum, kCommWorld);
+      }
+      const std::uint64_t dt = rt::now_ns() - t0;
+      if (e.world_rank() == 0 && dt > 0) rate = iters * 1e9 / static_cast<double>(dt);
+    });
+    std::printf("%-14d %16.0f %12s\n", count, rate,
+                static_cast<std::size_t>(count) * 8 >= 8192 ? "rabenseifner" : "doubling");
+  }
+  std::printf("large vectors move 2(p-1)/p of the data instead of lg(p) full copies.\n");
+}
+
+}  // namespace
+
+int main() {
+  ablate_rankmap();
+  ablate_eager_threshold();
+  ablate_match_depth();
+  ablate_noreq();
+  ablate_allreduce_algorithm();
+  return 0;
+}

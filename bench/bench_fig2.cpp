@@ -1,0 +1,49 @@
+// Reproduces Figure 2: "MPI Instruction Counts" -- total modeled instruction
+// counts for MPI_PUT and MPI_ISEND across the build matrix, from
+// MPICH/Original down to the fully inlined MPICH/CH4 build.
+#include <cstdio>
+
+#include "bench/harness.hpp"
+
+using namespace lwmpi;
+
+int main() {
+  bench::print_header("Figure 2: MPI instruction counts across builds");
+
+  struct PaperRef {
+    unsigned put;
+    unsigned isend;
+  };
+  const PaperRef paper[] = {{1342, 253}, {215, 221}, {143, 147}, {129, 141}, {44, 59}};
+
+  const auto variants = bench::figure_variants();
+  double max_count = 0;
+  std::vector<std::pair<unsigned long long, unsigned long long>> counts;
+  for (const auto& v : variants) {
+    const auto put = bench::metered_put(v.device, v.build).total();
+    const auto isend = bench::metered_isend(v.device, v.build).total();
+    counts.emplace_back(put, isend);
+    max_count = std::max<double>(max_count, static_cast<double>(std::max(put, isend)));
+  }
+
+  std::printf("%-30s %10s %10s   %10s %10s\n", "build", "MPI_Put", "(paper)", "MPI_Isend",
+              "(paper)");
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    std::printf("%-30s %10llu %10u   %10llu %10u\n", variants[i].label.c_str(),
+                counts[i].first, paper[i].put, counts[i].second, paper[i].isend);
+  }
+
+  std::printf("\n");
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    bench::print_bar((variants[i].label + " Put").c_str(),
+                     static_cast<double>(counts[i].first), max_count, "instr");
+    bench::print_bar((variants[i].label + " Isend").c_str(),
+                     static_cast<double>(counts[i].second), max_count, "instr");
+  }
+  std::printf("\nReduction vs MPICH/Original default build: Isend %.0f%%, Put %.0f%%\n",
+              100.0 * (1.0 - static_cast<double>(counts.back().second) /
+                                 static_cast<double>(counts.front().second)),
+              100.0 * (1.0 - static_cast<double>(counts.back().first) /
+                                 static_cast<double>(counts.front().first)));
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Reproduces Figure 3: message rates with the OFI/PSM2-like simulated fabric
+// (the paper's "IT" cluster with Intel Omni-Path). Expected shape: ~1.5x for
+// MPI_ISEND and ~4x for MPI_PUT from MPICH/Original to the best CH4 build,
+// capped by the fixed per-message network injection cost.
+#include "bench/rate_figure.hpp"
+
+int main() {
+  return lwmpi::bench::run_rate_figure("Figure 3: message rates with OFI/PSM2 (simulated)",
+                                       lwmpi::net::psm2());
+}

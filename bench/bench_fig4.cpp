@@ -1,0 +1,8 @@
+// Reproduces Figure 4: message rates with the UCX/EDR-like simulated fabric
+// (the paper's "Gomez" cluster with Mellanox EDR).
+#include "bench/rate_figure.hpp"
+
+int main() {
+  return lwmpi::bench::run_rate_figure("Figure 4: message rates with UCX/EDR (simulated)",
+                                       lwmpi::net::ucx_edr());
+}

@@ -1,0 +1,10 @@
+// Reproduces Figure 5: message rates with an infinitely fast network -- the
+// full MPI stack executes but nothing is transmitted (blackhole fabric), so
+// the spread between stack variants becomes orders of magnitude rather than
+// the network-capped ~1.5x/4x of Figures 3-4.
+#include "bench/rate_figure.hpp"
+
+int main() {
+  return lwmpi::bench::run_rate_figure(
+      "Figure 5: message rates with infinitely fast network", lwmpi::net::infinite());
+}

@@ -1,0 +1,198 @@
+// Reproduces Figure 6: "MPI standard improvements for MPI_ISEND on infinitely
+// fast network" -- message rates for each Section-3 proposed extension on the
+// best (no-err-single-ipo) build, plus the modeled instruction count of each
+// variant's path. The paper peaks at ~132.8M msg/s for minimal_pt2pt (the
+// 16-instruction MPI_ISEND_ALL_OPTS path).
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+
+using namespace lwmpi;
+
+namespace {
+
+// One measured variant: issues `messages` 1-byte sends on a blackhole world
+// (rank 0 targeting itself, per the paper's modified-library methodology).
+struct ExtVariant {
+  std::string label;
+  // Issue `n` messages from engine `e`; returns when all are locally complete.
+  std::function<void(Engine& e, int n)> run;
+  // Issue exactly one metered message (for the instruction-count column).
+  std::function<void(Engine& e)> one;
+};
+
+double ext_rate(const ExtVariant& v, int messages) {
+  WorldOptions o;
+  o.profile = net::infinite();
+  o.device = DeviceKind::Ch4;
+  o.build = BuildConfig::no_err_single_ipo();
+  o.ranks_per_node = 1;
+  World w(1, o);
+  double rate = 0.0;
+  w.run([&](Engine& e) {
+    e.comm_dup_predefined(kCommWorld, kComm1);
+    v.run(e, 2048);  // warmup
+    const std::uint64_t t0 = rt::now_ns();
+    v.run(e, messages);
+    const std::uint64_t dt = rt::now_ns() - t0;
+    rate = dt > 0 ? messages * 1e9 / static_cast<double>(dt) : 0.0;
+  });
+  return rate;
+}
+
+std::uint64_t ext_instructions(const ExtVariant& v) {
+  WorldOptions o;
+  o.profile = net::infinite();
+  o.device = DeviceKind::Ch4;
+  o.build = BuildConfig::no_err_single_ipo();
+  o.ranks_per_node = 1;
+  World w(1, o);
+  cost::Meter m;
+  w.run([&](Engine& e) {
+    e.comm_dup_predefined(kCommWorld, kComm1);
+    cost::ScopedMeter arm(m);
+    v.one(e);
+  });
+  return m.total();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 6: MPI standard improvements for MPI_ISEND on infinitely fast network");
+
+  static char byte = 1;
+  auto drain = [](Engine& e, std::vector<Request>& reqs) {
+    e.waitall(reqs, {});
+    for (auto& r : reqs) r = kRequestNull;
+  };
+
+  std::vector<ExtVariant> variants;
+  variants.push_back(
+      {"minimal_pt2pt (ALL_OPTS)",
+       [](Engine& e, int n) {
+         for (int i = 0; i < n; ++i) e.isend_all_opts(&byte, 1, kChar, 0, kComm1);
+         e.comm_waitall(kComm1);
+       },
+       [](Engine& e) { e.isend_all_opts(&byte, 1, kChar, 0, kComm1); }});
+  variants.push_back(
+      {"no_req (ISEND_NOREQ)",
+       [](Engine& e, int n) {
+         for (int i = 0; i < n; ++i) e.isend_noreq(&byte, 1, kChar, 0, 0, kCommWorld);
+         e.comm_waitall(kCommWorld);
+       },
+       [](Engine& e) { e.isend_noreq(&byte, 1, kChar, 0, 0, kCommWorld); }});
+  variants.push_back(
+      {"no_match (ISEND_NOMATCH)",
+       [drain](Engine& e, int n) {
+         std::vector<Request> reqs(static_cast<std::size_t>(bench::kRateWindow),
+                                   kRequestNull);
+         int issued = 0;
+         while (issued < n) {
+           int i = 0;
+           for (; i < bench::kRateWindow && issued < n; ++i, ++issued) {
+             e.isend_nomatch(&byte, 1, kChar, 0, kCommWorld,
+                             &reqs[static_cast<std::size_t>(i)]);
+           }
+           drain(e, reqs);
+         }
+       },
+       [](Engine& e) {
+         Request r = kRequestNull;
+         e.isend_nomatch(&byte, 1, kChar, 0, kCommWorld, &r);
+         e.wait(&r, nullptr);
+       }});
+  variants.push_back(
+      {"glob_rank (ISEND_GLOBAL)",
+       [drain](Engine& e, int n) {
+         std::vector<Request> reqs(static_cast<std::size_t>(bench::kRateWindow),
+                                   kRequestNull);
+         int issued = 0;
+         while (issued < n) {
+           int i = 0;
+           for (; i < bench::kRateWindow && issued < n; ++i, ++issued) {
+             e.isend_global(&byte, 1, kChar, 0, 0, kCommWorld,
+                            &reqs[static_cast<std::size_t>(i)]);
+           }
+           drain(e, reqs);
+         }
+       },
+       [](Engine& e) {
+         Request r = kRequestNull;
+         e.isend_global(&byte, 1, kChar, 0, 0, kCommWorld, &r);
+         e.wait(&r, nullptr);
+       }});
+  variants.push_back(
+      {"no_proc_null (ISEND_NPN)",
+       [drain](Engine& e, int n) {
+         std::vector<Request> reqs(static_cast<std::size_t>(bench::kRateWindow),
+                                   kRequestNull);
+         int issued = 0;
+         while (issued < n) {
+           int i = 0;
+           for (; i < bench::kRateWindow && issued < n; ++i, ++issued) {
+             e.isend_npn(&byte, 1, kChar, 0, 0, kCommWorld,
+                         &reqs[static_cast<std::size_t>(i)]);
+           }
+           drain(e, reqs);
+         }
+       },
+       [](Engine& e) {
+         Request r = kRequestNull;
+         e.isend_npn(&byte, 1, kChar, 0, 0, kCommWorld, &r);
+         e.wait(&r, nullptr);
+       }});
+  variants.push_back(
+      {"baseline (ISEND, best build)",
+       [drain](Engine& e, int n) {
+         std::vector<Request> reqs(static_cast<std::size_t>(bench::kRateWindow),
+                                   kRequestNull);
+         int issued = 0;
+         while (issued < n) {
+           int i = 0;
+           for (; i < bench::kRateWindow && issued < n; ++i, ++issued) {
+             e.isend(&byte, 1, kChar, 0, 0, kCommWorld,
+                     &reqs[static_cast<std::size_t>(i)]);
+           }
+           drain(e, reqs);
+         }
+       },
+       [](Engine& e) {
+         Request r = kRequestNull;
+         e.isend(&byte, 1, kChar, 0, 0, kCommWorld, &r);
+         e.wait(&r, nullptr);
+       }});
+
+  constexpr int kMessages = 400000;
+  struct Row {
+    std::string label;
+    std::uint64_t instr;
+    double rate;
+  };
+  std::vector<Row> rows;
+  double max_rate = 0;
+  for (const auto& v : variants) {
+    Row r{v.label, ext_instructions(v), ext_rate(v, kMessages)};
+    max_rate = std::max(max_rate, r.rate);
+    std::printf("  measured %-30s %3llu instr  %s\n", r.label.c_str(),
+                static_cast<unsigned long long>(r.instr), bench::human_rate(r.rate).c_str());
+    rows.push_back(std::move(r));
+  }
+
+  std::printf("\n%-32s %8s %16s\n", "variant", "instr", "message rate");
+  for (const Row& r : rows) {
+    std::printf("%-32s %8llu %16s\n", r.label.c_str(),
+                static_cast<unsigned long long>(r.instr), bench::human_rate(r.rate).c_str());
+  }
+  std::printf("\n");
+  for (const Row& r : rows) {
+    bench::print_bar(r.label.c_str(), r.rate / 1e6, max_rate / 1e6, "M/s");
+  }
+  std::printf("\nnote: the metered single-shot column includes the request wait for the\n"
+              "request-returning variants; the issue-rate loop is the figure's metric.\n");
+  return 0;
+}

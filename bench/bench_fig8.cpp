@@ -1,0 +1,120 @@
+// Reproduces Figure 8: LAMMPS strong scaling, MPICH/CH4 vs MPICH/Original.
+//
+// The paper strong-scales a fixed 3M-atom LJ system from 512 to 8192 BG/Q
+// nodes; the x-axis annotation that matters is atoms-per-core (368 -> 23),
+// because shrinking per-rank boxes shrink halo messages until MPI latency
+// dominates the timestep. On this single-core host we sweep the same
+// granularity axis directly (atoms per rank, descending) at a fixed rank
+// count -- wall-clock strong scaling over threads is meaningless when the
+// threads share one core, but the communication-to-computation ratio that
+// produces the paper's curves is preserved (see DESIGN.md).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "apps/md.hpp"
+#include "bench/harness.hpp"
+
+using namespace lwmpi;
+
+namespace {
+
+// 2 ranks in a chain: on this single-core host more ranks mean the
+// measurement is dominated by thread scheduling rather than the MPI stack;
+// the y/z halo exchanges become (deterministic) self-loopback messages.
+constexpr int kRanks = 2;
+constexpr int kRepeats = 7;  // take the best: scheduler noise on shared cores
+
+// Longer runs at finer granularity so every measurement spans many scheduler
+// quanta (a fixed step count would leave the small configs noise-dominated).
+int steps_for(int cells) {
+  const int atoms = 4 * cells * cells * cells;
+  return std::max(40, 24000 / atoms);
+}
+
+double md_rate_once(DeviceKind device, int cells) {
+  const int steps = steps_for(cells);
+  WorldOptions o;
+  o.profile = net::bgq();
+  o.device = device;
+  o.ranks_per_node = 1;  // inter-node halo exchange
+  // Same build pairing as Figure 7: stock Original vs optimized CH4, on a
+  // BG/Q-like in-order core (see DESIGN.md).
+  o.build = device == DeviceKind::Ch4 ? BuildConfig::no_err_single_ipo()
+                                      : BuildConfig::dflt();
+  o.sim_ns_per_instruction = 2.0;
+  World w(kRanks, o);
+  double rate = 0.0;
+  w.run([&](Engine& e) {
+    apps::MdConfig cfg;
+    cfg.px = 2;
+    cfg.py = 1;
+    cfg.pz = 1;
+    cfg.cells_x = cells;
+    cfg.cells_y = cells;
+    cfg.cells_z = cells;
+    cfg.steps = steps;
+    const apps::MdResult r = apps::run_md(e, kCommWorld, cfg);
+    double local = r.steps_per_sec;
+    double min_rate = 0;
+    e.allreduce(&local, &min_rate, 1, kDouble, ReduceOp::Min, kCommWorld);
+    if (e.rank(kCommWorld) == 0) rate = min_rate;
+  });
+  return rate;
+}
+
+double md_rate(DeviceKind device, int cells) {
+  double best = 0.0;
+  for (int i = 0; i < kRepeats; ++i) best = std::max(best, md_rate_once(device, cells));
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 8: LAMMPS-style LJ strong scaling (CH4 vs Original)");
+  std::printf("%d ranks, >=30 timesteps per run, sim-bgq fabric; granularity\n"
+              "sweep stands in for the paper's 512->8192-node sweep (atoms/core 368 -> 23)\n\n",
+              kRanks);
+
+  const std::vector<int> cells_sweep = {6, 5, 4, 3, 2};  // atoms/rank: 864..32
+
+  struct Row {
+    int atoms_per_rank;
+    double orig;
+    double ch4;
+  };
+  std::vector<Row> rows;
+  for (int cells : cells_sweep) {
+    Row r;
+    r.atoms_per_rank = 4 * cells * cells * cells;
+    r.orig = md_rate(DeviceKind::Orig, cells);
+    r.ch4 = md_rate(DeviceKind::Ch4, cells);
+    std::printf("  measured atoms/rank=%-5d original %9.1f steps/s   ch4 %9.1f steps/s\n",
+                r.atoms_per_rank, r.orig, r.ch4);
+    rows.push_back(r);
+  }
+
+  // Work-rate efficiency: (steps/s * atoms) normalized to the best value in
+  // the sweep, so the column reads like the paper's parallel efficiency.
+  double orig_peak = 0.0, ch4_peak = 0.0;
+  for (const Row& r : rows) {
+    orig_peak = std::max(orig_peak, r.orig * r.atoms_per_rank);
+    ch4_peak = std::max(ch4_peak, r.ch4 * r.atoms_per_rank);
+  }
+
+  std::printf("\n%-12s %14s %14s %12s %12s %12s\n", "atoms/core", "Orig steps/s",
+              "CH4 steps/s", "CH4 speedup", "Orig eff", "CH4 eff");
+  for (const Row& r : rows) {
+    const double work_o = r.orig * r.atoms_per_rank;
+    const double work_c = r.ch4 * r.atoms_per_rank;
+    std::printf("%-12d %14.1f %14.1f %11.1f%% %11.1f%% %11.1f%%\n", r.atoms_per_rank,
+                r.orig, r.ch4, r.orig > 0 ? 100.0 * (r.ch4 - r.orig) / r.orig : 0.0,
+                orig_peak > 0 ? 100.0 * work_o / orig_peak : 0.0,
+                ch4_peak > 0 ? 100.0 * work_c / ch4_peak : 0.0);
+  }
+  std::printf("\nexpected shape (paper): CH4 speedup grows toward the scaling limit (fewer\n"
+              "atoms per core => smaller, latency-bound messages), and the original\n"
+              "stack's efficiency collapses first.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Shared driver for the message-rate figures (3, 4, 5): run the five stack
+// variants for MPI_ISEND and MPI_PUT over a given network profile and print
+// the grouped horizontal bars the paper uses.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/harness.hpp"
+
+namespace lwmpi::bench {
+
+inline int run_rate_figure(const char* title, const net::Profile& profile) {
+  print_header(title);
+  std::printf("profile: %s (inject %llu ns, shm %llu ns, latency %llu ns%s)\n",
+              profile.name.c_str(),
+              static_cast<unsigned long long>(profile.inject_cost_ns),
+              static_cast<unsigned long long>(profile.shm_inject_cost_ns),
+              static_cast<unsigned long long>(profile.latency_ns),
+              profile.blackhole ? ", blackhole" : "");
+  const int messages = default_messages(profile);
+  std::printf("messages per measurement: %d (1 byte each)\n\n", messages);
+
+  const auto variants = figure_variants();
+  struct Row {
+    std::string label;
+    double isend;
+    double put;
+  };
+  std::vector<Row> rows;
+  double max_rate = 0;
+  constexpr int kRepeats = 3;  // best-of: sender and receiver share cores
+  for (const auto& v : variants) {
+    Row r;
+    r.label = v.label;
+    r.isend = 0.0;
+    r.put = 0.0;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      r.isend = std::max(r.isend, isend_rate(profile, v.device, v.build, messages));
+      r.put = std::max(r.put, put_rate(profile, v.device, v.build, messages));
+    }
+    max_rate = std::max({max_rate, r.isend, r.put});
+    rows.push_back(std::move(r));
+    std::printf("  measured %-28s isend %14s   put %14s\n", rows.back().label.c_str(),
+                human_rate(rows.back().isend).c_str(), human_rate(rows.back().put).c_str());
+  }
+
+  std::printf("\n%-30s %16s %16s\n", "stack variant", "MPI_Isend", "MPI_Put");
+  for (const Row& r : rows) {
+    std::printf("%-30s %16s %16s\n", r.label.c_str(), human_rate(r.isend).c_str(),
+                human_rate(r.put).c_str());
+  }
+  std::printf("\n");
+  for (const Row& r : rows) {
+    print_bar((r.label + " Isend").c_str(), r.isend / 1e6, max_rate / 1e6, "M/s");
+    print_bar((r.label + " Put").c_str(), r.put / 1e6, max_rate / 1e6, "M/s");
+  }
+
+  const Row& base = rows.front();
+  const Row& best = rows.back();
+  std::printf("\nbest ch4 vs original: isend %.2fx, put %.2fx\n",
+              base.isend > 0 ? best.isend / base.isend : 0.0,
+              base.put > 0 ? best.put / base.put : 0.0);
+  return 0;
+}
+
+}  // namespace lwmpi::bench

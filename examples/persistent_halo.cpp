@@ -1,0 +1,77 @@
+// Example: persistent requests + Cartesian topology.
+//
+// The canonical iterative-solver communication skeleton: build a Cartesian
+// communicator, derive neighbours with cart_shift (PROC_NULL at the
+// non-periodic edges), bind the halo exchange once with send_init/recv_init,
+// then startall/waitall every iteration. Persistent requests amortize the
+// argument validation and binding that Sections 2-3 of the paper count on
+// every plain MPI_ISEND.
+#include <cstdio>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "runtime/world.hpp"
+
+using namespace lwmpi;
+
+int main() {
+  WorldOptions opts;
+  opts.ranks_per_node = 2;
+  opts.profile = net::psm2();
+  World world(4, opts);
+
+  world.run([](Engine& mpi) {
+    // 4 ranks in a non-periodic chain.
+    const std::array<int, 1> dims = {4};
+    const std::array<bool, 1> periods = {false};
+    Comm chain = kCommNull;
+    mpi.cart_create(kCommWorld, dims, periods, false, &chain);
+    Rank left = kProcNull, right = kProcNull;
+    mpi.cart_shift(chain, 0, 1, &left, &right);
+    const int me = mpi.rank(chain);
+
+    // Each rank owns a segment; ghosts at [0] and [n+1].
+    constexpr int kLocal = 8;
+    std::vector<double> u(kLocal + 2, static_cast<double>(me));
+
+    // Bind the exchange once.
+    std::vector<Request> reqs;
+    Request r = kRequestNull;
+    mpi.recv_init(&u[0], 1, kDouble, left, 1, chain, &r);
+    reqs.push_back(r);
+    mpi.recv_init(&u[kLocal + 1], 1, kDouble, right, 2, chain, &r);
+    reqs.push_back(r);
+    mpi.send_init(&u[1], 1, kDouble, left, 2, chain, &r);
+    reqs.push_back(r);
+    mpi.send_init(&u[kLocal], 1, kDouble, right, 1, chain, &r);
+    reqs.push_back(r);
+
+    // Iterate: start the bound exchange, smooth, repeat.
+    for (int it = 0; it < 100; ++it) {
+      mpi.startall(reqs);
+      mpi.waitall(reqs, {});
+      std::vector<double> next(u);
+      for (int i = 1; i <= kLocal; ++i) {
+        // Edge ranks see their own value in the PROC_NULL ghost (never
+        // written), which acts as a reflective boundary here.
+        const double l = (i == 1 && left == kProcNull) ? u[1] : u[i - 1];
+        const double rr = (i == kLocal && right == kProcNull) ? u[kLocal] : u[i + 1];
+        next[static_cast<std::size_t>(i)] = (l + u[static_cast<std::size_t>(i)] + rr) / 3.0;
+      }
+      u = next;
+    }
+    for (auto& req : reqs) mpi.request_free(&req);
+
+    // All segments relax toward the global mean of the initial ranks (1.5).
+    double local = 0;
+    for (int i = 1; i <= kLocal; ++i) local += u[static_cast<std::size_t>(i)];
+    double sum = 0;
+    mpi.allreduce(&local, &sum, 1, kDouble, ReduceOp::Sum, chain);
+    if (me == 0) {
+      std::printf("[persistent_halo] mean after smoothing: %.4f (expected ~1.5)\n",
+                  sum / (4 * kLocal));
+    }
+    mpi.comm_free(&chain);
+  });
+  return 0;
+}

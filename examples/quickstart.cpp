@@ -1,0 +1,114 @@
+// Quickstart: the lwmpi public API in one file.
+//
+// Launches a 4-rank simulated MPI job (threads as ranks over the simulated
+// fabric), then demonstrates the core API surface: point-to-point messages,
+// nonblocking requests, collectives, derived datatypes, communicator
+// management, and one-sided communication.
+//
+// Build & run:  ./examples/quickstart
+#include <array>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "runtime/world.hpp"
+
+using namespace lwmpi;
+
+int main() {
+  WorldOptions opts;
+  opts.ranks_per_node = 2;        // two simulated nodes
+  opts.profile = net::psm2();     // OPA/PSM2-like cost model
+  opts.device = DeviceKind::Ch4;  // the paper's lightweight device
+  World world(4, opts);
+
+  world.run([](Engine& mpi) {
+    const int rank = mpi.rank(kCommWorld);
+    const int size = mpi.size(kCommWorld);
+
+    // --- 1. Ring pass: blocking send/recv --------------------------------
+    int token = rank == 0 ? 1000 : -1;
+    const Rank right = static_cast<Rank>((rank + 1) % size);
+    const Rank left = static_cast<Rank>((rank - 1 + size) % size);
+    if (rank == 0) {
+      mpi.send(&token, 1, kInt, right, /*tag=*/0, kCommWorld);
+      mpi.recv(&token, 1, kInt, left, 0, kCommWorld, nullptr);
+      std::printf("[quickstart] ring: token came back as %d (expected %d)\n", token,
+                  1000 + size - 1);
+    } else {
+      mpi.recv(&token, 1, kInt, left, 0, kCommWorld, nullptr);
+      ++token;
+      mpi.send(&token, 1, kInt, right, 0, kCommWorld);
+    }
+
+    // --- 2. Nonblocking exchange with every peer --------------------------
+    std::vector<int> inbox(static_cast<std::size_t>(size), -1);
+    std::vector<Request> reqs;
+    int my_square = rank * rank;
+    for (int peer = 0; peer < size; ++peer) {
+      if (peer == rank) continue;
+      Request r = kRequestNull;
+      mpi.irecv(&inbox[static_cast<std::size_t>(peer)], 1, kInt, peer, 1, kCommWorld, &r);
+      reqs.push_back(r);
+      mpi.isend(&my_square, 1, kInt, peer, 1, kCommWorld, &r);
+      reqs.push_back(r);
+    }
+    mpi.waitall(reqs, {});
+
+    // --- 3. Collectives ----------------------------------------------------
+    int sum = 0;
+    mpi.allreduce(&rank, &sum, 1, kInt, ReduceOp::Sum, kCommWorld);
+    std::vector<int> gathered(static_cast<std::size_t>(size));
+    mpi.allgather(&rank, 1, kInt, gathered.data(), 1, kInt, kCommWorld);
+    if (rank == 0) {
+      std::printf("[quickstart] allreduce sum of ranks = %d\n", sum);
+    }
+
+    // --- 4. Derived datatype: send a matrix column -------------------------
+    Datatype column = kDatatypeNull;
+    mpi.type_vector(/*count=*/4, /*blocklen=*/1, /*stride=*/4, kInt, &column);
+    mpi.type_commit(&column);
+    std::array<int, 16> matrix{};
+    std::iota(matrix.begin(), matrix.end(), rank * 100);
+    if (rank == 0) {
+      mpi.send(&matrix[1], 1, column, 1, 2, kCommWorld);  // column 1
+    } else if (rank == 1) {
+      std::array<int, 4> col{};
+      mpi.recv(col.data(), 4, kInt, 0, 2, kCommWorld, nullptr);
+      std::printf("[quickstart] received column: %d %d %d %d\n", col[0], col[1], col[2],
+                  col[3]);
+    }
+    mpi.type_free(&column);
+
+    // --- 5. Communicator split: odds and evens -----------------------------
+    Comm half = kCommNull;
+    mpi.comm_split(kCommWorld, rank % 2, rank, &half);
+    int half_sum = 0;
+    mpi.allreduce(&rank, &half_sum, 1, kInt, ReduceOp::Sum, half);
+    if (mpi.rank(half) == 0) {
+      std::printf("[quickstart] %s ranks sum to %d\n", rank % 2 ? "odd " : "even",
+                  half_sum);
+    }
+    mpi.comm_free(&half);
+
+    // --- 6. One-sided: everyone deposits into rank 0's window --------------
+    std::vector<int> window_mem(static_cast<std::size_t>(size), 0);
+    Win win = kWinNull;
+    mpi.win_create(window_mem.data(), window_mem.size() * sizeof(int), sizeof(int),
+                   kCommWorld, &win);
+    mpi.win_fence(win);
+    const int deposit = 10 * (rank + 1);
+    mpi.put(&deposit, 1, kInt, /*target=*/0, /*disp=*/static_cast<std::uint64_t>(rank), 1,
+            kInt, win);
+    mpi.win_fence(win);
+    if (rank == 0) {
+      std::printf("[quickstart] window after puts: %d %d %d %d\n", window_mem[0],
+                  window_mem[1], window_mem[2], window_mem[3]);
+    }
+    mpi.win_free(&win);
+  });
+
+  std::printf("[quickstart] done\n");
+  return 0;
+}

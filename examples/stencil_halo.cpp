@@ -1,0 +1,55 @@
+// Example: 2-D Jacobi stencil with halo exchange -- the boundary-condition
+// workload behind the paper's MPI_PROC_NULL discussion (Section 3.4).
+//
+// Runs the same solve twice: once sending to all four neighbours with
+// MPI_PROC_NULL at domain edges, and once with the application branching
+// itself and using the proposed _NPN ("no proc null") fast path. The
+// numerics are identical; the message counts and per-iteration cost differ.
+#include <cstdio>
+
+#include "apps/stencil.hpp"
+#include "core/engine.hpp"
+#include "runtime/world.hpp"
+
+using namespace lwmpi;
+
+int main() {
+  WorldOptions opts;
+  opts.ranks_per_node = 2;
+  opts.profile = net::psm2();
+  World world(4, opts);
+
+  std::printf("2-D 5-point Jacobi, 64x64 grid on a 2x2 process grid, 200 iterations\n");
+  std::printf("%-12s %12s %14s %12s\n", "halo mode", "residual", "halo sends/rk", "seconds");
+
+  world.run([](Engine& mpi) {
+    for (auto mode : {apps::StencilMode::ProcNull, apps::StencilMode::NpnBranch}) {
+      apps::StencilConfig cfg;
+      cfg.nx = 64;
+      cfg.ny = 64;
+      cfg.px = 2;
+      cfg.py = 2;
+      cfg.iters = 200;
+      cfg.mode = mode;
+      const apps::StencilResult r = apps::run_stencil(mpi, kCommWorld, cfg);
+      // Aggregate across ranks for the report.
+      double secs = r.seconds;
+      double max_secs = 0;
+      mpi.allreduce(&secs, &max_secs, 1, kDouble, ReduceOp::Max, kCommWorld);
+      const auto sends = static_cast<std::int64_t>(r.halo_sends);
+      std::int64_t total_sends = 0;
+      mpi.allreduce(&sends, &total_sends, 1, kInt64, ReduceOp::Sum, kCommWorld);
+      if (mpi.rank(kCommWorld) == 0) {
+        std::printf("%-12s %12.3e %14.1f %12.4f\n",
+                    mode == apps::StencilMode::ProcNull ? "proc-null" : "npn-branch",
+                    r.residual, static_cast<double>(total_sends) / mpi.size(kCommWorld),
+                    max_secs);
+      }
+      mpi.barrier(kCommWorld);
+    }
+  });
+  std::printf("note: npn-branch issues fewer sends (edge ranks skip missing "
+              "neighbours in application code) and each send skips the PROC_NULL "
+              "branch inside MPI.\n");
+  return 0;
+}

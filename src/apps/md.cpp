@@ -1,0 +1,258 @@
+#include "apps/md.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+
+#include "core/engine.hpp"
+
+namespace lwmpi::apps {
+namespace {
+
+constexpr Tag kTagGhostBase = 300;  // +direction (0..5)
+
+struct Vec3 {
+  double x = 0, y = 0, z = 0;
+};
+
+double now_sec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Deterministic per-atom pseudo-random in [-0.5, 0.5) (splitmix64).
+double hash_unit(std::uint64_t v) {
+  v += 0x9e3779b97f4a7c15ull;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+  v ^= v >> 31;
+  return static_cast<double>(v % (1ull << 32)) / static_cast<double>(1ull << 32) - 0.5;
+}
+
+}  // namespace
+
+MdResult run_md(Engine& eng, Comm comm, const MdConfig& cfg) {
+  MdResult res;
+  const int p = eng.size(comm);
+  const int r = eng.rank(comm);
+  if (cfg.px * cfg.py * cfg.pz != p || cfg.cells_x < 1 || cfg.cells_y < 1 || cfg.cells_z < 1) {
+    return res;
+  }
+  const int cx = r % cfg.px;
+  const int cy = (r / cfg.px) % cfg.py;
+  const int cz = r / (cfg.px * cfg.py);
+  const double lx = cfg.cells_x * cfg.lattice;
+  const double ly = cfg.cells_y * cfg.lattice;
+  const double lz = cfg.cells_z * cfg.lattice;
+  const double box[3] = {lx, ly, lz};
+
+  // Periodic 6-neighbour stencil over the process grid.
+  auto grid_rank = [&](int gx, int gy, int gz) {
+    gx = (gx + cfg.px) % cfg.px;
+    gy = (gy + cfg.py) % cfg.py;
+    gz = (gz + cfg.pz) % cfg.pz;
+    return static_cast<Rank>((gz * cfg.py + gy) * cfg.px + gx);
+  };
+  const Rank nbr[6] = {grid_rank(cx - 1, cy, cz), grid_rank(cx + 1, cy, cz),
+                       grid_rank(cx, cy - 1, cz), grid_rank(cx, cy + 1, cz),
+                       grid_rank(cx, cy, cz - 1), grid_rank(cx, cy, cz + 1)};
+
+  // FCC lattice fill: 4 atoms per unit cell.
+  static const double kBasis[4][3] = {
+      {0.0, 0.0, 0.0}, {0.5, 0.5, 0.0}, {0.5, 0.0, 0.5}, {0.0, 0.5, 0.5}};
+  std::vector<Vec3> pos;
+  for (int ix = 0; ix < cfg.cells_x; ++ix) {
+    for (int iy = 0; iy < cfg.cells_y; ++iy) {
+      for (int iz = 0; iz < cfg.cells_z; ++iz) {
+        for (int b = 0; b < 4; ++b) {
+          pos.push_back(Vec3{(ix + kBasis[b][0]) * cfg.lattice,
+                             (iy + kBasis[b][1]) * cfg.lattice,
+                             (iz + kBasis[b][2]) * cfg.lattice});
+        }
+      }
+    }
+  }
+  const std::size_t n_own = pos.size();
+  std::vector<Vec3> vel(n_own);
+  std::vector<Vec3> frc(n_own);
+
+  // Small deterministic thermal velocities with zero local net momentum.
+  Vec3 psum;
+  for (std::size_t i = 0; i < n_own; ++i) {
+    const std::uint64_t gid = static_cast<std::uint64_t>(r) * (n_own * 8) + i;
+    vel[i] = Vec3{cfg.temperature * hash_unit(gid * 3 + 0),
+                  cfg.temperature * hash_unit(gid * 3 + 1),
+                  cfg.temperature * hash_unit(gid * 3 + 2)};
+    psum.x += vel[i].x;
+    psum.y += vel[i].y;
+    psum.z += vel[i].z;
+  }
+  for (std::size_t i = 0; i < n_own; ++i) {
+    vel[i].x -= psum.x / static_cast<double>(n_own);
+    vel[i].y -= psum.y / static_cast<double>(n_own);
+    vel[i].z -= psum.z / static_cast<double>(n_own);
+  }
+
+  // Ghost atoms live past the owned atoms in `all`; rebuilt every step.
+  std::vector<Vec3> all;
+  std::vector<double> sendbuf;
+  std::vector<double> recvbuf;
+
+  // Exchange ghosts dimension by dimension so edge/corner ghosts propagate.
+  auto exchange_ghosts = [&]() {
+    all.assign(pos.begin(), pos.end());
+    for (int dim = 0; dim < 3; ++dim) {
+      // Only atoms known before this dimension may be exported: forwarding a
+      // ghost received from the same dimension would bounce the neighbour's
+      // own atoms back as duplicates. Ghosts from earlier dimensions must be
+      // forwarded so edge/corner regions populate.
+      const std::size_t exportable = all.size();
+      for (int side = 0; side < 2; ++side) {  // 0: low face, 1: high face
+        const int dir = dim * 2 + side;
+        const double limit = side == 0 ? cfg.cutoff : box[dim] - cfg.cutoff;
+        sendbuf.clear();
+        for (std::size_t ai = 0; ai < exportable; ++ai) {
+          const Vec3& a = all[ai];
+          const double c = dim == 0 ? a.x : dim == 1 ? a.y : a.z;
+          const bool near = side == 0 ? c < limit : c > limit;
+          if (!near) continue;
+          Vec3 shifted = a;
+          // Translate into the neighbour's local frame.
+          (dim == 0 ? shifted.x : dim == 1 ? shifted.y : shifted.z) +=
+              side == 0 ? box[dim] : -box[dim];
+          sendbuf.push_back(shifted.x);
+          sendbuf.push_back(shifted.y);
+          sendbuf.push_back(shifted.z);
+        }
+        // Counterpart direction we receive from: the opposite face.
+        const int rdir = dim * 2 + (1 - side);
+        recvbuf.resize((n_own + all.size()) * 3 + 64);
+        Request reqs[2];
+        Status st;
+        eng.irecv(recvbuf.data(), static_cast<int>(recvbuf.size()), kDouble, nbr[rdir],
+                  static_cast<Tag>(kTagGhostBase + dir), comm, &reqs[0]);
+        eng.isend(sendbuf.data(), static_cast<int>(sendbuf.size()), kDouble, nbr[dir],
+                  static_cast<Tag>(kTagGhostBase + dir), comm, &reqs[1]);
+        eng.wait(&reqs[1], nullptr);
+        eng.wait(&reqs[0], &st);
+        const std::size_t nrecv = st.byte_count / (3 * sizeof(double));
+        for (std::size_t i = 0; i < nrecv; ++i) {
+          all.push_back(
+              Vec3{recvbuf[i * 3 + 0], recvbuf[i * 3 + 1], recvbuf[i * 3 + 2]});
+        }
+        res.ghost_atoms_exchanged += nrecv;
+      }
+    }
+  };
+
+  // Cell-list LJ forces on owned atoms; returns local potential energy.
+  const double rc2 = cfg.cutoff * cfg.cutoff;
+  auto compute_forces = [&]() {
+    // Bin own + ghost atoms into cells of width >= cutoff spanning
+    // [-cutoff, L + cutoff] in each dimension.
+    int ncell[3];
+    double cw[3];
+    for (int d = 0; d < 3; ++d) {
+      ncell[d] = std::max(1, static_cast<int>((box[d] + 2 * cfg.cutoff) / cfg.cutoff));
+      cw[d] = (box[d] + 2 * cfg.cutoff) / ncell[d];
+    }
+    auto cell_of = [&](const Vec3& a) {
+      int ix = std::clamp(static_cast<int>((a.x + cfg.cutoff) / cw[0]), 0, ncell[0] - 1);
+      int iy = std::clamp(static_cast<int>((a.y + cfg.cutoff) / cw[1]), 0, ncell[1] - 1);
+      int iz = std::clamp(static_cast<int>((a.z + cfg.cutoff) / cw[2]), 0, ncell[2] - 1);
+      return (iz * ncell[1] + iy) * ncell[0] + ix;
+    };
+    const int total_cells = ncell[0] * ncell[1] * ncell[2];
+    std::vector<int> head(static_cast<std::size_t>(total_cells), -1);
+    std::vector<int> next(all.size(), -1);
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      const int c = cell_of(all[i]);
+      next[i] = head[static_cast<std::size_t>(c)];
+      head[static_cast<std::size_t>(c)] = static_cast<int>(i);
+    }
+
+    double epot = 0.0;
+    std::fill(frc.begin(), frc.end(), Vec3{});
+    for (std::size_t i = 0; i < n_own; ++i) {
+      const Vec3& a = all[i];
+      const int aix = std::clamp(static_cast<int>((a.x + cfg.cutoff) / cw[0]), 0, ncell[0] - 1);
+      const int aiy = std::clamp(static_cast<int>((a.y + cfg.cutoff) / cw[1]), 0, ncell[1] - 1);
+      const int aiz = std::clamp(static_cast<int>((a.z + cfg.cutoff) / cw[2]), 0, ncell[2] - 1);
+      for (int dz = -1; dz <= 1; ++dz) {
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            const int bx = aix + dx;
+            const int by = aiy + dy;
+            const int bz = aiz + dz;
+            if (bx < 0 || bx >= ncell[0] || by < 0 || by >= ncell[1] || bz < 0 ||
+                bz >= ncell[2]) {
+              continue;
+            }
+            for (int j = head[static_cast<std::size_t>((bz * ncell[1] + by) * ncell[0] + bx)];
+                 j != -1; j = next[static_cast<std::size_t>(j)]) {
+              if (static_cast<std::size_t>(j) == i) continue;
+              const double rx = a.x - all[static_cast<std::size_t>(j)].x;
+              const double ry = a.y - all[static_cast<std::size_t>(j)].y;
+              const double rz = a.z - all[static_cast<std::size_t>(j)].z;
+              const double r2 = rx * rx + ry * ry + rz * rz;
+              if (r2 >= rc2 || r2 < 1e-12) continue;
+              const double inv2 = 1.0 / r2;
+              const double inv6 = inv2 * inv2 * inv2;
+              const double ff = 24.0 * inv2 * inv6 * (2.0 * inv6 - 1.0);
+              frc[i].x += ff * rx;
+              frc[i].y += ff * ry;
+              frc[i].z += ff * rz;
+              epot += 0.5 * 4.0 * inv6 * (inv6 - 1.0);  // half: pair seen twice
+            }
+          }
+        }
+      }
+    }
+    return epot;
+  };
+
+  exchange_ghosts();
+  double epot_local = compute_forces();
+
+  const double t0 = now_sec();
+  for (int step = 0; step < cfg.steps; ++step) {
+    for (std::size_t i = 0; i < n_own; ++i) {  // half kick + drift
+      vel[i].x += 0.5 * cfg.dt * frc[i].x;
+      vel[i].y += 0.5 * cfg.dt * frc[i].y;
+      vel[i].z += 0.5 * cfg.dt * frc[i].z;
+      pos[i].x += cfg.dt * vel[i].x;
+      pos[i].y += cfg.dt * vel[i].y;
+      pos[i].z += cfg.dt * vel[i].z;
+    }
+    exchange_ghosts();
+    epot_local = compute_forces();
+    for (std::size_t i = 0; i < n_own; ++i) {  // second half kick
+      vel[i].x += 0.5 * cfg.dt * frc[i].x;
+      vel[i].y += 0.5 * cfg.dt * frc[i].y;
+      vel[i].z += 0.5 * cfg.dt * frc[i].z;
+    }
+  }
+  const double dt_run = now_sec() - t0;
+
+  double ekin_local = 0.0;
+  for (std::size_t i = 0; i < n_own; ++i) {
+    ekin_local +=
+        0.5 * (vel[i].x * vel[i].x + vel[i].y * vel[i].y + vel[i].z * vel[i].z);
+  }
+  double energies[2] = {ekin_local, epot_local};
+  double global[2] = {0, 0};
+  eng.allreduce(energies, global, 2, kDouble, ReduceOp::Sum, comm);
+
+  res.valid = true;
+  res.atoms_per_rank = static_cast<std::int64_t>(n_own);
+  res.atoms_total = static_cast<std::int64_t>(n_own) * p;
+  res.seconds = dt_run;
+  res.steps_per_sec = dt_run > 0 ? cfg.steps / dt_run : 0.0;
+  res.kinetic_energy = global[0];
+  res.potential_energy = global[1];
+  return res;
+}
+
+}  // namespace lwmpi::apps

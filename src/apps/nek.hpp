@@ -1,0 +1,44 @@
+// Nek5000 model problem (paper Section 4.3, Figure 7).
+//
+// Solves B u = f by conjugate-gradient iteration, where B is the spectral-
+// element mass matrix of E elements of order N covering the unit cube.
+// The SE mass matrix with GLL quadrature is matrix-free: apply the local
+// diagonal quadrature weights per element, then "direct-stiffness-sum" (dssum)
+// the shared interface points. Per CG iteration the communication is exactly
+// the paper's: one nearest-neighbour face exchange (dssum) plus two scalar
+// allreduces (the dot products) -- short, latency-dominated messages at the
+// strong-scaling limit.
+//
+// Elements are arranged in a 1-D chain partitioned contiguously across ranks,
+// so each rank exchanges one (N+1)^2 face with each chain neighbour.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace lwmpi {
+class Engine;
+}
+
+namespace lwmpi::apps {
+
+struct NekConfig {
+  int order = 5;               // polynomial order N; (N+1)^3 points/element
+  std::int64_t elems_total = 64;  // E, must be divisible by comm size
+  int cg_iters = 30;           // fixed iteration count (work metric)
+};
+
+struct NekResult {
+  bool valid = false;
+  std::int64_t points_total = 0;   // n ~= E * N^3 unique gridpoints
+  double points_per_rank = 0.0;    // n / P, the paper's x-axis
+  double seconds = 0.0;
+  double point_iters_per_sec = 0.0;  // the paper's y-axis (per rank-second)
+  double residual = 0.0;             // ||B u - f|| after cg_iters
+};
+
+// Collective over `comm`.
+NekResult run_nek_cg(Engine& eng, Comm comm, const NekConfig& cfg);
+
+}  // namespace lwmpi::apps

@@ -1,0 +1,46 @@
+// 2-D 5-point Jacobi stencil with halo exchange.
+//
+// The canonical neighborhood-communication workload the paper uses to
+// motivate MPI_PROC_NULL (Section 3.4) and the _GLOBAL/_NPN extensions:
+// boundary ranks have missing neighbors, expressed either as MPI_PROC_NULL
+// sends (baseline) or by the application branching itself and calling the
+// _NPN variants (proposal).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace lwmpi {
+class Engine;
+}
+
+namespace lwmpi::apps {
+
+enum class StencilMode {
+  ProcNull,   // send to all 4 neighbors, missing ones are MPI_PROC_NULL
+  NpnBranch,  // application branches and uses isend_npn for real neighbors
+};
+
+struct StencilConfig {
+  int nx = 64;          // global grid width
+  int ny = 64;          // global grid height
+  int px = 1;           // process grid width  (px * py == comm size)
+  int py = 1;           // process grid height
+  int iters = 10;
+  StencilMode mode = StencilMode::ProcNull;
+};
+
+struct StencilResult {
+  double residual = 0.0;        // global L2 residual after `iters`
+  std::uint64_t halo_sends = 0; // messages this rank issued
+  double seconds = 0.0;
+  bool converged_layout = true; // config was consistent with comm size
+};
+
+// Collective over `comm`: runs `cfg.iters` Jacobi sweeps of
+// u <- (north + south + east + west) / 4 with Dirichlet boundary u = 1 on the
+// domain edge and initial interior guess 0, returning the global residual.
+StencilResult run_stencil(Engine& eng, Comm comm, const StencilConfig& cfg);
+
+}  // namespace lwmpi::apps

@@ -1,0 +1,118 @@
+// Large-message allreduce: Rabenseifner's algorithm (recursive-halving
+// reduce-scatter followed by recursive-doubling allgather). Selected by
+// Engine::allreduce for messages past kRabenseifnerBytes on power-of-two
+// communicators; bandwidth-optimal (2·(p-1)/p · n data moved vs. the
+// recursive-doubling lg(p)·n), at the cost of more steps.
+#include <cstring>
+#include <vector>
+
+#include "coll/ops.hpp"
+#include "core/engine.hpp"
+
+namespace lwmpi {
+
+namespace {
+constexpr Tag kTagRab = 13;
+}  // namespace
+
+// Requires: p a power of two, rbuf already holds this rank's contribution.
+Err Engine::allreduce_rabenseifner(void* rbuf, int count, Datatype dt_, ReduceOp op,
+                                   Comm comm) {
+  CommObject* c = comm_obj(comm);
+  const int p = c->map.size();
+  const int r = c->rank;
+  const std::size_t esize = builtin_size(dt_);
+  auto* data = static_cast<std::byte*>(rbuf);
+
+  // Block decomposition: block i holds cnts[i] elements at displs[i].
+  std::vector<int> cnts(static_cast<std::size_t>(p));
+  std::vector<int> displs(static_cast<std::size_t>(p) + 1);
+  const int base = count / p;
+  const int rem = count % p;
+  for (int i = 0; i < p; ++i) {
+    cnts[static_cast<std::size_t>(i)] = base + (i < rem ? 1 : 0);
+    displs[static_cast<std::size_t>(i + 1)] =
+        displs[static_cast<std::size_t>(i)] + cnts[static_cast<std::size_t>(i)];
+  }
+  auto range_elems = [&](int lo, int hi) {
+    return displs[static_cast<std::size_t>(hi + 1)] - displs[static_cast<std::size_t>(lo)];
+  };
+  auto range_ptr = [&](int lo) {
+    return data + static_cast<std::size_t>(displs[static_cast<std::size_t>(lo)]) * esize;
+  };
+
+  struct StepLog {
+    Rank partner;
+    int kept_lo, kept_hi;   // the half we kept (and kept reducing)
+    int gave_lo, gave_hi;   // the half the partner took responsibility for
+  };
+  std::vector<StepLog> steps;
+
+  // --- Phase 1: recursive-halving reduce-scatter -----------------------------
+  std::vector<std::byte> tmp(static_cast<std::size_t>((count + 1) / 2 + 1) * esize);
+  int lo = 0;
+  int hi = p - 1;
+  for (int mask = p >> 1; mask > 0; mask >>= 1) {
+    const Rank partner = static_cast<Rank>(r ^ mask);
+    const int mid = (lo + hi) / 2;  // blocks [lo, mid] and [mid+1, hi]
+    int keep_lo, keep_hi, give_lo, give_hi;
+    if ((r & mask) == 0) {  // I sit in the lower half: keep it
+      keep_lo = lo;
+      keep_hi = mid;
+      give_lo = mid + 1;
+      give_hi = hi;
+    } else {
+      keep_lo = mid + 1;
+      keep_hi = hi;
+      give_lo = lo;
+      give_hi = mid;
+    }
+    const int send_n = range_elems(give_lo, give_hi);
+    const int recv_n = range_elems(keep_lo, keep_hi);
+    Request reqs[2];
+    if (Err e = coll_irecv(tmp.data(), recv_n, dt_, partner, kTagRab, comm, &reqs[0]);
+        !ok(e)) {
+      return e;
+    }
+    if (Err e = coll_isend(range_ptr(give_lo), send_n, dt_, partner, kTagRab, comm,
+                           &reqs[1]);
+        !ok(e)) {
+      return e;
+    }
+    if (Err e = waitall(reqs, {}); !ok(e)) return e;
+    if (recv_n > 0) {
+      if (Err e = coll::apply_op(op, dt_, range_ptr(keep_lo), tmp.data(),
+                                 static_cast<std::size_t>(recv_n));
+          !ok(e)) {
+        return e;
+      }
+    }
+    steps.push_back(StepLog{partner, keep_lo, keep_hi, give_lo, give_hi});
+    lo = keep_lo;
+    hi = keep_hi;
+  }
+
+  // --- Phase 2: recursive-doubling allgather (replay in reverse) -------------
+  for (std::size_t i = steps.size(); i-- > 0;) {
+    const StepLog& s = steps[i];
+    // I now hold the fully reduced data for [kept_lo, kept_hi]; the partner
+    // holds [gave_lo, gave_hi]. Swap so both hold the union.
+    const int send_n = range_elems(s.kept_lo, s.kept_hi);
+    const int recv_n = range_elems(s.gave_lo, s.gave_hi);
+    Request reqs[2];
+    if (Err e = coll_irecv(range_ptr(s.gave_lo), recv_n, dt_, s.partner, kTagRab, comm,
+                           &reqs[0]);
+        !ok(e)) {
+      return e;
+    }
+    if (Err e = coll_isend(range_ptr(s.kept_lo), send_n, dt_, s.partner, kTagRab, comm,
+                           &reqs[1]);
+        !ok(e)) {
+      return e;
+    }
+    if (Err e = waitall(reqs, {}); !ok(e)) return e;
+  }
+  return Err::Success;
+}
+
+}  // namespace lwmpi

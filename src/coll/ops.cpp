@@ -1,0 +1,118 @@
+#include "coll/ops.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+
+namespace lwmpi::coll {
+namespace {
+
+template <typename T>
+void apply_arith(ReduceOp op, T* inout, const T* in, std::size_t n) {
+  switch (op) {
+    case ReduceOp::Sum:
+      for (std::size_t i = 0; i < n; ++i) inout[i] = static_cast<T>(inout[i] + in[i]);
+      break;
+    case ReduceOp::Prod:
+      for (std::size_t i = 0; i < n; ++i) inout[i] = static_cast<T>(inout[i] * in[i]);
+      break;
+    case ReduceOp::Max:
+      for (std::size_t i = 0; i < n; ++i) inout[i] = std::max(inout[i], in[i]);
+      break;
+    case ReduceOp::Min:
+      for (std::size_t i = 0; i < n; ++i) inout[i] = std::min(inout[i], in[i]);
+      break;
+    case ReduceOp::LAnd:
+      for (std::size_t i = 0; i < n; ++i) inout[i] = static_cast<T>(inout[i] && in[i]);
+      break;
+    case ReduceOp::LOr:
+      for (std::size_t i = 0; i < n; ++i) inout[i] = static_cast<T>(inout[i] || in[i]);
+      break;
+    case ReduceOp::Replace:
+      for (std::size_t i = 0; i < n; ++i) inout[i] = in[i];
+      break;
+    case ReduceOp::NoOp:
+      break;
+    default:
+      break;  // bitwise handled separately
+  }
+}
+
+template <typename T>
+void apply_bitwise(ReduceOp op, T* inout, const T* in, std::size_t n) {
+  switch (op) {
+    case ReduceOp::BAnd:
+      for (std::size_t i = 0; i < n; ++i) inout[i] &= in[i];
+      break;
+    case ReduceOp::BOr:
+      for (std::size_t i = 0; i < n; ++i) inout[i] |= in[i];
+      break;
+    case ReduceOp::BXor:
+      for (std::size_t i = 0; i < n; ++i) inout[i] ^= in[i];
+      break;
+    default:
+      break;
+  }
+}
+
+bool is_bitwise(ReduceOp op) {
+  return op == ReduceOp::BAnd || op == ReduceOp::BOr || op == ReduceOp::BXor;
+}
+
+template <typename T>
+Err apply_typed(ReduceOp op, void* inout, const void* in, std::size_t n) {
+  auto* a = static_cast<T*>(inout);
+  const auto* b = static_cast<const T*>(in);
+  if (is_bitwise(op)) {
+    if constexpr (std::is_integral_v<T>) {
+      apply_bitwise(op, a, b, n);
+      return Err::Success;
+    } else {
+      return Err::Op;
+    }
+  }
+  apply_arith(op, a, b, n);
+  return Err::Success;
+}
+
+}  // namespace
+
+Err apply_op(ReduceOp op, Datatype dt, void* inout, const void* in, std::size_t count) {
+  if (!is_builtin(dt)) return Err::Datatype;
+  switch (builtin_id(dt)) {
+    case builtin_id(kChar): return apply_typed<char>(op, inout, in, count);
+    case builtin_id(kSignedChar): return apply_typed<signed char>(op, inout, in, count);
+    case builtin_id(kUnsignedChar): return apply_typed<unsigned char>(op, inout, in, count);
+    case builtin_id(kByte): return apply_typed<unsigned char>(op, inout, in, count);
+    case builtin_id(kShort): return apply_typed<short>(op, inout, in, count);
+    case builtin_id(kUnsignedShort): return apply_typed<unsigned short>(op, inout, in, count);
+    case builtin_id(kInt): return apply_typed<int>(op, inout, in, count);
+    case builtin_id(kUnsigned): return apply_typed<unsigned>(op, inout, in, count);
+    case builtin_id(kLong): return apply_typed<long>(op, inout, in, count);
+    case builtin_id(kUnsignedLong): return apply_typed<unsigned long>(op, inout, in, count);
+    case builtin_id(kLongLong): return apply_typed<long long>(op, inout, in, count);
+    case builtin_id(kUnsignedLongLong):
+      return apply_typed<unsigned long long>(op, inout, in, count);
+    case builtin_id(kFloat): return apply_typed<float>(op, inout, in, count);
+    case builtin_id(kDouble): return apply_typed<double>(op, inout, in, count);
+    case builtin_id(kInt8): return apply_typed<std::int8_t>(op, inout, in, count);
+    case builtin_id(kInt16): return apply_typed<std::int16_t>(op, inout, in, count);
+    case builtin_id(kInt32): return apply_typed<std::int32_t>(op, inout, in, count);
+    case builtin_id(kInt64): return apply_typed<std::int64_t>(op, inout, in, count);
+    case builtin_id(kUint8): return apply_typed<std::uint8_t>(op, inout, in, count);
+    case builtin_id(kUint16): return apply_typed<std::uint16_t>(op, inout, in, count);
+    case builtin_id(kUint32): return apply_typed<std::uint32_t>(op, inout, in, count);
+    case builtin_id(kUint64): return apply_typed<std::uint64_t>(op, inout, in, count);
+    default: return Err::Datatype;
+  }
+}
+
+bool op_defined(ReduceOp op, Datatype dt) {
+  if (!is_builtin(dt)) return false;
+  if (is_bitwise(op)) {
+    return builtin_id(dt) != builtin_id(kFloat) && builtin_id(dt) != builtin_id(kDouble);
+  }
+  return static_cast<std::uint32_t>(op) < kNumReduceOps;
+}
+
+}  // namespace lwmpi::coll

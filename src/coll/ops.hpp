@@ -1,0 +1,20 @@
+// Element-wise reduction kernels for collectives and RMA accumulate.
+// Operations apply to builtin datatypes only (as MPI requires for predefined
+// ops); dispatch is by builtin id.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace lwmpi::coll {
+
+// inout[i] = inout[i] OP in[i] for `count` elements of builtin type `dt`.
+// Returns Err::Op for an op/type combination that is not defined (e.g.
+// bitwise ops on floating point) and Err::Datatype for non-builtin types.
+Err apply_op(ReduceOp op, Datatype dt, void* inout, const void* in, std::size_t count);
+
+// True if `op` is defined for builtin type `dt`.
+bool op_defined(ReduceOp op, Datatype dt);
+
+}  // namespace lwmpi::coll

@@ -1,0 +1,118 @@
+// Cartesian process topologies (MPI_CART_CREATE / COORDS / RANK / SHIFT).
+//
+// Rank order is row-major (last dimension varies fastest), matching MPI.
+// Shifts off a non-periodic edge return MPI_PROC_NULL -- the exact source of
+// the PROC_NULL traffic that Section 3.4 of the paper analyzes.
+#include <vector>
+
+#include "core/engine.hpp"
+#include "runtime/world.hpp"
+
+namespace lwmpi {
+
+namespace {
+int cart_size(std::span<const int> dims) {
+  int n = 1;
+  for (int d : dims) n *= d;
+  return n;
+}
+}  // namespace
+
+Err Engine::cart_create(Comm comm, std::span<const int> dims, std::span<const bool> periods,
+                        bool reorder, Comm* cart) {
+  CommObject* c = comm_obj(comm);
+  if (c == nullptr) return Err::Comm;
+  if (cart == nullptr || dims.empty() || periods.size() != dims.size()) return Err::Arg;
+  for (int d : dims) {
+    if (d <= 0) return Err::Arg;
+  }
+  const int n = cart_size(dims);
+  if (n > c->map.size()) return Err::Arg;
+
+  // Ranks beyond the grid get kCommNull (as MPI_CART_CREATE returns
+  // MPI_COMM_NULL). We implement via comm_split so context agreement and
+  // sub-grouping reuse the tested machinery; `reorder` is accepted but we
+  // keep identity order (a valid choice for any MPI implementation).
+  (void)reorder;
+  const int color = c->rank < n ? 0 : kUndefined;
+  Comm grid = kCommNull;
+  if (Err e = comm_split(comm, color, c->rank, &grid); !ok(e)) return e;
+  if (grid == kCommNull) {
+    *cart = kCommNull;
+    return Err::Success;
+  }
+  CommObject* g = comm_obj(grid);
+  CartTopo topo;
+  topo.dims.assign(dims.begin(), dims.end());
+  topo.periods.resize(periods.size());
+  for (std::size_t i = 0; i < periods.size(); ++i) topo.periods[i] = periods[i] ? 1 : 0;
+  g->cart = std::move(topo);
+  *cart = grid;
+  return Err::Success;
+}
+
+Err Engine::cartdim_get(Comm cart, int* ndims) const {
+  const CommObject* c = comm_obj(cart);
+  if (c == nullptr || !c->cart.has_value()) return Err::Comm;
+  if (ndims == nullptr) return Err::Arg;
+  *ndims = static_cast<int>(c->cart->dims.size());
+  return Err::Success;
+}
+
+Err Engine::cart_coords(Comm cart, Rank rank, std::span<int> coords) const {
+  const CommObject* c = comm_obj(cart);
+  if (c == nullptr || !c->cart.has_value()) return Err::Comm;
+  const auto& dims = c->cart->dims;
+  if (coords.size() < dims.size()) return Err::Arg;
+  if (rank < 0 || rank >= c->map.size()) return Err::Rank;
+  int rem = rank;
+  for (std::size_t i = dims.size(); i-- > 0;) {
+    coords[i] = rem % dims[i];
+    rem /= dims[i];
+  }
+  return Err::Success;
+}
+
+Err Engine::cart_rank(Comm cart, std::span<const int> coords, Rank* rank) const {
+  const CommObject* c = comm_obj(cart);
+  if (c == nullptr || !c->cart.has_value()) return Err::Comm;
+  const auto& topo = *c->cart;
+  if (rank == nullptr || coords.size() < topo.dims.size()) return Err::Arg;
+  int r = 0;
+  for (std::size_t i = 0; i < topo.dims.size(); ++i) {
+    int x = coords[i];
+    if (topo.periods[i] != 0) {
+      x = ((x % topo.dims[i]) + topo.dims[i]) % topo.dims[i];
+    } else if (x < 0 || x >= topo.dims[i]) {
+      return Err::Rank;  // off a non-periodic edge
+    }
+    r = r * topo.dims[i] + x;
+  }
+  *rank = static_cast<Rank>(r);
+  return Err::Success;
+}
+
+Err Engine::cart_shift(Comm cart, int dim, int disp, Rank* source, Rank* dest) const {
+  const CommObject* c = comm_obj(cart);
+  if (c == nullptr || !c->cart.has_value()) return Err::Comm;
+  const auto& topo = *c->cart;
+  if (dim < 0 || static_cast<std::size_t>(dim) >= topo.dims.size() || source == nullptr ||
+      dest == nullptr) {
+    return Err::Arg;
+  }
+  std::vector<int> coords(topo.dims.size());
+  if (Err e = cart_coords(cart, c->rank, coords); !ok(e)) return e;
+
+  auto neighbour = [&](int delta) -> Rank {
+    std::vector<int> n = coords;
+    n[static_cast<std::size_t>(dim)] += delta;
+    Rank r = kProcNull;
+    if (cart_rank(cart, n, &r) != Err::Success) return kProcNull;
+    return r;
+  };
+  *dest = neighbour(disp);
+  *source = neighbour(-disp);
+  return Err::Success;
+}
+
+}  // namespace lwmpi

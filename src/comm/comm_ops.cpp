@@ -1,0 +1,264 @@
+// Communicator and group management: dup, split, free, the predefined-handle
+// proposal (Section 3.3), and group operations including
+// group_translate_ranks (the setup half of the Section 3.1 proposal).
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "runtime/world.hpp"
+
+namespace lwmpi {
+
+namespace {
+struct SplitEntry {
+  std::int32_t color;
+  std::int32_t key;
+  std::int32_t world_rank;
+};
+}  // namespace
+
+Err Engine::comm_dup(Comm comm, Comm* newcomm) {
+  CommObject* c = comm_obj(comm);
+  if (c == nullptr) return Err::Comm;
+  if (newcomm == nullptr) return Err::Arg;
+
+  // Context agreement: rank 0 of the communicator allocates a fresh pair and
+  // broadcasts it; allocation is world-global so the id is unique.
+  std::uint32_t ctx = 0;
+  if (c->rank == 0) ctx = world_.alloc_context_pair();
+  if (Err e = bcast(&ctx, 1, kUint32, 0, comm); !ok(e)) return e;
+
+  const Comm slot = alloc_comm_slot();
+  if (Err e = build_comm(slot, c->map.to_list(), ctx); !ok(e)) return e;
+  *newcomm = slot;
+  return Err::Success;
+}
+
+Err Engine::comm_dup_predefined(Comm comm, Comm predefined) {
+  CommObject* c = comm_obj(comm);
+  if (c == nullptr) return Err::Comm;
+  if (handle_kind(predefined) != HandleKind::Comm) return Err::Comm;
+  const std::uint32_t idx = handle_payload(predefined);
+  if (idx >= comms_.size() || !comms_[idx].predefined_slot) return Err::Comm;
+  if (comms_[idx].in_use) return Err::Comm;  // must be freed first
+
+  std::uint32_t ctx = 0;
+  if (c->rank == 0) ctx = world_.alloc_context_pair();
+  if (Err e = bcast(&ctx, 1, kUint32, 0, comm); !ok(e)) return e;
+
+  if (Err e = build_comm(predefined, c->map.to_list(), ctx); !ok(e)) return e;
+  comms_[idx].predefined_slot = true;  // build_comm resets nothing, keep flag
+  return Err::Success;
+}
+
+Err Engine::comm_split(Comm comm, int color, int key, Comm* newcomm) {
+  CommObject* c = comm_obj(comm);
+  if (c == nullptr) return Err::Comm;
+  if (newcomm == nullptr) return Err::Arg;
+  if (color < 0 && color != kUndefined) return Err::Arg;
+  const int p = c->map.size();
+
+  // Exchange (color, key, world_rank) across the parent communicator.
+  SplitEntry mine{color, key, self_};
+  std::vector<SplitEntry> all(static_cast<std::size_t>(p));
+  if (Err e = allgather(&mine, static_cast<int>(sizeof(SplitEntry)), kByte, all.data(),
+                        static_cast<int>(sizeof(SplitEntry)), kByte, comm);
+      !ok(e)) {
+    return e;
+  }
+
+  // Deterministically enumerate the distinct colors in ascending order.
+  std::vector<std::int32_t> colors;
+  for (const SplitEntry& e : all) {
+    if (e.color != kUndefined) colors.push_back(e.color);
+  }
+  std::sort(colors.begin(), colors.end());
+  colors.erase(std::unique(colors.begin(), colors.end()), colors.end());
+
+  // Rank 0 of the parent allocates one context pair per color; everyone
+  // learns the base and derives their color's pair by index.
+  std::uint32_t base_ctx = 0;
+  if (c->rank == 0) {
+    base_ctx = world_.alloc_context_block(
+        std::max<std::uint32_t>(1, static_cast<std::uint32_t>(colors.size())));
+  }
+  if (Err e = bcast(&base_ctx, 1, kUint32, 0, comm); !ok(e)) return e;
+
+  if (color == kUndefined) {
+    *newcomm = kCommNull;
+    return Err::Success;
+  }
+
+  // My subgroup, ordered by (key, world_rank).
+  std::vector<SplitEntry> group;
+  for (const SplitEntry& e : all) {
+    if (e.color == color) group.push_back(e);
+  }
+  std::sort(group.begin(), group.end(), [](const SplitEntry& a, const SplitEntry& b) {
+    return a.key != b.key ? a.key < b.key : a.world_rank < b.world_rank;
+  });
+  std::vector<Rank> world_ranks;
+  world_ranks.reserve(group.size());
+  for (const SplitEntry& e : group) world_ranks.push_back(e.world_rank);
+
+  const auto color_idx = static_cast<std::uint32_t>(
+      std::lower_bound(colors.begin(), colors.end(), color) - colors.begin());
+  const std::uint32_t ctx = base_ctx + 2 * color_idx;
+
+  const Comm slot = alloc_comm_slot();
+  if (Err e = build_comm(slot, std::move(world_ranks), ctx); !ok(e)) return e;
+  *newcomm = slot;
+  return Err::Success;
+}
+
+Err Engine::comm_free(Comm* comm) {
+  if (comm == nullptr) return Err::Comm;
+  CommObject* c = comm_obj(*comm);
+  if (c == nullptr) return Err::Comm;
+  if (*comm == kCommWorld || *comm == kCommSelf) return Err::Comm;  // not freeable
+  c->in_use = false;
+  *comm = kCommNull;
+  return Err::Success;
+}
+
+// ---------------------------------------------------------------------------
+// Info hints
+// ---------------------------------------------------------------------------
+
+Err Engine::comm_set_info(Comm comm, std::string_view key, std::string_view value) {
+  CommObject* c = comm_obj(comm);
+  if (c == nullptr) return Err::Comm;
+  for (auto& kv : c->info) {
+    if (kv.first == key) {
+      kv.second = std::string(value);
+      if (key == "lwmpi_arrival_order") c->hint_arrival_order = value == "true";
+      return Err::Success;
+    }
+  }
+  c->info.emplace_back(std::string(key), std::string(value));
+  if (key == "lwmpi_arrival_order") c->hint_arrival_order = value == "true";
+  return Err::Success;
+}
+
+Err Engine::comm_get_info(Comm comm, std::string_view key, std::string* value) const {
+  const CommObject* c = comm_obj(comm);
+  if (c == nullptr) return Err::Comm;
+  if (value == nullptr) return Err::Arg;
+  for (const auto& kv : c->info) {
+    if (kv.first == key) {
+      *value = kv.second;
+      return Err::Success;
+    }
+  }
+  return Err::Arg;  // key not set
+}
+
+// ---------------------------------------------------------------------------
+// Groups
+// ---------------------------------------------------------------------------
+
+Err Engine::comm_group(Comm comm, Group* group) {
+  CommObject* c = comm_obj(comm);
+  if (c == nullptr) return Err::Comm;
+  if (group == nullptr) return Err::Group;
+  std::uint32_t idx = 0;
+  for (; idx < groups_.size(); ++idx) {
+    if (!groups_[idx].has_value()) break;
+  }
+  if (idx == groups_.size()) groups_.emplace_back();
+  groups_[idx] = c->map.to_list();
+  *group = make_handle(HandleKind::Group, idx + 1);  // +1: slot 0 is kGroupEmpty
+  return Err::Success;
+}
+
+namespace {
+const std::vector<Rank>* group_list(
+    const std::vector<std::optional<std::vector<Rank>>>& groups, Group g) {
+  if (handle_kind(g) != HandleKind::Group) return nullptr;
+  const std::uint32_t payload = handle_payload(g);
+  if (payload == 0) {  // kGroupEmpty
+    static const std::vector<Rank> empty;
+    return &empty;
+  }
+  const std::uint32_t idx = payload - 1;
+  if (idx >= groups.size() || !groups[idx].has_value()) return nullptr;
+  return &*groups[idx];
+}
+}  // namespace
+
+Err Engine::group_size(Group g, int* size) const {
+  const std::vector<Rank>* list = group_list(groups_, g);
+  if (list == nullptr || size == nullptr) return Err::Group;
+  *size = static_cast<int>(list->size());
+  return Err::Success;
+}
+
+Err Engine::group_rank(Group g, int* rank) const {
+  const std::vector<Rank>* list = group_list(groups_, g);
+  if (list == nullptr || rank == nullptr) return Err::Group;
+  for (std::size_t i = 0; i < list->size(); ++i) {
+    if ((*list)[i] == self_) {
+      *rank = static_cast<int>(i);
+      return Err::Success;
+    }
+  }
+  *rank = kUndefined;
+  return Err::Success;
+}
+
+Err Engine::group_incl(Group g, std::span<const int> ranks, Group* newgroup) {
+  const std::vector<Rank>* list = group_list(groups_, g);
+  if (list == nullptr || newgroup == nullptr) return Err::Group;
+  std::vector<Rank> selected;
+  selected.reserve(ranks.size());
+  for (int r : ranks) {
+    if (r < 0 || static_cast<std::size_t>(r) >= list->size()) return Err::Rank;
+    selected.push_back((*list)[static_cast<std::size_t>(r)]);
+  }
+  std::uint32_t idx = 0;
+  for (; idx < groups_.size(); ++idx) {
+    if (!groups_[idx].has_value()) break;
+  }
+  if (idx == groups_.size()) groups_.emplace_back();
+  groups_[idx] = std::move(selected);
+  *newgroup = make_handle(HandleKind::Group, idx + 1);
+  return Err::Success;
+}
+
+Err Engine::group_translate_ranks(Group g1, std::span<const int> ranks1, Group g2,
+                                  std::span<int> ranks2) const {
+  const std::vector<Rank>* l1 = group_list(groups_, g1);
+  const std::vector<Rank>* l2 = group_list(groups_, g2);
+  if (l1 == nullptr || l2 == nullptr) return Err::Group;
+  if (ranks2.size() < ranks1.size()) return Err::Arg;
+  for (std::size_t i = 0; i < ranks1.size(); ++i) {
+    const int r = ranks1[i];
+    if (r == kProcNull) {
+      ranks2[i] = kProcNull;
+      continue;
+    }
+    if (r < 0 || static_cast<std::size_t>(r) >= l1->size()) return Err::Rank;
+    const Rank w = (*l1)[static_cast<std::size_t>(r)];
+    ranks2[i] = kUndefined;
+    for (std::size_t j = 0; j < l2->size(); ++j) {
+      if ((*l2)[j] == w) {
+        ranks2[i] = static_cast<int>(j);
+        break;
+      }
+    }
+  }
+  return Err::Success;
+}
+
+Err Engine::group_free(Group* g) {
+  if (g == nullptr) return Err::Group;
+  if (handle_kind(*g) != HandleKind::Group || handle_payload(*g) == 0) return Err::Group;
+  const std::uint32_t idx = handle_payload(*g) - 1;
+  if (idx >= groups_.size() || !groups_[idx].has_value()) return Err::Group;
+  groups_[idx].reset();
+  *g = kGroupNull;
+  return Err::Success;
+}
+
+}  // namespace lwmpi

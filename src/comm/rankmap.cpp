@@ -1,0 +1,49 @@
+#include "comm/rankmap.hpp"
+
+namespace lwmpi::comm {
+
+RankMap RankMap::from_list(std::vector<Rank> world) {
+  RankMap m;
+  m.size_ = static_cast<int>(world.size());
+  if (world.empty()) {
+    m.repr_ = Repr::Offset;
+    return m;
+  }
+  if (world.size() == 1) return offset_map(1, world[0]);
+
+  // Detect an arithmetic progression: world[r] = offset + r * stride.
+  const Rank offset = world[0];
+  const Rank stride = world[1] - world[0];
+  bool arithmetic = stride != 0;
+  for (std::size_t r = 1; arithmetic && r < world.size(); ++r) {
+    if (world[r] != offset + static_cast<Rank>(r) * stride) arithmetic = false;
+  }
+  if (arithmetic) return strided(static_cast<int>(world.size()), offset, stride);
+
+  m.repr_ = Repr::Direct;
+  m.lut_ = std::move(world);
+  return m;
+}
+
+Rank RankMap::from_world(Rank w) const noexcept {
+  if (repr_ == Repr::Direct) {
+    for (std::size_t r = 0; r < lut_.size(); ++r) {
+      if (lut_[r] == w) return static_cast<Rank>(r);
+    }
+    return -1;
+  }
+  const Rank delta = w - offset_;
+  if (stride_ == 0) return -1;
+  if (delta % stride_ != 0) return -1;
+  const Rank r = delta / stride_;
+  return (r >= 0 && r < size_) ? r : -1;
+}
+
+std::vector<Rank> RankMap::to_list() const {
+  if (repr_ == Repr::Direct) return lut_;
+  std::vector<Rank> out(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r) out[static_cast<std::size_t>(r)] = r * stride_ + offset_;
+  return out;
+}
+
+}  // namespace lwmpi::comm

@@ -1,0 +1,31 @@
+#include "common/types.hpp"
+
+namespace lwmpi {
+
+const char* error_string(Err e) noexcept {
+  switch (e) {
+    case Err::Success: return "success";
+    case Err::Buffer: return "invalid buffer pointer";
+    case Err::Count: return "invalid count argument";
+    case Err::Datatype: return "invalid or uncommitted datatype";
+    case Err::Tag: return "tag out of range";
+    case Err::Comm: return "invalid communicator";
+    case Err::Rank: return "rank out of range for communicator";
+    case Err::Request: return "invalid request handle";
+    case Err::Root: return "invalid root rank";
+    case Err::Group: return "invalid group";
+    case Err::Op: return "invalid reduction operation";
+    case Err::Win: return "invalid window";
+    case Err::Disp: return "target displacement out of window bounds";
+    case Err::LockType: return "invalid lock type";
+    case Err::Truncate: return "message truncated on receive";
+    case Err::RmaSync: return "RMA call outside an access epoch";
+    case Err::Arg: return "invalid argument";
+    case Err::Pending: return "operation pending";
+    case Err::Internal: return "internal error";
+    case Err::NotSupported: return "operation not supported";
+  }
+  return "unknown error";
+}
+
+}  // namespace lwmpi

@@ -1,0 +1,178 @@
+// Core public types, handles, and constants for lwmpi.
+//
+// Handles follow the MPICH convention: plain integers with the object kind
+// encoded in the upper bits. Builtin datatype handles additionally encode the
+// element size, so that size queries on the fast path are pure arithmetic
+// (no dereference) -- the property the paper's Section 3 proposals rely on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lwmpi {
+
+using Rank = std::int32_t;
+using Tag = std::int32_t;
+
+// --- Special rank/tag values (mirroring MPI_PROC_NULL, MPI_ANY_*). ---
+inline constexpr Rank kProcNull = -2;
+inline constexpr Rank kAnySource = -3;
+inline constexpr Tag kAnyTag = -4;
+inline constexpr Rank kUndefined = -32766;
+
+// Maximum user tag value (MPI guarantees at least 32767).
+inline constexpr Tag kTagUb = (1 << 23) - 1;
+
+// --- Error codes. ---
+// A small closed set; `Engine::error_string` renders them for humans.
+enum class Err : std::int32_t {
+  Success = 0,
+  Buffer,     // invalid buffer pointer
+  Count,      // negative count
+  Datatype,   // invalid / uncommitted datatype
+  Tag,        // tag out of range
+  Comm,       // invalid communicator
+  Rank,       // rank out of communicator range
+  Request,    // invalid request handle
+  Root,       // invalid root for a collective
+  Group,      // invalid group
+  Op,         // invalid reduction op
+  Win,        // invalid window
+  Disp,       // target displacement out of window bounds
+  LockType,   // invalid lock type
+  Truncate,   // receive buffer too small for matched message
+  RmaSync,    // RMA call outside an access epoch
+  Arg,        // other invalid argument
+  Pending,    // operation not yet complete (internal)
+  Internal,   // implementation bug / unreachable state
+  NotSupported,
+};
+
+inline constexpr bool ok(Err e) { return e == Err::Success; }
+
+const char* error_string(Err e) noexcept;
+
+// --- Handle encoding -------------------------------------------------------
+// 32-bit handles: [ kind:4 | payload:28 ].
+enum class HandleKind : std::uint32_t {
+  Invalid = 0x0,
+  Comm = 0x1,
+  BuiltinDatatype = 0x2,
+  DerivedDatatype = 0x3,
+  Request = 0x4,
+  Win = 0x5,
+  Group = 0x6,
+  Op = 0x7,
+};
+
+inline constexpr std::uint32_t kHandleKindShift = 28;
+
+inline constexpr std::uint32_t make_handle(HandleKind k, std::uint32_t payload) {
+  return (static_cast<std::uint32_t>(k) << kHandleKindShift) | (payload & 0x0FFFFFFFu);
+}
+inline constexpr HandleKind handle_kind(std::uint32_t h) {
+  return static_cast<HandleKind>(h >> kHandleKindShift);
+}
+inline constexpr std::uint32_t handle_payload(std::uint32_t h) { return h & 0x0FFFFFFFu; }
+
+// --- Communicators ---------------------------------------------------------
+using Comm = std::uint32_t;
+inline constexpr Comm kCommNull = 0;
+inline constexpr Comm kCommWorld = make_handle(HandleKind::Comm, 0);
+inline constexpr Comm kCommSelf = make_handle(HandleKind::Comm, 1);
+// Predefined communicator handles for the Section 3.3 proposal
+// (MPI_COMM_1..MPI_COMM_4 in the paper). They are plain array slots.
+inline constexpr int kNumPredefinedComms = 4;
+inline constexpr Comm kComm1 = make_handle(HandleKind::Comm, 2);
+inline constexpr Comm kComm2 = make_handle(HandleKind::Comm, 3);
+inline constexpr Comm kComm3 = make_handle(HandleKind::Comm, 4);
+inline constexpr Comm kComm4 = make_handle(HandleKind::Comm, 5);
+inline constexpr std::uint32_t kFirstDynamicCommSlot = 6;
+
+// --- Datatypes --------------------------------------------------------------
+// Builtin datatype handles encode [kind | size:12 | id:16].
+using Datatype = std::uint32_t;
+inline constexpr Datatype kDatatypeNull = 0;
+
+inline constexpr Datatype builtin_type(std::uint32_t size, std::uint32_t id) {
+  return make_handle(HandleKind::BuiltinDatatype, (size << 16) | id);
+}
+inline constexpr bool is_builtin(Datatype d) {
+  return handle_kind(d) == HandleKind::BuiltinDatatype;
+}
+// Size of a builtin type: arithmetic on the handle, no memory access.
+inline constexpr std::size_t builtin_size(Datatype d) {
+  return (handle_payload(d) >> 16) & 0xFFFu;
+}
+inline constexpr std::uint32_t builtin_id(Datatype d) { return handle_payload(d) & 0xFFFFu; }
+
+inline constexpr Datatype kChar = builtin_type(1, 1);
+inline constexpr Datatype kSignedChar = builtin_type(1, 2);
+inline constexpr Datatype kUnsignedChar = builtin_type(1, 3);
+inline constexpr Datatype kByte = builtin_type(1, 4);
+inline constexpr Datatype kShort = builtin_type(2, 5);
+inline constexpr Datatype kUnsignedShort = builtin_type(2, 6);
+inline constexpr Datatype kInt = builtin_type(4, 7);
+inline constexpr Datatype kUnsigned = builtin_type(4, 8);
+inline constexpr Datatype kLong = builtin_type(8, 9);
+inline constexpr Datatype kUnsignedLong = builtin_type(8, 10);
+inline constexpr Datatype kLongLong = builtin_type(8, 11);
+inline constexpr Datatype kUnsignedLongLong = builtin_type(8, 12);
+inline constexpr Datatype kFloat = builtin_type(4, 13);
+inline constexpr Datatype kDouble = builtin_type(8, 14);
+inline constexpr Datatype kInt8 = builtin_type(1, 15);
+inline constexpr Datatype kInt16 = builtin_type(2, 16);
+inline constexpr Datatype kInt32 = builtin_type(4, 17);
+inline constexpr Datatype kInt64 = builtin_type(8, 18);
+inline constexpr Datatype kUint8 = builtin_type(1, 19);
+inline constexpr Datatype kUint16 = builtin_type(2, 20);
+inline constexpr Datatype kUint32 = builtin_type(4, 21);
+inline constexpr Datatype kUint64 = builtin_type(8, 22);
+inline constexpr std::uint32_t kNumBuiltinTypes = 23;  // ids 1..22 used
+
+// --- Requests ---------------------------------------------------------------
+using Request = std::uint32_t;
+inline constexpr Request kRequestNull = 0;
+
+// --- Windows ----------------------------------------------------------------
+using Win = std::uint32_t;
+inline constexpr Win kWinNull = 0;
+
+// --- Groups -----------------------------------------------------------------
+using Group = std::uint32_t;
+inline constexpr Group kGroupNull = 0;
+inline constexpr Group kGroupEmpty = make_handle(HandleKind::Group, 0);
+
+// --- Reduction ops ----------------------------------------------------------
+enum class ReduceOp : std::uint32_t {
+  Sum = 0,
+  Prod,
+  Max,
+  Min,
+  LAnd,
+  LOr,
+  BAnd,
+  BOr,
+  BXor,
+  Replace,  // RMA-only (MPI_REPLACE)
+  NoOp,     // RMA-only (MPI_NO_OP; get_accumulate fetch)
+};
+inline constexpr std::uint32_t kNumReduceOps = 11;
+
+// --- Status -----------------------------------------------------------------
+struct Status {
+  Rank source = kUndefined;
+  Tag tag = kUndefined;
+  Err error = Err::Success;
+  std::size_t byte_count = 0;  // bytes received
+
+  // Element count for a given datatype (builtin only needs arithmetic).
+  std::size_t count_elems(std::size_t type_size) const {
+    return type_size == 0 ? 0 : byte_count / type_size;
+  }
+};
+
+// RMA lock types.
+enum class LockType : std::int32_t { Exclusive = 1, Shared = 2 };
+
+}  // namespace lwmpi

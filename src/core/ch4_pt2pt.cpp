@@ -1,0 +1,446 @@
+// CH4 point-to-point path: the paper's lightweight flow-through device, plus
+// the Section-3 proposed-extension entry points. The structure mirrors the
+// paper's walk-through: MPI layer (function-call overhead, error checking,
+// thread gate) -> ch4 core (locality) -> netmod/shmmod (translation +
+// injection), with every step charging its modeled instruction cost.
+#include <cstring>
+
+#include "core/engine.hpp"
+#include "cost/meter.hpp"
+#include "cost/model.hpp"
+#include "runtime/backoff.hpp"
+#include "runtime/world.hpp"
+
+namespace lwmpi {
+
+namespace {
+// Thread gate: models the runtime thread-safety check of a library built with
+// MPI_THREAD_MULTIPLE support. Disabled in "single" builds.
+class ThreadGate {
+ public:
+  ThreadGate(std::recursive_mutex& m, bool enabled, std::uint32_t charge) : mu_(m), on_(enabled) {
+    if (on_) {
+      cost::charge(cost::Category::ThreadSafety, charge);
+      mu_.lock();
+    }
+  }
+  ~ThreadGate() {
+    if (on_) mu_.unlock();
+  }
+  ThreadGate(const ThreadGate&) = delete;
+  ThreadGate& operator=(const ThreadGate&) = delete;
+
+ private:
+  std::recursive_mutex& mu_;
+  bool on_;
+};
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public MPI-layer entry points
+// ---------------------------------------------------------------------------
+
+Err Engine::isend(const void* buf, int count, Datatype dt, Rank dest, Tag tag, Comm comm,
+                  Request* req) {
+  if (!cfg_.ipo) {
+    cost::charge(cost::Category::FunctionCall, cost::kCallEntry + cost::kCallPmpiAliasSend);
+  }
+  ThreadGate gate(thread_gate_, cfg_.thread_safety, cost::kThreadGatePt2pt);
+  if (cfg_.error_checking) {
+    if (Err e = check_comm(comm); !ok(e)) return e;
+    const CommObject* c = comm_obj(comm);
+    if (Err e = check_rank(*c, dest, /*allow_proc_null=*/true, false); !ok(e)) return e;
+    if (Err e = check_tag(tag, false); !ok(e)) return e;
+    if (Err e = check_count(count); !ok(e)) return e;
+    if (Err e = check_buffer(buf, count); !ok(e)) return e;
+    if (Err e = check_datatype(dt); !ok(e)) return e;
+  }
+  SendParams p{.buf = buf, .count = count, .dt = dt, .dest = dest, .tag = tag, .comm = comm};
+  return device_isend(p, req);
+}
+
+Err Engine::irecv(void* buf, int count, Datatype dt, Rank src, Tag tag, Comm comm,
+                  Request* req) {
+  if (!cfg_.ipo) {
+    cost::charge(cost::Category::FunctionCall, cost::kCallEntry + cost::kCallPmpiAliasSend);
+  }
+  ThreadGate gate(thread_gate_, cfg_.thread_safety, cost::kThreadGatePt2pt);
+  if (cfg_.error_checking) {
+    if (Err e = check_comm(comm); !ok(e)) return e;
+    const CommObject* c = comm_obj(comm);
+    if (Err e = check_rank(*c, src, true, /*allow_any=*/true); !ok(e)) return e;
+    if (Err e = check_tag(tag, true); !ok(e)) return e;
+    if (Err e = check_count(count); !ok(e)) return e;
+    if (Err e = check_buffer(buf, count); !ok(e)) return e;
+    if (Err e = check_datatype(dt); !ok(e)) return e;
+  }
+  return post_recv_common(buf, count, dt, src, tag, comm, rt::MatchMode::Full, false, req);
+}
+
+// ---------------------------------------------------------------------------
+// Section 3 extensions
+// ---------------------------------------------------------------------------
+
+Err Engine::isend_global(const void* buf, int count, Datatype dt, Rank world_dest, Tag tag,
+                         Comm comm, Request* req) {
+  if (!cfg_.ipo) {
+    cost::charge(cost::Category::FunctionCall, cost::kCallEntry + cost::kCallPmpiAliasSend);
+  }
+  ThreadGate gate(thread_gate_, cfg_.thread_safety, cost::kThreadGatePt2pt);
+  if (cfg_.error_checking) {
+    if (Err e = check_comm(comm); !ok(e)) return e;
+    cost::charge(cost::Category::ErrorChecking, cost::kErrRankRange);
+    if (world_dest != kProcNull && (world_dest < 0 || world_dest >= world_size())) {
+      return Err::Rank;
+    }
+    if (Err e = check_tag(tag, false); !ok(e)) return e;
+    if (Err e = check_count(count); !ok(e)) return e;
+    if (Err e = check_buffer(buf, count); !ok(e)) return e;
+    if (Err e = check_datatype(dt); !ok(e)) return e;
+  }
+  SendParams p{.buf = buf,
+               .count = count,
+               .dt = dt,
+               .dest = world_dest,
+               .tag = tag,
+               .comm = comm,
+               .dest_is_world = true};
+  return device_isend(p, req);
+}
+
+Err Engine::isend_npn(const void* buf, int count, Datatype dt, Rank dest, Tag tag, Comm comm,
+                      Request* req) {
+  if (!cfg_.ipo) {
+    cost::charge(cost::Category::FunctionCall, cost::kCallEntry + cost::kCallPmpiAliasSend);
+  }
+  ThreadGate gate(thread_gate_, cfg_.thread_safety, cost::kThreadGatePt2pt);
+  if (cfg_.error_checking) {
+    if (Err e = check_comm(comm); !ok(e)) return e;
+    const CommObject* c = comm_obj(comm);
+    // _NPN forbids MPI_PROC_NULL: with checking on, that is a user error.
+    if (Err e = check_rank(*c, dest, /*allow_proc_null=*/false, false); !ok(e)) return e;
+    if (Err e = check_tag(tag, false); !ok(e)) return e;
+    if (Err e = check_count(count); !ok(e)) return e;
+    if (Err e = check_buffer(buf, count); !ok(e)) return e;
+    if (Err e = check_datatype(dt); !ok(e)) return e;
+  }
+  SendParams p{.buf = buf,
+               .count = count,
+               .dt = dt,
+               .dest = dest,
+               .tag = tag,
+               .comm = comm,
+               .skip_proc_null_check = true};
+  return device_isend(p, req);
+}
+
+Err Engine::isend_noreq(const void* buf, int count, Datatype dt, Rank dest, Tag tag,
+                        Comm comm) {
+  if (!cfg_.ipo) {
+    cost::charge(cost::Category::FunctionCall, cost::kCallEntry + cost::kCallPmpiAliasSend);
+  }
+  ThreadGate gate(thread_gate_, cfg_.thread_safety, cost::kThreadGatePt2pt);
+  if (cfg_.error_checking) {
+    if (Err e = check_comm(comm); !ok(e)) return e;
+    const CommObject* c = comm_obj(comm);
+    if (Err e = check_rank(*c, dest, true, false); !ok(e)) return e;
+    if (Err e = check_tag(tag, false); !ok(e)) return e;
+    if (Err e = check_count(count); !ok(e)) return e;
+    if (Err e = check_buffer(buf, count); !ok(e)) return e;
+    if (Err e = check_datatype(dt); !ok(e)) return e;
+  }
+  SendParams p{.buf = buf,
+               .count = count,
+               .dt = dt,
+               .dest = dest,
+               .tag = tag,
+               .comm = comm,
+               .noreq = true};
+  return device_isend(p, nullptr);
+}
+
+Err Engine::comm_waitall(Comm comm) {
+  CommObject* c = comm_obj(comm);
+  if (c == nullptr) return Err::Comm;
+  progress();  // flush the device send queue even if nothing is outstanding
+  rt::Backoff backoff;
+  while (c->noreq_outstanding != 0) {
+    progress();
+    if (c->noreq_outstanding != 0) backoff.pause();
+  }
+  return Err::Success;
+}
+
+Err Engine::isend_nomatch(const void* buf, int count, Datatype dt, Rank dest, Comm comm,
+                          Request* req) {
+  if (!cfg_.ipo) {
+    cost::charge(cost::Category::FunctionCall, cost::kCallEntry + cost::kCallPmpiAliasSend);
+  }
+  ThreadGate gate(thread_gate_, cfg_.thread_safety, cost::kThreadGatePt2pt);
+  if (cfg_.error_checking) {
+    if (Err e = check_comm(comm); !ok(e)) return e;
+    const CommObject* c = comm_obj(comm);
+    if (Err e = check_rank(*c, dest, true, false); !ok(e)) return e;
+    if (Err e = check_count(count); !ok(e)) return e;
+    if (Err e = check_buffer(buf, count); !ok(e)) return e;
+    if (Err e = check_datatype(dt); !ok(e)) return e;
+  }
+  SendParams p{.buf = buf,
+               .count = count,
+               .dt = dt,
+               .dest = dest,
+               .tag = 0,
+               .comm = comm,
+               .match_mode = rt::MatchMode::ArrivalOrder};
+  return device_isend(p, req);
+}
+
+Err Engine::irecv_nomatch(void* buf, int count, Datatype dt, Comm comm, Request* req) {
+  if (cfg_.error_checking) {
+    if (Err e = check_comm(comm); !ok(e)) return e;
+    if (Err e = check_count(count); !ok(e)) return e;
+    if (Err e = check_buffer(buf, count); !ok(e)) return e;
+    if (Err e = check_datatype(dt); !ok(e)) return e;
+  }
+  return post_recv_common(buf, count, dt, kAnySource, kAnyTag, comm,
+                          rt::MatchMode::ArrivalOrder, false, req);
+}
+
+// All proposals combined: the 16-instruction minimal path. `comm` must be a
+// predefined handle (its slot index is a compile-time constant in the
+// proposal, making the lookup a global-array load); `world_dest` is a stored
+// MPI_COMM_WORLD rank; there is no PROC_NULL handling, no per-op request, and
+// no source/tag match bits.
+Err Engine::isend_all_opts(const void* buf, int count, Datatype dt, Rank world_dest,
+                           Comm comm) {
+  CommObject& c = comms_[handle_payload(comm)];  // global-array slot load
+  cost::charge(cost::Reason::ObjectDeref, cost::kAllOptsCtxLoad);
+  cost::charge(cost::Reason::RankTranslation, cost::kAllOptsAddrLoad);
+  cost::charge(cost::Reason::Residual, cost::kAllOptsLocality);
+
+  const std::size_t bytes = dt::packed_size(types_, count, dt);
+  if (bytes > eager_threshold_) {
+    // Large messages leave the minimal path and ride the standard rendezvous.
+    SendParams p{.buf = buf,
+                 .count = count,
+                 .dt = dt,
+                 .dest = world_dest,
+                 .tag = 0,
+                 .comm = comm,
+                 .dest_is_world = true,
+                 .skip_proc_null_check = true,
+                 .noreq = true,
+                 .match_mode = rt::MatchMode::ArrivalOrder};
+    return device_isend(p, nullptr);
+  }
+
+  cost::charge(cost::Reason::RequestManagement, cost::kAllOptsCounter);
+  rt::Packet* pkt = rt::PacketPool::alloc();
+  pkt->hdr.kind = rt::PacketKind::Eager;
+  pkt->hdr.match_mode = rt::MatchMode::ArrivalOrder;
+  pkt->hdr.ctx = c.ctx;
+  pkt->hdr.src_comm_rank = c.rank;
+  pkt->hdr.src_world = self_;
+  pkt->hdr.tag = 0;
+  pkt->hdr.total_bytes = bytes;
+  if (types_.is_contiguous(dt)) {
+    pkt->set_payload(buf, bytes);
+  } else {
+    pkt->payload.resize(bytes);
+    dt::pack(types_, buf, count, dt, pkt->payload.data());
+  }
+  cost::charge(cost::Reason::Residual, cost::kAllOptsInject);
+  ++sends_issued_;
+  fabric_.inject(self_, world_dest, pkt);
+  return Err::Success;
+}
+
+// ---------------------------------------------------------------------------
+// Device dispatch and the shared issue path
+// ---------------------------------------------------------------------------
+
+Err Engine::device_isend(const SendParams& p, Request* req) {
+  return device_ == DeviceKind::Ch4 ? ch4_isend(p, req) : orig_isend(p, req);
+}
+
+Err Engine::ch4_isend(const SendParams& p, Request* req) {
+  // Communicator object lookup. Dynamically created communicators cost a
+  // dereference; predefined slots are a global-array load (Section 3.3).
+  CommObject* c = comm_obj(p.comm);
+  if (c == nullptr) return Err::Comm;
+  cost::charge(cost::Reason::ObjectDeref,
+               c->predefined_slot ? cost::kMandObjectSlotLoad : cost::kMandObjectDeref);
+  if (!cfg_.ipo) cost::charge(cost::Category::RedundantChecks, cost::kRedundantCommAttrs);
+
+  if (!p.skip_proc_null_check) {
+    cost::charge(cost::Reason::ProcNullCheck, cost::kMandProcNull);
+    if (p.dest == kProcNull) {
+      if (req != nullptr && !p.noreq) {
+        Request r = alloc_request(RequestSlot::Kind::SendEager);
+        req_slot(r)->complete = true;
+        *req = r;
+      } else if (req != nullptr) {
+        *req = kRequestNull;
+      }
+      return Err::Success;
+    }
+  }
+
+  Rank dst_world;
+  if (p.dest_is_world) {
+    cost::charge(cost::Reason::RankTranslation, cost::kMandRankGlobalLoad);
+    dst_world = p.dest;
+  } else {
+    dst_world = c->map.to_world(p.dest);  // charges per representation
+  }
+
+  // ch4-core locality selection: self / shmmod / netmod.
+  cost::charge(cost::Reason::Residual, cost::kMandLocalitySelect);
+
+  return issue_send(p, *c, dst_world, req);
+}
+
+Err Engine::issue_send(const SendParams& p, const CommObject& c, Rank dst_world,
+                       Request* req) {
+  // Simulated-CPU mode: execute the modeled software path length as time.
+  rt::spin_for_ns(sim_send_ns_);
+  // Datatype resolution: real work either way; the modeled charge is the
+  // "redundant runtime check" that link-time inlining folds away for
+  // compile-time-constant datatypes.
+  const std::size_t bytes = dt::packed_size(types_, p.count, p.dt);
+  if (!cfg_.ipo) {
+    cost::charge(cost::Category::RedundantChecks, cost::kRedundantDatatypeResolve);
+    cost::charge(cost::Category::RedundantChecks, cost::kRedundantGenericCompletion);
+  }
+
+  // Match-bit construction. A communicator carrying the Section-3.6 info
+  // hint drops source/tag bits like _NOMATCH, but pays the hint-lookup
+  // branch the paper's alternative-design discussion predicts.
+  rt::MatchMode match_mode = p.match_mode;
+  if (match_mode == rt::MatchMode::Full && c.hint_arrival_order && !p.coll_plane) {
+    cost::charge(cost::Reason::MatchBits, cost::kMandHintBranch);
+    match_mode = rt::MatchMode::ArrivalOrder;
+  }
+  cost::charge(cost::Reason::MatchBits, match_mode == rt::MatchMode::Full
+                                            ? cost::kMandMatchBits
+                                            : cost::kMandMatchCtxLoad);
+
+  const std::uint32_t ctx = c.ctx + (p.coll_plane ? 1u : 0u);
+  const bool eager = bytes <= eager_threshold_;
+
+  Request r = kRequestNull;
+  RequestSlot* slot = nullptr;
+  if (!p.noreq) {
+    cost::charge(cost::Reason::RequestManagement, cost::kMandRequestAlloc);
+    r = alloc_request(eager ? RequestSlot::Kind::SendEager : RequestSlot::Kind::SendRdv);
+    slot = req_slot(r);
+  } else {
+    cost::charge(cost::Reason::RequestManagement, cost::kMandCompletionCounter);
+  }
+
+  if (eager) {
+    rt::Packet* pkt = rt::PacketPool::alloc();
+    pkt->hdr.kind = rt::PacketKind::Eager;
+    pkt->hdr.match_mode = match_mode;
+    pkt->hdr.ctx = ctx;
+    pkt->hdr.src_comm_rank = c.rank;
+    pkt->hdr.src_world = self_;
+    pkt->hdr.tag = p.tag;
+    pkt->hdr.total_bytes = bytes;
+    if (types_.is_contiguous(p.dt)) {
+      pkt->set_payload(p.buf, bytes);
+    } else {
+      pkt->payload.resize(bytes);
+      dt::pack(types_, p.buf, p.count, p.dt, pkt->payload.data());
+    }
+    cost::charge(cost::Reason::Residual, cost::kMandInjectResidual);
+    inject_or_queue(dst_world, pkt);
+    if (slot != nullptr) {
+      slot->complete = true;  // eager sends complete locally on buffering
+    }
+  } else {
+    // Rendezvous: we track the origin side with a request even for _NOREQ
+    // sends (hidden from the user; completed in bulk by comm_waitall).
+    if (slot == nullptr) {
+      r = alloc_request(RequestSlot::Kind::SendRdv);
+      slot = req_slot(r);
+      slot->noreq = true;
+      comm_obj(p.comm)->noreq_outstanding += 1;
+    }
+    slot->sbuf = p.buf;
+    slot->scount = p.count;
+    slot->sdt = p.dt;
+    slot->dst_world = dst_world;
+    slot->comm = p.comm;
+    slot->bytes_expected = bytes;
+
+    rt::Packet* rts = rt::PacketPool::alloc();
+    rts->hdr.kind = rt::PacketKind::Rts;
+    rts->hdr.match_mode = match_mode;
+    rts->hdr.ctx = ctx;
+    rts->hdr.src_comm_rank = c.rank;
+    rts->hdr.src_world = self_;
+    rts->hdr.tag = p.tag;
+    rts->hdr.total_bytes = bytes;
+    rts->hdr.origin_req = r;
+    cost::charge(cost::Reason::Residual, cost::kMandInjectResidual);
+    inject_or_queue(dst_world, rts);
+  }
+
+  ++sends_issued_;
+  if (req != nullptr) *req = p.noreq ? kRequestNull : r;
+  return Err::Success;
+}
+
+void Engine::inject_or_queue(Rank dst_world, rt::Packet* pkt) {
+  if (device_ == DeviceKind::Orig) {
+    // CH3-style software send queue: the operation is staged and issued by
+    // the progress engine, costing an extra queue transit.
+    send_queue_.push_back(QueuedSend{pkt, dst_world});
+  } else {
+    fabric_.inject(self_, dst_world, pkt);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Receive posting
+// ---------------------------------------------------------------------------
+
+Err Engine::post_recv_common(void* buf, int count, Datatype dt, Rank src, Tag tag, Comm comm,
+                             rt::MatchMode mode, bool coll_plane, Request* req) {
+  CommObject* c = comm_obj(comm);
+  if (c == nullptr) return Err::Comm;
+  if (req == nullptr) return Err::Request;
+
+  Request r = alloc_request(RequestSlot::Kind::Recv);
+  RequestSlot* slot = req_slot(r);
+  slot->rbuf = buf;
+  slot->rcount = count;
+  slot->rdt = dt;
+  slot->bytes_expected = dt::packed_size(types_, count, dt);
+
+  if (src == kProcNull) {
+    slot->complete = true;
+    slot->status.source = kProcNull;
+    slot->status.tag = kAnyTag;
+    slot->status.byte_count = 0;
+    *req = r;
+    return Err::Success;
+  }
+
+  match::PostedRecv pr;
+  pr.ctx = c->ctx + (coll_plane ? 1u : 0u);
+  pr.src = src;
+  pr.tag = tag;
+  pr.mode = mode;
+  pr.buf = buf;
+  pr.count = count;
+  pr.dt = dt;
+  pr.req = r;
+
+  if (auto pkt = matcher_.post(pr)) deliver_match(pr, *pkt);
+  *req = r;
+  return Err::Success;
+}
+
+}  // namespace lwmpi

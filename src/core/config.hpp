@@ -1,0 +1,46 @@
+// Build-matrix configuration for the MPI stack.
+//
+// The paper's Figure 2 sweeps MPICH builds: default, no error checking, no
+// thread-safety check, and link-time-inlined (ipo). We model the same matrix
+// as a runtime configuration: a disabled feature skips both its real work and
+// its modeled instruction charge, and "ipo" suppresses the modeled
+// function-call and redundant-runtime-check overheads (the C++ fast path is
+// already physically inlined).
+#pragma once
+
+#include <string>
+
+namespace lwmpi {
+
+enum class DeviceKind {
+  Ch4,   // the paper's contribution: flow-through lightweight device
+  Orig,  // CH3-style layered baseline ("MPICH/Original")
+};
+
+struct BuildConfig {
+  bool error_checking = true;  // argument/object validation
+  bool thread_safety = true;   // runtime thread gate
+  bool ipo = false;            // link-time inlining of the MPI entry points
+
+  static BuildConfig dflt() { return {}; }
+  static BuildConfig no_err() { return {.error_checking = false}; }
+  static BuildConfig no_err_single() {
+    return {.error_checking = false, .thread_safety = false};
+  }
+  static BuildConfig no_err_single_ipo() {
+    return {.error_checking = false, .thread_safety = false, .ipo = true};
+  }
+
+  std::string label() const {
+    if (!error_checking && !thread_safety && ipo) return "no-err-single-ipo";
+    if (!error_checking && !thread_safety) return "no-err-single";
+    if (!error_checking) return "no-err";
+    return "default";
+  }
+};
+
+inline const char* to_string(DeviceKind d) {
+  return d == DeviceKind::Ch4 ? "mpich/ch4" : "mpich/original";
+}
+
+}  // namespace lwmpi

@@ -1,0 +1,472 @@
+// lwmpi::Engine -- the per-rank MPI-3.1-subset instance.
+//
+// One Engine exists per simulated MPI process (rank). The public methods are
+// the MPI API surface; internally an engine owns its communicator table,
+// datatype engine, matching engine, request pool, window table, and a
+// progress engine over the shared fabric.
+//
+// Two devices implement the data movement, selected per World:
+//   * DeviceKind::Ch4  -- the paper's lightweight flow-through device,
+//     including every Section-3 proposed extension (_GLOBAL, _VIRTUAL_ADDR,
+//     predefined comm handles, _NPN, _NOREQ + COMM_WAITALL, _NOMATCH,
+//     _ALL_OPTS).
+//   * DeviceKind::Orig -- a CH3-style layered baseline: every operation
+//     allocates a request and transits a software send queue, and RMA is
+//     implemented as active messages deferred to synchronization.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "comm/rankmap.hpp"
+#include "common/types.hpp"
+#include "core/config.hpp"
+#include "datatype/datatype.hpp"
+#include "match/match.hpp"
+#include "net/fabric.hpp"
+#include "runtime/packet.hpp"
+
+namespace lwmpi {
+
+class World;
+
+namespace rma {
+
+// Shared (cross-rank) window state: the simulated registered-memory view the
+// "NIC" can address directly. The direct-access path through this structure
+// is the in-process analog of RDMA.
+struct WindowGlobal {
+  struct Peer {
+    std::byte* base = nullptr;
+    std::size_t bytes = 0;
+    int disp_unit = 1;
+  };
+  std::uint32_t id = 0;
+  int nranks = 0;
+  std::vector<Peer> peers;                                  // by comm rank
+  std::vector<Rank> world_ranks;                            // by comm rank
+  std::vector<std::unique_ptr<std::shared_mutex>> rma_locks;  // passive-target (ch4)
+  std::vector<std::unique_ptr<std::mutex>> acc_locks;         // accumulate atomicity
+};
+
+}  // namespace rma
+
+class Engine {
+ public:
+  Engine(World& world, Rank world_rank);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- identity -------------------------------------------------------------
+  Rank world_rank() const noexcept { return self_; }
+  int world_size() const noexcept;
+  DeviceKind device() const noexcept { return device_; }
+  const BuildConfig& config() const noexcept { return cfg_; }
+  World& world() noexcept { return world_; }
+
+  // --- point-to-point ---------------------------------------------------------
+  Err isend(const void* buf, int count, Datatype dt, Rank dest, Tag tag, Comm comm,
+            Request* req);
+  Err irecv(void* buf, int count, Datatype dt, Rank src, Tag tag, Comm comm, Request* req);
+  Err send(const void* buf, int count, Datatype dt, Rank dest, Tag tag, Comm comm);
+  Err recv(void* buf, int count, Datatype dt, Rank src, Tag tag, Comm comm, Status* st);
+  Err sendrecv(const void* sbuf, int scount, Datatype sdt, Rank dest, Tag stag, void* rbuf,
+               int rcount, Datatype rdt, Rank src, Tag rtag, Comm comm, Status* st);
+  Err wait(Request* req, Status* st);
+  Err test(Request* req, bool* flag, Status* st);
+  Err waitall(std::span<Request> reqs, std::span<Status> sts);
+  // Completes exactly one request; *index receives its position (kUndefined
+  // if every entry is null). Null entries are skipped, as in MPI.
+  Err waitany(std::span<Request> reqs, int* index, Status* st);
+  Err testany(std::span<Request> reqs, int* index, bool* flag, Status* st);
+  Err testall(std::span<Request> reqs, bool* flag, std::span<Status> sts);
+  Err iprobe(Rank src, Tag tag, Comm comm, bool* flag, Status* st);
+  Err probe(Rank src, Tag tag, Comm comm, Status* st);
+  Err cancel(Request* req);
+
+  // --- persistent requests ---------------------------------------------------
+  // Bind the argument list once; `start` then re-issues the operation without
+  // re-validating or re-binding (MPI_SEND_INIT / MPI_RECV_INIT / MPI_START).
+  // A persistent request completes via wait/test like any other but stays
+  // allocated (inactive) until freed with request_free.
+  Err send_init(const void* buf, int count, Datatype dt, Rank dest, Tag tag, Comm comm,
+                Request* req);
+  Err recv_init(void* buf, int count, Datatype dt, Rank src, Tag tag, Comm comm,
+                Request* req);
+  Err start(Request* req);
+  Err startall(std::span<Request> reqs);
+  Err request_free(Request* req);
+
+  // --- Section 3 proposed extensions (ch4 device) -----------------------------
+  // 3.1: destination given as a *world* (MPI_COMM_WORLD) rank.
+  Err isend_global(const void* buf, int count, Datatype dt, Rank world_dest, Tag tag,
+                   Comm comm, Request* req);
+  // 3.4: destination guaranteed not MPI_PROC_NULL.
+  Err isend_npn(const void* buf, int count, Datatype dt, Rank dest, Tag tag, Comm comm,
+                Request* req);
+  // 3.5: no request returned; completed in bulk by comm_waitall.
+  Err isend_noreq(const void* buf, int count, Datatype dt, Rank dest, Tag tag, Comm comm);
+  Err comm_waitall(Comm comm);
+  // 3.6: no source/tag match bits; arrival-order delivery within the comm.
+  Err isend_nomatch(const void* buf, int count, Datatype dt, Rank dest, Comm comm,
+                    Request* req);
+  Err irecv_nomatch(void* buf, int count, Datatype dt, Comm comm, Request* req);
+  // 3.7: all proposals combined. `comm` must be a predefined handle
+  // (kComm1..kComm4) populated via comm_dup_predefined; dest is a world rank.
+  Err isend_all_opts(const void* buf, int count, Datatype dt, Rank world_dest, Comm comm);
+
+  // --- collectives -------------------------------------------------------------
+  Err barrier(Comm comm);
+  Err bcast(void* buf, int count, Datatype dt, Rank root, Comm comm);
+  Err reduce(const void* sbuf, void* rbuf, int count, Datatype dt, ReduceOp op, Rank root,
+             Comm comm);
+  Err allreduce(const void* sbuf, void* rbuf, int count, Datatype dt, ReduceOp op, Comm comm);
+  Err gather(const void* sbuf, int scount, Datatype sdt, void* rbuf, int rcount, Datatype rdt,
+             Rank root, Comm comm);
+  Err allgather(const void* sbuf, int scount, Datatype sdt, void* rbuf, int rcount,
+                Datatype rdt, Comm comm);
+  Err scatter(const void* sbuf, int scount, Datatype sdt, void* rbuf, int rcount, Datatype rdt,
+              Rank root, Comm comm);
+  Err alltoall(const void* sbuf, int scount, Datatype sdt, void* rbuf, int rcount, Datatype rdt,
+               Comm comm);
+  Err scan(const void* sbuf, void* rbuf, int count, Datatype dt, ReduceOp op, Comm comm);
+  // Variable-count collectives: recvcounts/displs are in elements of the
+  // receive datatype, indexed by comm rank (significant at the root for
+  // gatherv, everywhere for allgatherv).
+  Err gatherv(const void* sbuf, int scount, Datatype sdt, void* rbuf,
+              std::span<const int> rcounts, std::span<const int> displs, Datatype rdt,
+              Rank root, Comm comm);
+  Err allgatherv(const void* sbuf, int scount, Datatype sdt, void* rbuf,
+                 std::span<const int> rcounts, std::span<const int> displs, Datatype rdt,
+                 Comm comm);
+  Err scatterv(const void* sbuf, std::span<const int> scounts, std::span<const int> displs,
+               Datatype sdt, void* rbuf, int rcount, Datatype rdt, Rank root, Comm comm);
+  // Reduce then scatter equal blocks of `count` elements to each rank.
+  Err reduce_scatter_block(const void* sbuf, void* rbuf, int count, Datatype dt,
+                           ReduceOp op, Comm comm);
+
+  // --- communicator / group management ----------------------------------------
+  int rank(Comm comm) const;
+  int size(Comm comm) const;
+  bool comm_valid(Comm comm) const noexcept;
+  Err comm_dup(Comm comm, Comm* newcomm);
+  Err comm_split(Comm comm, int color, int key, Comm* newcomm);
+  Err comm_free(Comm* comm);
+  // Section 3.3 proposal: populate a *predefined* communicator handle.
+  Err comm_dup_predefined(Comm comm, Comm predefined);
+  // --- Cartesian process topologies --------------------------------------------
+  // MPI_CART_CREATE and friends: the canonical way the paper's stencil /
+  // halo-exchange applications derive their neighbours (including the
+  // MPI_PROC_NULL boundaries of Section 3.4).
+  Err cart_create(Comm comm, std::span<const int> dims, std::span<const bool> periods,
+                  bool reorder, Comm* cart);
+  Err cart_coords(Comm cart, Rank rank, std::span<int> coords) const;
+  Err cart_rank(Comm cart, std::span<const int> coords, Rank* rank) const;
+  // Source/dest for a shift along `dim` by `disp`; non-periodic edges yield
+  // kProcNull, as in MPI_CART_SHIFT.
+  Err cart_shift(Comm cart, int dim, int disp, Rank* source, Rank* dest) const;
+  Err cartdim_get(Comm cart, int* ndims) const;
+
+  // --- communicator info hints ---------------------------------------------
+  // Section 3.6 discusses an alternative to the _NOMATCH routines: an info
+  // hint asserting the application always receives with wildcards, letting
+  // the library drop source/tag match bits at the cost of an extra hint
+  // lookup branch on every operation. Key: "lwmpi_arrival_order" = "true".
+  Err comm_set_info(Comm comm, std::string_view key, std::string_view value);
+  Err comm_get_info(Comm comm, std::string_view key, std::string* value) const;
+
+  Err comm_group(Comm comm, Group* group);
+  Err group_size(Group g, int* size) const;
+  Err group_rank(Group g, int* rank) const;
+  Err group_incl(Group g, std::span<const int> ranks, Group* newgroup);
+  Err group_translate_ranks(Group g1, std::span<const int> ranks1, Group g2,
+                            std::span<int> ranks2) const;
+  Err group_free(Group* g);
+
+  // --- datatypes ----------------------------------------------------------------
+  Err type_contiguous(int count, Datatype oldtype, Datatype* newtype);
+  Err type_vector(int count, int blocklength, int stride, Datatype oldtype, Datatype* newtype);
+  Err type_indexed(std::span<const int> blocklengths, std::span<const int> displacements,
+                   Datatype oldtype, Datatype* newtype);
+  Err type_create_struct(std::span<const int> blocklengths,
+                         std::span<const std::int64_t> displacements,
+                         std::span<const Datatype> types, Datatype* newtype);
+  Err type_create_hvector(int count, int blocklength, std::int64_t stride_bytes,
+                          Datatype oldtype, Datatype* newtype);
+  Err type_create_hindexed(std::span<const int> blocklengths,
+                           std::span<const std::int64_t> displacements_bytes,
+                           Datatype oldtype, Datatype* newtype);
+  Err type_create_resized(Datatype oldtype, std::int64_t lb, std::int64_t extent,
+                          Datatype* newtype);
+  Err type_dup(Datatype oldtype, Datatype* newtype);
+  Err type_commit(Datatype* dt);
+  Err type_free(Datatype* dt);
+  Err type_size(Datatype dt, std::size_t* size) const;
+  Err type_get_extent(Datatype dt, std::int64_t* lb, std::int64_t* extent) const;
+  dt::TypeEngine& types() noexcept { return types_; }
+  const dt::TypeEngine& types() const noexcept { return types_; }
+
+  // --- one-sided ------------------------------------------------------------------
+  Err win_create(void* base, std::size_t bytes, int disp_unit, Comm comm, Win* win);
+  Err win_free(Win* win);
+  Err put(const void* origin, int origin_count, Datatype origin_dt, Rank target,
+          std::uint64_t target_disp, int target_count, Datatype target_dt, Win win);
+  Err get(void* origin, int origin_count, Datatype origin_dt, Rank target,
+          std::uint64_t target_disp, int target_count, Datatype target_dt, Win win);
+  Err accumulate(const void* origin, int count, Datatype dt, Rank target,
+                 std::uint64_t target_disp, ReduceOp op, Win win);
+  Err get_accumulate(const void* origin, int count, Datatype dt, void* result, Rank target,
+                     std::uint64_t target_disp, ReduceOp op, Win win);
+  // 3.2 proposal: target addressed by virtual address, valid for any window.
+  Err put_va(const void* origin, int origin_count, Datatype origin_dt, Rank target,
+             void* target_va, Win win);
+  Err win_fence(Win win);
+  Err win_lock(LockType type, Rank target, Win win);
+  Err win_unlock(Rank target, Win win);
+  Err win_lock_all(Win win);
+  Err win_unlock_all(Win win);
+  Err win_flush(Rank target, Win win);
+  Err win_flush_all(Win win);
+  // Generalized active-target synchronization (MPI_WIN_POST / START /
+  // COMPLETE / WAIT). `group` holds comm ranks of the window's communicator.
+  Err win_post(Group group, Win win);
+  Err win_start(Group group, Win win);
+  Err win_complete(Win win);
+  Err win_wait(Win win);
+  // Translate a (target, disp) pair to the target's virtual address (setup
+  // path for put_va users).
+  Err win_target_address(Rank target, std::uint64_t target_disp, Win win, void** addr) const;
+
+  // --- progress ---------------------------------------------------------------------
+  // Advance the communication engine: drain the orig-device send queue, poll
+  // the fabric, match/complete messages, service RMA active messages.
+  void progress();
+
+  // Diagnostics for tests/benches.
+  std::size_t live_requests() const noexcept { return live_requests_; }
+  std::size_t posted_depth() const noexcept { return matcher_.posted_depth(); }
+  std::size_t unexpected_depth() const noexcept { return matcher_.unexpected_depth(); }
+  std::uint64_t sends_issued() const noexcept { return sends_issued_; }
+
+ private:
+  friend class World;
+
+  // ---- internal structures ----
+  struct CartTopo {
+    std::vector<int> dims;
+    std::vector<std::uint8_t> periods;
+  };
+
+  struct CommObject {
+    bool in_use = false;
+    bool predefined_slot = false;
+    std::uint32_t ctx = 0;  // pt2pt context; collectives use ctx + 1
+    Rank rank = 0;          // my rank within the comm
+    comm::RankMap map;
+    std::uint32_t noreq_outstanding = 0;  // _NOREQ bulk-completion counter
+    std::optional<CartTopo> cart;         // set for Cartesian communicators
+    std::vector<std::pair<std::string, std::string>> info;  // info hints
+    bool hint_arrival_order = false;  // cached "lwmpi_arrival_order" hint
+  };
+
+  struct RequestSlot {
+    enum class Kind : std::uint8_t {
+      None,
+      SendEager,
+      SendRdv,
+      Recv,
+      RecvRdv,
+      PersistentSend,
+      PersistentRecv,
+    };
+    Kind kind = Kind::None;
+    bool active = false;
+    bool complete = false;
+    Err op_error = Err::Success;
+    Status status;
+    // send state (rendezvous)
+    const void* sbuf = nullptr;
+    int scount = 0;
+    Datatype sdt = kDatatypeNull;
+    Rank dst_world = 0;
+    Comm comm = kCommNull;  // for _NOREQ accounting on rdv completion
+    bool noreq = false;
+    // recv state
+    void* rbuf = nullptr;
+    int rcount = 0;
+    Datatype rdt = kDatatypeNull;
+    std::uint64_t bytes_expected = 0;
+    std::uint64_t bytes_received = 0;
+    std::vector<std::byte> stage;  // rendezvous staging for noncontiguous recv
+    bool stage_used = false;
+    // persistent-request state: bound arguments + the in-flight inner request
+    Rank bound_peer = kProcNull;
+    Tag bound_tag = 0;
+    Request inner = kRequestNull;
+  };
+
+  struct WindowLocal {
+    bool in_use = false;
+    std::shared_ptr<rma::WindowGlobal> global;
+    Comm comm = kCommNull;
+    enum class Epoch : std::uint8_t { None, Fence, Lock, LockAll, Pscw } epoch = Epoch::None;
+    std::vector<std::uint8_t> lock_held;  // per target comm rank
+    std::uint32_t outstanding_acks = 0;   // AM ops awaiting remote completion
+    // Orig device: operations deferred until synchronization.
+    struct PendingOp {
+      enum class Kind : std::uint8_t { Put, Get, Acc, GetAcc } kind = Kind::Put;
+      Rank target = 0;
+      std::uint64_t disp = 0;
+      std::vector<std::byte> data;  // packed origin data (Put/Acc/GetAcc)
+      int target_count = 0;
+      Datatype target_dt = kDatatypeNull;
+      ReduceOp op = ReduceOp::Replace;
+      void* result = nullptr;  // Get/GetAcc destination
+      int result_count = 0;
+      Datatype result_dt = kDatatypeNull;
+    };
+    std::vector<PendingOp> pending;
+    // Target-side passive lock manager (orig device AM path).
+    bool excl_held = false;
+    int shared_count = 0;
+    struct LockWaiter {
+      Rank origin_world = 0;
+      LockType type = LockType::Shared;
+    };
+    std::deque<LockWaiter> lock_waiters;
+    // PSCW state: monotone token counters plus the current epoch's groups.
+    std::uint32_t pscw_posts_seen = 0;      // AmPscwPost tokens received
+    std::uint32_t pscw_completes_seen = 0;  // AmPscwComplete tokens received
+    std::vector<Rank> pscw_access_group;    // targets of my access epoch
+    std::vector<Rank> pscw_exposure_group;  // origins of my exposure epoch
+  };
+
+  // Orig-device software send queue entry.
+  struct QueuedSend {
+    rt::Packet* pkt = nullptr;
+    Rank dst_world = 0;
+  };
+
+  // ---- validation helpers (error-checking build feature) ----
+  Err check_comm(Comm comm) const noexcept;
+  Err check_win(Win win) const noexcept;
+  Err check_rank(const CommObject& c, Rank r, bool allow_proc_null, bool allow_any) const noexcept;
+  Err check_tag(Tag t, bool allow_any) const noexcept;
+  Err check_count(int count) const noexcept;
+  Err check_buffer(const void* buf, int count) const noexcept;
+  Err check_datatype(Datatype dt) const noexcept;
+
+  // ---- comm table ----
+  CommObject* comm_obj(Comm comm) noexcept;
+  const CommObject* comm_obj(Comm comm) const noexcept;
+  Comm alloc_comm_slot();
+  void init_world_comms();
+  Err build_comm(Comm slot_handle, std::vector<Rank> world_ranks, std::uint32_t ctx);
+
+  // ---- request pool ----
+  Request alloc_request(RequestSlot::Kind kind);
+  RequestSlot* req_slot(Request r) noexcept;
+  void release_request(Request r) noexcept;
+  // Completion check that sees through persistent handles to their inner
+  // operation (used by waitany/testany/testall).
+  bool slot_ready(const RequestSlot& s) noexcept;
+
+  // ---- device paths (implemented in ch4_pt2pt.cpp / orig_device.cpp) ----
+  struct SendParams {
+    const void* buf;
+    int count;
+    Datatype dt;
+    Rank dest;  // comm rank, or world rank for _GLOBAL paths
+    Tag tag;
+    Comm comm;
+    bool dest_is_world = false;
+    bool skip_proc_null_check = false;
+    bool noreq = false;
+    bool coll_plane = false;  // use the communicator's collective context
+    rt::MatchMode match_mode = rt::MatchMode::Full;
+  };
+  Err ch4_isend(const SendParams& p, Request* req);
+  Err orig_isend(const SendParams& p, Request* req);
+  Err device_isend(const SendParams& p, Request* req);
+  Err post_recv_common(void* buf, int count, Datatype dt, Rank src, Tag tag, Comm comm,
+                       rt::MatchMode mode, bool coll_plane, Request* req);
+
+  // Build and transmit an eager packet / rendezvous RTS for `p`; shared by
+  // both devices (orig queues, ch4 injects inline).
+  Err issue_send(const SendParams& p, const CommObject& c, Rank dst_world, Request* req);
+  void inject_or_queue(Rank dst_world, rt::Packet* pkt);
+
+  // Deliver a matched first packet (eager payload or RTS handshake).
+  void deliver_match(const match::PostedRecv& r, rt::Packet* pkt);
+
+  // ---- progress internals (progress.cpp) ----
+  void handle_packet(rt::Packet* pkt);
+  void handle_rdv_cts(rt::Packet* pkt);
+  void handle_rdv_data(rt::Packet* pkt);
+  void handle_am(rt::Packet* pkt);
+  void drain_send_queue();
+  void complete_recv_from_eager(RequestSlot& slot, rt::Packet* pkt);
+  void start_rendezvous_recv(RequestSlot& slot, Request req_handle, rt::Packet* rts);
+
+  // ---- RMA internals (rma.cpp) ----
+  WindowLocal* win_obj(Win win) noexcept;
+  const WindowLocal* win_obj(Win win) const noexcept;
+  Err rma_direct_put(WindowLocal& w, const void* origin, int ocount, Datatype odt, Rank target,
+                     std::uint64_t target_disp, int tcount, Datatype tdt);
+  Err rma_am_put(WindowLocal& w, Win win, const void* origin, int ocount, Datatype odt,
+                 Rank target, std::uint64_t target_disp, int tcount, Datatype tdt);
+  Err rma_wait_acks(WindowLocal& w, std::uint32_t until);
+  Err orig_flush_pending(WindowLocal& w, Win win, Rank target /* -1 = all */);
+  Err rma_check_epoch(const WindowLocal& w, Rank target) const noexcept;
+  void send_am_ack(Rank origin_world, std::uint32_t origin_req, std::uint32_t win_id);
+
+  // ---- collective internals (coll.cpp) ----
+  // Rabenseifner large-message allreduce (allreduce_large.cpp); requires
+  // power-of-two size and rbuf preloaded with the local contribution.
+  Err allreduce_rabenseifner(void* rbuf, int count, Datatype dt, ReduceOp op, Comm comm);
+  Err coll_send(const void* buf, int count, Datatype dt, Rank dest, Tag tag, Comm comm);
+  Err coll_recv(void* buf, int count, Datatype dt, Rank src, Tag tag, Comm comm, Status* st);
+  Err coll_isend(const void* buf, int count, Datatype dt, Rank dest, Tag tag, Comm comm,
+                 Request* req);
+  Err coll_irecv(void* buf, int count, Datatype dt, Rank src, Tag tag, Comm comm,
+                 Request* req);
+
+  // ---- state ----
+  World& world_;
+  net::Fabric& fabric_;
+  const Rank self_;
+  const DeviceKind device_;
+  const BuildConfig cfg_;
+  const std::size_t eager_threshold_;
+  // Simulated software time per operation (modeled instructions x the
+  // world's ns-per-instruction knob); zero disables the spins.
+  std::uint64_t sim_send_ns_ = 0;
+  std::uint64_t sim_recv_ns_ = 0;
+  std::uint64_t sim_put_ns_ = 0;
+
+  mutable std::recursive_mutex thread_gate_;
+
+  dt::TypeEngine types_;
+  match::MatchEngine matcher_;
+  std::vector<CommObject> comms_;
+  std::vector<std::optional<std::vector<Rank>>> groups_;
+  std::vector<RequestSlot> requests_;
+  std::vector<std::uint32_t> free_requests_;
+  std::size_t live_requests_ = 0;
+  std::vector<WindowLocal> windows_;          // indexed by local win slot
+  std::deque<QueuedSend> send_queue_;         // orig device
+  std::uint64_t sends_issued_ = 0;
+};
+
+}  // namespace lwmpi

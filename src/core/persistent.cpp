@@ -1,0 +1,123 @@
+// Persistent communication requests (MPI_SEND_INIT / MPI_RECV_INIT /
+// MPI_START / MPI_REQUEST_FREE).
+//
+// A persistent request validates and binds its argument list once; each
+// MPI_START re-issues the bound operation through the device without
+// re-walking the MPI-layer checks -- the classic amortization for iterative
+// codes (the paper's stencil/Nek use case), complementary to the Section-3
+// proposals.
+#include "core/engine.hpp"
+#include "runtime/world.hpp"
+
+namespace lwmpi {
+
+Err Engine::send_init(const void* buf, int count, Datatype dt, Rank dest, Tag tag,
+                      Comm comm, Request* req) {
+  if (req == nullptr) return Err::Request;
+  if (cfg_.error_checking) {
+    if (Err e = check_comm(comm); !ok(e)) return e;
+    const CommObject* c = comm_obj(comm);
+    if (Err e = check_rank(*c, dest, true, false); !ok(e)) return e;
+    if (Err e = check_tag(tag, false); !ok(e)) return e;
+    if (Err e = check_count(count); !ok(e)) return e;
+    if (Err e = check_buffer(buf, count); !ok(e)) return e;
+    if (Err e = check_datatype(dt); !ok(e)) return e;
+  }
+  if (comm_obj(comm) == nullptr) return Err::Comm;
+  const Request r = alloc_request(RequestSlot::Kind::PersistentSend);
+  RequestSlot* s = req_slot(r);
+  s->sbuf = buf;
+  s->scount = count;
+  s->sdt = dt;
+  s->bound_peer = dest;
+  s->bound_tag = tag;
+  s->comm = comm;
+  *req = r;
+  return Err::Success;
+}
+
+Err Engine::recv_init(void* buf, int count, Datatype dt, Rank src, Tag tag, Comm comm,
+                      Request* req) {
+  if (req == nullptr) return Err::Request;
+  if (cfg_.error_checking) {
+    if (Err e = check_comm(comm); !ok(e)) return e;
+    const CommObject* c = comm_obj(comm);
+    if (Err e = check_rank(*c, src, true, true); !ok(e)) return e;
+    if (Err e = check_tag(tag, true); !ok(e)) return e;
+    if (Err e = check_count(count); !ok(e)) return e;
+    if (Err e = check_buffer(buf, count); !ok(e)) return e;
+    if (Err e = check_datatype(dt); !ok(e)) return e;
+  }
+  if (comm_obj(comm) == nullptr) return Err::Comm;
+  const Request r = alloc_request(RequestSlot::Kind::PersistentRecv);
+  RequestSlot* s = req_slot(r);
+  s->rbuf = buf;
+  s->rcount = count;
+  s->rdt = dt;
+  s->bound_peer = src;
+  s->bound_tag = tag;
+  s->comm = comm;
+  *req = r;
+  return Err::Success;
+}
+
+Err Engine::start(Request* req) {
+  if (req == nullptr) return Err::Request;
+  RequestSlot* s = req_slot(*req);
+  if (s == nullptr) return Err::Request;
+  if (s->kind != RequestSlot::Kind::PersistentSend &&
+      s->kind != RequestSlot::Kind::PersistentRecv) {
+    return Err::Request;
+  }
+  if (s->inner != kRequestNull) return Err::Pending;  // previous start not reaped
+
+  Request inner = kRequestNull;
+  Err e;
+  if (s->kind == RequestSlot::Kind::PersistentSend) {
+    SendParams p{.buf = s->sbuf,
+                 .count = s->scount,
+                 .dt = s->sdt,
+                 .dest = s->bound_peer,
+                 .tag = s->bound_tag,
+                 .comm = s->comm};
+    e = device_isend(p, &inner);
+  } else {
+    e = post_recv_common(s->rbuf, s->rcount, s->rdt, s->bound_peer, s->bound_tag, s->comm,
+                         rt::MatchMode::Full, false, &inner);
+  }
+  if (!ok(e)) return e;
+  // Re-fetch: issuing the inner operation may grow the request pool and move
+  // the slot storage.
+  s = req_slot(*req);
+  s->inner = inner;
+  return Err::Success;
+}
+
+Err Engine::startall(std::span<Request> reqs) {
+  for (Request& r : reqs) {
+    if (Err e = start(&r); !ok(e)) return e;
+  }
+  return Err::Success;
+}
+
+Err Engine::request_free(Request* req) {
+  if (req == nullptr) return Err::Request;
+  RequestSlot* s = req_slot(*req);
+  if (s == nullptr) return Err::Request;
+  if (s->kind != RequestSlot::Kind::PersistentSend &&
+      s->kind != RequestSlot::Kind::PersistentRecv) {
+    return Err::Request;  // plain requests are reaped by wait/test
+  }
+  if (s->inner != kRequestNull) {
+    // Reap the in-flight operation first (MPI permits freeing active
+    // requests; we complete it to keep buffer lifetimes obvious).
+    if (Err e = wait(&s->inner, nullptr); !ok(e)) return e;
+    s = req_slot(*req);
+    s->inner = kRequestNull;
+  }
+  release_request(*req);
+  *req = kRequestNull;
+  return Err::Success;
+}
+
+}  // namespace lwmpi

@@ -1,0 +1,180 @@
+// Progress engine: drains the device send queue, polls the fabric, routes
+// packets through matching, and runs the rendezvous protocol state machine.
+#include <algorithm>
+#include <cstring>
+
+#include "core/engine.hpp"
+#include "runtime/backoff.hpp"
+#include "runtime/world.hpp"
+
+namespace lwmpi {
+
+namespace {
+// Rendezvous payload segment size. Large messages are streamed in segments so
+// the receiver can overlap unpacking with delivery (and so the protocol state
+// machine is exercised by more than one packet).
+constexpr std::size_t kRdvSegmentBytes = 256 * 1024;
+}  // namespace
+
+void Engine::progress() {
+  drain_send_queue();
+  while (rt::Packet* pkt = fabric_.poll(self_)) handle_packet(pkt);
+  drain_send_queue();  // flush replies generated while handling packets
+}
+
+void Engine::handle_packet(rt::Packet* pkt) {
+  switch (pkt->hdr.kind) {
+    case rt::PacketKind::Eager:
+    case rt::PacketKind::Rts:
+      // Simulated-CPU mode: receive-side device path length as time.
+      rt::spin_for_ns(sim_recv_ns_);
+      if (auto pr = matcher_.arrive(pkt)) {
+        deliver_match(*pr, pkt);
+      }
+      // else: retained on the unexpected queue; ownership transferred.
+      return;
+    case rt::PacketKind::Cts:
+      handle_rdv_cts(pkt);
+      return;
+    case rt::PacketKind::RdvData:
+      handle_rdv_data(pkt);
+      return;
+    case rt::PacketKind::Barrier:
+      rt::PacketPool::free(pkt);
+      return;
+    default:
+      handle_am(pkt);
+      return;
+  }
+}
+
+void Engine::deliver_match(const match::PostedRecv& r, rt::Packet* pkt) {
+  RequestSlot* slot = req_slot(r.req);
+  if (slot == nullptr) {  // cancelled in the meantime; drop the payload
+    rt::PacketPool::free(pkt);
+    return;
+  }
+  if (pkt->hdr.kind == rt::PacketKind::Eager) {
+    complete_recv_from_eager(*slot, pkt);
+  } else {
+    start_rendezvous_recv(*slot, r.req, pkt);
+  }
+}
+
+void Engine::complete_recv_from_eager(RequestSlot& slot, rt::Packet* pkt) {
+  const std::uint64_t total = pkt->hdr.total_bytes;
+  const std::uint64_t capacity = dt::packed_size(types_, slot.rcount, slot.rdt);
+  const std::uint64_t take = std::min(total, capacity);
+  if (total > capacity) slot.op_error = Err::Truncate;
+  if (take != 0) {
+    dt::unpack(types_, pkt->payload.data(), take, slot.rbuf, slot.rcount, slot.rdt);
+  }
+  slot.status.source = pkt->hdr.src_comm_rank;
+  slot.status.tag = pkt->hdr.tag;
+  slot.status.byte_count = take;
+  slot.status.error = slot.op_error;
+  slot.complete = true;
+  rt::PacketPool::free(pkt);
+}
+
+void Engine::start_rendezvous_recv(RequestSlot& slot, Request req_handle, rt::Packet* rts) {
+  slot.kind = RequestSlot::Kind::RecvRdv;
+  const std::uint64_t total = rts->hdr.total_bytes;
+  const std::uint64_t capacity = dt::packed_size(types_, slot.rcount, slot.rdt);
+  if (total > capacity) slot.op_error = Err::Truncate;
+  slot.status.source = rts->hdr.src_comm_rank;
+  slot.status.tag = rts->hdr.tag;
+  // Contiguous receives that fit stream straight into the user buffer;
+  // noncontiguous or truncated receives stage and unpack on completion.
+  slot.stage_used = !types_.is_contiguous(slot.rdt) || total > capacity;
+  if (slot.stage_used) slot.stage.resize(total);
+  slot.bytes_expected = total;
+  slot.bytes_received = 0;
+
+  rt::Packet* cts = rt::PacketPool::alloc();
+  cts->hdr.kind = rt::PacketKind::Cts;
+  cts->hdr.src_world = self_;
+  cts->hdr.origin_req = rts->hdr.origin_req;
+  cts->hdr.target_req = req_handle;
+  fabric_.inject(self_, rts->hdr.src_world, cts);
+  rt::PacketPool::free(rts);
+}
+
+void Engine::handle_rdv_cts(rt::Packet* pkt) {
+  RequestSlot* slot = req_slot(pkt->hdr.origin_req);
+  if (slot == nullptr || slot->kind != RequestSlot::Kind::SendRdv) {
+    rt::PacketPool::free(pkt);
+    return;
+  }
+  const Rank dst = pkt->hdr.src_world;
+  const std::uint32_t target_req = pkt->hdr.target_req;
+  const std::uint64_t total = slot->bytes_expected;
+
+  // Source view: contiguous streams from the user buffer, noncontiguous
+  // packs once and streams from the staging copy.
+  std::vector<std::byte> packed;
+  const std::byte* src = nullptr;
+  if (types_.is_contiguous(slot->sdt)) {
+    src = static_cast<const std::byte*>(slot->sbuf);
+  } else {
+    packed.resize(total);
+    dt::pack(types_, slot->sbuf, slot->scount, slot->sdt, packed.data());
+    src = packed.data();
+  }
+
+  std::uint64_t offset = 0;
+  do {
+    const std::uint64_t n = std::min<std::uint64_t>(kRdvSegmentBytes, total - offset);
+    rt::Packet* d = rt::PacketPool::alloc();
+    d->hdr.kind = rt::PacketKind::RdvData;
+    d->hdr.src_world = self_;
+    d->hdr.target_req = target_req;
+    d->hdr.offset = offset;
+    d->hdr.total_bytes = total;
+    d->set_payload(src + offset, n);
+    fabric_.inject(self_, dst, d);
+    offset += n;
+  } while (offset < total);
+
+  // Origin-side completion: the data is out of the user buffer.
+  if (slot->noreq) {
+    if (CommObject* c = comm_obj(slot->comm)) {
+      c->noreq_outstanding -= 1;
+    }
+    release_request(pkt->hdr.origin_req);
+  } else {
+    slot->complete = true;
+  }
+  rt::PacketPool::free(pkt);
+}
+
+void Engine::handle_rdv_data(rt::Packet* pkt) {
+  RequestSlot* slot = req_slot(pkt->hdr.target_req);
+  if (slot == nullptr || slot->kind != RequestSlot::Kind::RecvRdv) {
+    rt::PacketPool::free(pkt);
+    return;
+  }
+  const std::size_t n = pkt->payload.size();
+  if (slot->stage_used) {
+    std::memcpy(slot->stage.data() + pkt->hdr.offset, pkt->payload.data(), n);
+  } else {
+    std::memcpy(static_cast<std::byte*>(slot->rbuf) + pkt->hdr.offset, pkt->payload.data(),
+                n);
+  }
+  slot->bytes_received += n;
+  if (slot->bytes_received >= slot->bytes_expected) {
+    const std::uint64_t capacity = dt::packed_size(types_, slot->rcount, slot->rdt);
+    const std::uint64_t take = std::min(slot->bytes_expected, capacity);
+    if (slot->stage_used && take != 0) {
+      dt::unpack(types_, slot->stage.data(), take, slot->rbuf, slot->rcount, slot->rdt);
+    }
+    slot->stage.clear();
+    slot->stage.shrink_to_fit();
+    slot->status.byte_count = take;
+    slot->status.error = slot->op_error;
+    slot->complete = true;
+  }
+  rt::PacketPool::free(pkt);
+}
+
+}  // namespace lwmpi

@@ -1,0 +1,37 @@
+#include "cost/meter.hpp"
+
+namespace lwmpi::cost {
+
+std::string_view to_string(Category c) noexcept {
+  switch (c) {
+    case Category::ErrorChecking: return "error-checking";
+    case Category::ThreadSafety: return "thread-safety";
+    case Category::FunctionCall: return "function-call";
+    case Category::RedundantChecks: return "redundant-runtime-checks";
+    case Category::Mandatory: return "mpi-mandatory";
+    case Category::kCount: break;
+  }
+  return "?";
+}
+
+std::string_view to_string(Reason r) noexcept {
+  switch (r) {
+    case Reason::None: return "none";
+    case Reason::RankTranslation: return "rank-translation(3.1)";
+    case Reason::VirtualAddressing: return "virtual-addressing(3.2)";
+    case Reason::ObjectDeref: return "object-deref(3.3)";
+    case Reason::ProcNullCheck: return "proc-null-check(3.4)";
+    case Reason::RequestManagement: return "request-management(3.5)";
+    case Reason::MatchBits: return "match-bits(3.6)";
+    case Reason::Residual: return "residual";
+    case Reason::kCount: break;
+  }
+  return "?";
+}
+
+Meter*& tl_meter() noexcept {
+  thread_local Meter* meter = nullptr;
+  return meter;
+}
+
+}  // namespace lwmpi::cost

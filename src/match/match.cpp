@@ -1,0 +1,65 @@
+#include "match/match.hpp"
+
+namespace lwmpi::match {
+
+MatchEngine::~MatchEngine() {
+  for (rt::Packet* p : unexpected_) rt::PacketPool::free(p);
+}
+
+bool MatchEngine::matches(const PostedRecv& r, const rt::PacketHeader& h) noexcept {
+  if (r.ctx != h.ctx) return false;
+  // Arrival-order (_NOMATCH) traffic only pairs with arrival-order receives,
+  // and vice versa; within the mode, context isolation is the only bit kept.
+  if (r.mode != h.match_mode) return false;
+  if (r.mode == rt::MatchMode::ArrivalOrder) return true;
+  if (r.src != kAnySource && r.src != h.src_comm_rank) return false;
+  if (r.tag != kAnyTag && r.tag != h.tag) return false;
+  return true;
+}
+
+std::optional<rt::Packet*> MatchEngine::post(const PostedRecv& r) {
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (matches(r, (*it)->hdr)) {
+      rt::Packet* p = *it;
+      unexpected_.erase(it);
+      return p;
+    }
+  }
+  posted_.push_back(r);
+  return std::nullopt;
+}
+
+std::optional<PostedRecv> MatchEngine::arrive(rt::Packet* p) {
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (matches(*it, p->hdr)) {
+      PostedRecv r = *it;
+      posted_.erase(it);
+      return r;
+    }
+  }
+  unexpected_.push_back(p);
+  return std::nullopt;
+}
+
+const rt::PacketHeader* MatchEngine::probe(std::uint32_t ctx, Rank src, Tag tag) const {
+  PostedRecv probe_entry;
+  probe_entry.ctx = ctx;
+  probe_entry.src = src;
+  probe_entry.tag = tag;
+  for (const rt::Packet* p : unexpected_) {
+    if (matches(probe_entry, p->hdr)) return &p->hdr;
+  }
+  return nullptr;
+}
+
+bool MatchEngine::cancel(std::uint32_t req) {
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (it->req == req) {
+      posted_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace lwmpi::match

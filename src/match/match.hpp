@@ -1,0 +1,63 @@
+// MPI message-matching engine: posted-receive and unexpected-message queues.
+//
+// Matching is on the (context, source, tag) triple with MPI wildcard
+// semantics and strict ordering: an incoming message matches the *oldest*
+// compatible posted receive, and a posted receive matches the oldest
+// compatible unexpected message. The paper's _NOMATCH proposal (Section 3.6)
+// is supported via arrival-order entries that match on context alone.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+
+#include "common/types.hpp"
+#include "runtime/packet.hpp"
+
+namespace lwmpi::match {
+
+struct PostedRecv {
+  std::uint32_t ctx = 0;
+  Rank src = kAnySource;  // may be kAnySource
+  Tag tag = kAnyTag;      // may be kAnyTag
+  rt::MatchMode mode = rt::MatchMode::Full;
+  void* buf = nullptr;
+  int count = 0;
+  Datatype dt = kDatatypeNull;
+  std::uint32_t req = 0;  // request to complete on match
+};
+
+class MatchEngine {
+ public:
+  MatchEngine() = default;
+  ~MatchEngine();
+  MatchEngine(const MatchEngine&) = delete;
+  MatchEngine& operator=(const MatchEngine&) = delete;
+
+  // Try to satisfy `r` from the unexpected queue. If a message is pending the
+  // retained packet is returned (ownership to caller) and `r` is NOT queued;
+  // otherwise `r` joins the posted queue.
+  std::optional<rt::Packet*> post(const PostedRecv& r);
+
+  // Route an arriving first packet (Eager or Rts). If a posted receive
+  // matches it is removed and returned; otherwise the packet is retained on
+  // the unexpected queue (ownership to the engine) and nullopt is returned.
+  std::optional<PostedRecv> arrive(rt::Packet* p);
+
+  // Non-destructive probe of the unexpected queue.
+  const rt::PacketHeader* probe(std::uint32_t ctx, Rank src, Tag tag) const;
+
+  // Cancel a posted receive by request id. True if found and removed.
+  bool cancel(std::uint32_t req);
+
+  std::size_t posted_depth() const noexcept { return posted_.size(); }
+  std::size_t unexpected_depth() const noexcept { return unexpected_.size(); }
+
+ private:
+  static bool matches(const PostedRecv& r, const rt::PacketHeader& h) noexcept;
+
+  std::list<PostedRecv> posted_;
+  std::list<rt::Packet*> unexpected_;
+};
+
+}  // namespace lwmpi::match

@@ -1,0 +1,66 @@
+#include "net/fabric.hpp"
+
+#include "runtime/backoff.hpp"
+
+namespace lwmpi::net {
+
+Fabric::Fabric(int nranks, int ranks_per_node, Profile profile)
+    : nranks_(nranks),
+      ranks_per_node_(ranks_per_node < 1 ? 1 : ranks_per_node),
+      profile_(std::move(profile)) {
+  boxes_.reserve(static_cast<std::size_t>(nranks_));
+  for (int i = 0; i < nranks_; ++i) boxes_.push_back(std::make_unique<Mailbox>());
+}
+
+Fabric::~Fabric() {
+  for (auto& box : boxes_) {
+    for (rt::Packet* p : box->staged) rt::PacketPool::free(p);
+    while (rt::Packet* p = box->queue.pop()) rt::PacketPool::free(p);
+  }
+}
+
+void Fabric::inject(Rank src, Rank dst, rt::Packet* p) noexcept {
+  const bool local = same_node(src, dst);
+  const std::uint64_t inject_cost =
+      local ? profile_.shm_inject_cost_ns : profile_.inject_cost_ns;
+  rt::spin_for_ns(inject_cost);
+
+  if (profile_.blackhole) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    rt::PacketPool::free(p);
+    return;
+  }
+
+  const std::uint64_t latency = local ? profile_.shm_latency_ns : profile_.latency_ns;
+  const std::uint64_t wire = profile_.serialization_ns(p->payload.size());
+  p->deliver_at_ns = (latency || wire) ? rt::now_ns() + latency + wire : 0;
+
+  Mailbox& box = *boxes_[static_cast<std::size_t>(dst)];
+  box.injected.fetch_add(1, std::memory_order_relaxed);
+  box.queue.push(p);
+}
+
+void Fabric::charge_injection(Rank src, Rank dst) noexcept {
+  const bool local = same_node(src, dst);
+  rt::spin_for_ns(local ? profile_.shm_inject_cost_ns : profile_.inject_cost_ns);
+}
+
+rt::Packet* Fabric::poll(Rank self) noexcept {
+  Mailbox& box = *boxes_[static_cast<std::size_t>(self)];
+  // Drain newly arrived packets into the staging deque so maturation does not
+  // reorder them relative to each other.
+  while (rt::Packet* p = box.queue.pop()) box.staged.push_back(p);
+  if (box.staged.empty()) return nullptr;
+  rt::Packet* front = box.staged.front();
+  if (front->deliver_at_ns != 0 && front->deliver_at_ns > rt::now_ns()) return nullptr;
+  box.staged.pop_front();
+  ++box.delivered;
+  return front;
+}
+
+bool Fabric::idle(Rank self) noexcept {
+  Mailbox& box = *boxes_[static_cast<std::size_t>(self)];
+  return box.staged.empty() && box.queue.empty();
+}
+
+}  // namespace lwmpi::net

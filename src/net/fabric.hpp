@@ -1,0 +1,79 @@
+// The simulated fabric: per-rank mailboxes plus the locality map.
+//
+// This is the reproduction's stand-in for the cluster interconnect. Ranks are
+// grouped into simulated nodes; intra-node traffic takes the shmmod cost
+// parameters and inter-node traffic the netmod parameters. Injection
+// busy-waits the profile's per-message cost (modeling NIC occupancy) and
+// stamps a maturation time (modeling wire latency); the receiving rank's
+// progress engine only sees a packet once it has matured.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/profile.hpp"
+#include "runtime/mpsc_queue.hpp"
+#include "runtime/packet.hpp"
+
+namespace lwmpi::net {
+
+class Fabric {
+ public:
+  Fabric(int nranks, int ranks_per_node, Profile profile);
+  ~Fabric();  // reclaims undelivered packets
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  int nranks() const noexcept { return nranks_; }
+  int ranks_per_node() const noexcept { return ranks_per_node_; }
+  int node_of(Rank r) const noexcept { return static_cast<int>(r) / ranks_per_node_; }
+  bool same_node(Rank a, Rank b) const noexcept { return node_of(a) == node_of(b); }
+  const Profile& profile() const noexcept { return profile_; }
+
+  // Send `p` to rank `dst`. Takes ownership. Busy-waits the injection cost,
+  // stamps latency, and enqueues into the destination mailbox. In blackhole
+  // mode the packet is dropped at this boundary (Figure 5/6 methodology).
+  void inject(Rank src, Rank dst, rt::Packet* p) noexcept;
+
+  // Pay the per-message injection cost without transmitting anything. Used by
+  // the ch4 direct (simulated-RDMA) RMA path: hardware still consumes a
+  // descriptor slot per operation even though no software-visible packet flows.
+  void charge_injection(Rank src, Rank dst) noexcept;
+
+  // Consume one matured packet destined for `self`, or nullptr. Must only be
+  // called from the thread owning rank `self`.
+  rt::Packet* poll(Rank self) noexcept;
+
+  // True if no packet is currently visible for `self` (matured or not).
+  bool idle(Rank self) noexcept;
+
+  std::uint64_t injected(Rank r) const noexcept {
+    return boxes_[static_cast<std::size_t>(r)]->injected.load(std::memory_order_relaxed);
+  }
+  std::uint64_t delivered(Rank r) const noexcept {
+    return boxes_[static_cast<std::size_t>(r)]->delivered;
+  }
+  std::uint64_t dropped() const noexcept { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Mailbox {
+    rt::MpscQueue<rt::Packet> queue;
+    // Consumer-owned staging area for packets popped but not yet matured.
+    std::deque<rt::Packet*> staged;
+    std::atomic<std::uint64_t> injected{0};  // packets sent *to* this rank
+    std::uint64_t delivered = 0;             // consumer-owned
+  };
+
+  const int nranks_;
+  const int ranks_per_node_;
+  const Profile profile_;
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace lwmpi::net

@@ -1,0 +1,84 @@
+// Network cost profiles for the simulated fabric.
+//
+// The paper evaluates on Intel Omni-Path (PSM2), Mellanox EDR (UCX), and an
+// "infinitely fast network" where the MPI stack runs fully but no data is
+// transmitted. We model a network as a fixed per-message injection cost (the
+// dominant term for the 1-byte messages the paper's rate benchmarks use), a
+// delivery latency, and a bandwidth term for large payloads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lwmpi::net {
+
+struct Profile {
+  std::string name = "loopback";
+  // Per-message sender-side injection cost, busy-waited (models NIC doorbell
+  // + descriptor write + HW pipeline occupancy for one message).
+  std::uint64_t inject_cost_ns = 0;      // inter-node
+  std::uint64_t shm_inject_cost_ns = 0;  // intra-node (shmmod path)
+  // One-way delivery latency added to each packet's maturation time.
+  std::uint64_t latency_ns = 0;          // inter-node
+  std::uint64_t shm_latency_ns = 0;      // intra-node
+  // Serialization bandwidth in bytes/us (0 = infinite).
+  std::uint64_t bytes_per_us = 0;
+  // Infinitely-fast-network methodology: the stack runs in full but packets
+  // are dropped at the injection boundary instead of being transmitted.
+  bool blackhole = false;
+
+  std::uint64_t serialization_ns(std::uint64_t bytes) const noexcept {
+    return bytes_per_us == 0 ? 0 : (bytes * 1000) / bytes_per_us;
+  }
+};
+
+// Zero-cost profile for functional tests.
+inline Profile loopback() { return Profile{}; }
+
+// Intel Omni-Path / PSM2-like cost shape (Figure 3 testbed, "IT" cluster).
+inline Profile psm2() {
+  Profile p;
+  p.name = "sim-ofi-psm2";
+  p.inject_cost_ns = 95;
+  p.shm_inject_cost_ns = 30;
+  p.latency_ns = 900;
+  p.shm_latency_ns = 150;
+  p.bytes_per_us = 12'000;  // ~12 GB/s
+  return p;
+}
+
+// Mellanox EDR / UCX-like cost shape (Figure 4 testbed, "Gomez" cluster).
+inline Profile ucx_edr() {
+  Profile p;
+  p.name = "sim-ucx-edr";
+  p.inject_cost_ns = 120;
+  p.shm_inject_cost_ns = 30;
+  p.latency_ns = 800;
+  p.shm_latency_ns = 150;
+  p.bytes_per_us = 12'000;
+  return p;
+}
+
+// Figure 5/6 methodology: full stack, no transmission.
+inline Profile infinite() {
+  Profile p;
+  p.name = "infinitely-fast";
+  p.blackhole = true;
+  return p;
+}
+
+// Blue Gene/Q-like profile for the application studies (Figures 7 and 8):
+// modest per-message cost, relatively high latency, so that small-message
+// traffic at the strong-scaling limit is latency-dominated.
+inline Profile bgq() {
+  Profile p;
+  p.name = "sim-bgq";
+  p.inject_cost_ns = 250;
+  p.shm_inject_cost_ns = 60;
+  p.latency_ns = 1800;
+  p.shm_latency_ns = 300;
+  p.bytes_per_us = 1'800;  // ~1.8 GB/s per link
+  return p;
+}
+
+}  // namespace lwmpi::net

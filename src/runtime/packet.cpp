@@ -1,0 +1,52 @@
+#include "runtime/packet.hpp"
+
+namespace lwmpi::rt {
+namespace {
+
+struct TlPool {
+  std::vector<Packet*> free_list;
+
+  ~TlPool() {
+    for (Packet* p : free_list) delete p;
+  }
+};
+
+TlPool& tl_pool() {
+  thread_local TlPool pool;
+  return pool;
+}
+
+}  // namespace
+
+Packet* PacketPool::alloc() {
+  auto& pool = tl_pool();
+  if (!pool.free_list.empty()) {
+    Packet* p = pool.free_list.back();
+    pool.free_list.pop_back();
+    p->hdr = PacketHeader{};
+    p->payload.clear();  // keeps capacity for reuse
+    p->deliver_at_ns = 0;
+    return p;
+  }
+  return new Packet();
+}
+
+void PacketPool::free(Packet* p) noexcept {
+  if (p == nullptr) return;
+  auto& pool = tl_pool();
+  if (pool.free_list.size() < kMaxPooled) {
+    pool.free_list.push_back(p);
+  } else {
+    delete p;
+  }
+}
+
+std::size_t PacketPool::tl_pool_size() noexcept { return tl_pool().free_list.size(); }
+
+void PacketPool::tl_drain() noexcept {
+  auto& pool = tl_pool();
+  for (Packet* p : pool.free_list) delete p;
+  pool.free_list.clear();
+}
+
+}  // namespace lwmpi::rt

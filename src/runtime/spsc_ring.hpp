@@ -1,0 +1,68 @@
+// Bounded single-producer single-consumer ring buffer with cached indices.
+// Used by the shmmod-style fast channels and exercised directly by the
+// substrate microbenchmarks.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace lwmpi::rt {
+
+template <typename T>
+class SpscRing {
+ public:
+  // Capacity is rounded up to a power of two; one slot is sacrificed to
+  // distinguish full from empty.
+  explicit SpscRing(std::size_t min_capacity)
+      : mask_(std::bit_ceil(min_capacity < 2 ? std::size_t{2} : min_capacity) - 1),
+        slots_(mask_ + 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const noexcept { return mask_; }
+
+  bool try_push(T value) noexcept {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head - cached_tail_ > mask_ - 1) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head - cached_tail_ > mask_ - 1) return false;
+    }
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::optional<T> try_pop() noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == cached_head_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail == cached_head_) return std::nullopt;
+    }
+    T value = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return value;
+  }
+
+  bool empty() const noexcept {
+    return head_.load(std::memory_order_acquire) == tail_.load(std::memory_order_acquire);
+  }
+
+  std::size_t size_approx() const noexcept {
+    return head_.load(std::memory_order_acquire) - tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  const std::size_t mask_;
+  std::vector<T> slots_;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::size_t cached_tail_ = 0;  // producer-owned
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) std::size_t cached_head_ = 0;  // consumer-owned
+};
+
+}  // namespace lwmpi::rt

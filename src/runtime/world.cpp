@@ -1,0 +1,66 @@
+#include "runtime/world.hpp"
+
+#include <exception>
+#include <thread>
+
+#include "core/engine.hpp"
+
+namespace lwmpi {
+
+World::World(int nranks, WorldOptions opts)
+    : nranks_(nranks),
+      opts_(std::move(opts)),
+      fabric_(nranks, opts_.ranks_per_node, opts_.profile),
+      next_ctx_(kFirstDynamicCtx) {
+  engines_.reserve(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    engines_.push_back(std::make_unique<Engine>(*this, static_cast<Rank>(r)));
+  }
+}
+
+World::~World() = default;
+
+Engine& World::engine(Rank r) { return *engines_.at(static_cast<std::size_t>(r)); }
+
+void World::run(const std::function<void(Engine&)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks_));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back([this, &fn, &errors, r] {
+      try {
+        fn(*engines_[static_cast<std::size_t>(r)]);
+        // Implicit finalize: flush the device send queue so eager messages
+        // buffered by the orig device are not stranded when a rank returns
+        // while its peers are still receiving.
+        engines_[static_cast<std::size_t>(r)]->progress();
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+std::shared_ptr<rma::WindowGlobal> World::register_window(
+    std::shared_ptr<rma::WindowGlobal> w) {
+  std::lock_guard<std::mutex> lk(win_mu_);
+  win_registry_[w->id] = w;
+  return w;
+}
+
+std::shared_ptr<rma::WindowGlobal> World::find_window(std::uint32_t id) {
+  std::lock_guard<std::mutex> lk(win_mu_);
+  auto it = win_registry_.find(id);
+  return it == win_registry_.end() ? nullptr : it->second;
+}
+
+void World::unregister_window(std::uint32_t id) {
+  std::lock_guard<std::mutex> lk(win_mu_);
+  win_registry_.erase(id);
+}
+
+}  // namespace lwmpi

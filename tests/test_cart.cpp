@@ -1,0 +1,135 @@
+// Cartesian topology tests: creation, coordinate mapping, shifts, and the
+// PROC_NULL boundaries that motivate the paper's Section 3.4.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "util.hpp"
+
+namespace lwmpi {
+namespace {
+
+using test::spmd;
+
+TEST(Cart, CreateAndCoords2d) {
+  spmd(4, [](Engine& e) {
+    const std::array<int, 2> dims = {2, 2};
+    const std::array<bool, 2> periods = {false, false};
+    Comm cart = kCommNull;
+    ASSERT_EQ(e.cart_create(kCommWorld, dims, periods, false, &cart), Err::Success);
+    ASSERT_NE(cart, kCommNull);
+    int ndims = 0;
+    ASSERT_EQ(e.cartdim_get(cart, &ndims), Err::Success);
+    EXPECT_EQ(ndims, 2);
+
+    // Row-major: rank = x * 2 + y.
+    std::array<int, 2> coords{};
+    ASSERT_EQ(e.cart_coords(cart, e.rank(cart), coords), Err::Success);
+    EXPECT_EQ(e.rank(cart), coords[0] * 2 + coords[1]);
+
+    Rank back = kUndefined;
+    ASSERT_EQ(e.cart_rank(cart, coords, &back), Err::Success);
+    EXPECT_EQ(back, e.rank(cart));
+    ASSERT_EQ(e.comm_free(&cart), Err::Success);
+  });
+}
+
+TEST(Cart, NonPeriodicShiftYieldsProcNull) {
+  spmd(4, [](Engine& e) {
+    const std::array<int, 2> dims = {2, 2};
+    const std::array<bool, 2> periods = {false, false};
+    Comm cart = kCommNull;
+    ASSERT_EQ(e.cart_create(kCommWorld, dims, periods, false, &cart), Err::Success);
+    std::array<int, 2> c{};
+    ASSERT_EQ(e.cart_coords(cart, e.rank(cart), c), Err::Success);
+    Rank src = kUndefined, dst = kUndefined;
+    ASSERT_EQ(e.cart_shift(cart, 0, 1, &src, &dst), Err::Success);
+    if (c[0] == 1) {
+      EXPECT_EQ(dst, kProcNull);  // top edge
+      EXPECT_NE(src, kProcNull);
+    } else {
+      EXPECT_NE(dst, kProcNull);
+      EXPECT_EQ(src, kProcNull);  // bottom edge
+    }
+    ASSERT_EQ(e.comm_free(&cart), Err::Success);
+  });
+}
+
+TEST(Cart, PeriodicShiftWraps) {
+  spmd(4, [](Engine& e) {
+    const std::array<int, 1> dims = {4};
+    const std::array<bool, 1> periods = {true};
+    Comm ring = kCommNull;
+    ASSERT_EQ(e.cart_create(kCommWorld, dims, periods, false, &ring), Err::Success);
+    Rank src = kUndefined, dst = kUndefined;
+    ASSERT_EQ(e.cart_shift(ring, 0, 1, &src, &dst), Err::Success);
+    const int me = e.rank(ring);
+    EXPECT_EQ(dst, (me + 1) % 4);
+    EXPECT_EQ(src, (me + 3) % 4);
+    // Shift by more than the dimension wraps too.
+    ASSERT_EQ(e.cart_shift(ring, 0, 5, &src, &dst), Err::Success);
+    EXPECT_EQ(dst, (me + 5) % 4);
+    ASSERT_EQ(e.comm_free(&ring), Err::Success);
+  });
+}
+
+TEST(Cart, SurplusRanksGetNull) {
+  spmd(4, [](Engine& e) {
+    const std::array<int, 1> dims = {3};  // one rank left over
+    const std::array<bool, 1> periods = {false};
+    Comm cart = kCommNull;
+    ASSERT_EQ(e.cart_create(kCommWorld, dims, periods, false, &cart), Err::Success);
+    if (e.world_rank() == 3) {
+      EXPECT_EQ(cart, kCommNull);
+    } else {
+      ASSERT_NE(cart, kCommNull);
+      EXPECT_EQ(e.size(cart), 3);
+      ASSERT_EQ(e.comm_free(&cart), Err::Success);
+    }
+  });
+}
+
+TEST(Cart, HaloExchangeThroughShift) {
+  // End-to-end: a 1-D ring halo exchange using neighbours from cart_shift;
+  // non-periodic ends naturally send to PROC_NULL.
+  spmd(3, [](Engine& e) {
+    const std::array<int, 1> dims = {3};
+    const std::array<bool, 1> periods = {false};
+    Comm chain = kCommNull;
+    ASSERT_EQ(e.cart_create(kCommWorld, dims, periods, false, &chain), Err::Success);
+    Rank left = kUndefined, right = kUndefined;
+    ASSERT_EQ(e.cart_shift(chain, 0, 1, &left, &right), Err::Success);
+    const int me = e.rank(chain);
+    int from_left = -1, from_right = -1;
+    int mine = 100 + me;
+    Request reqs[4];
+    ASSERT_EQ(e.irecv(&from_left, 1, kInt, left, 1, chain, &reqs[0]), Err::Success);
+    ASSERT_EQ(e.irecv(&from_right, 1, kInt, right, 2, chain, &reqs[1]), Err::Success);
+    ASSERT_EQ(e.isend(&mine, 1, kInt, right, 1, chain, &reqs[2]), Err::Success);
+    ASSERT_EQ(e.isend(&mine, 1, kInt, left, 2, chain, &reqs[3]), Err::Success);
+    ASSERT_EQ(e.waitall(reqs, {}), Err::Success);
+    EXPECT_EQ(from_left, me > 0 ? 100 + me - 1 : -1);
+    EXPECT_EQ(from_right, me < 2 ? 100 + me + 1 : -1);
+    ASSERT_EQ(e.comm_free(&chain), Err::Success);
+  });
+}
+
+TEST(Cart, InvalidArgumentsRejected) {
+  spmd(2, [](Engine& e) {
+    Comm cart = kCommNull;
+    const std::array<int, 1> zero_dim = {0};
+    const std::array<bool, 1> p1 = {false};
+    EXPECT_EQ(e.cart_create(kCommWorld, zero_dim, p1, false, &cart), Err::Arg);
+    const std::array<int, 1> too_big = {5};
+    EXPECT_EQ(e.cart_create(kCommWorld, too_big, p1, false, &cart), Err::Arg);
+    // cart calls on a non-cartesian communicator fail.
+    int nd = 0;
+    EXPECT_EQ(e.cartdim_get(kCommWorld, &nd), Err::Comm);
+    Rank s, d;
+    EXPECT_EQ(e.cart_shift(kCommWorld, 0, 1, &s, &d), Err::Comm);
+    ASSERT_EQ(e.barrier(kCommWorld), Err::Success);
+  });
+}
+
+}  // namespace
+}  // namespace lwmpi

@@ -1,0 +1,262 @@
+// Collective tests, parameterized over rank counts (including non-powers of
+// two), reduction ops, and counts, on both devices.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "util.hpp"
+
+namespace lwmpi {
+namespace {
+
+using test::fast_opts;
+using test::spmd;
+
+class CollRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollRanks, BarrierCompletes) {
+  spmd(GetParam(), [](Engine& e) {
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_EQ(e.barrier(kCommWorld), Err::Success);
+    }
+  });
+}
+
+TEST_P(CollRanks, BcastFromEveryRoot) {
+  const int p = GetParam();
+  spmd(p, [p](Engine& e) {
+    for (Rank root = 0; root < p; ++root) {
+      int v = e.world_rank() == root ? 1000 + root : -1;
+      ASSERT_EQ(e.bcast(&v, 1, kInt, root, kCommWorld), Err::Success);
+      EXPECT_EQ(v, 1000 + root);
+    }
+  });
+}
+
+TEST_P(CollRanks, AllreduceSum) {
+  const int p = GetParam();
+  spmd(p, [p](Engine& e) {
+    const int me = e.world_rank();
+    int out = 0;
+    ASSERT_EQ(e.allreduce(&me, &out, 1, kInt, ReduceOp::Sum, kCommWorld), Err::Success);
+    EXPECT_EQ(out, p * (p - 1) / 2);
+  });
+}
+
+TEST_P(CollRanks, AllreduceMaxMinVector) {
+  const int p = GetParam();
+  spmd(p, [p](Engine& e) {
+    const double me = e.world_rank();
+    double in[2] = {me, -me};
+    double out[2] = {0, 0};
+    ASSERT_EQ(e.allreduce(in, out, 2, kDouble, ReduceOp::Max, kCommWorld), Err::Success);
+    EXPECT_EQ(out[0], p - 1);
+    EXPECT_EQ(out[1], 0.0);
+    ASSERT_EQ(e.allreduce(in, out, 2, kDouble, ReduceOp::Min, kCommWorld), Err::Success);
+    EXPECT_EQ(out[0], 0.0);
+    EXPECT_EQ(out[1], -(p - 1));
+  });
+}
+
+TEST_P(CollRanks, ReduceToRoot) {
+  const int p = GetParam();
+  spmd(p, [p](Engine& e) {
+    const int me = e.world_rank();
+    const int contrib = me + 1;
+    int out = -1;
+    const Rank root = static_cast<Rank>(p - 1);
+    ASSERT_EQ(e.reduce(&contrib, &out, 1, kInt, ReduceOp::Prod, root, kCommWorld),
+              Err::Success);
+    if (me == root) {
+      int expect = 1;
+      for (int i = 1; i <= p; ++i) expect *= i;
+      EXPECT_EQ(out, expect);  // p!
+    } else {
+      EXPECT_EQ(out, -1);  // untouched on non-roots
+    }
+  });
+}
+
+TEST_P(CollRanks, GatherCollectsInRankOrder) {
+  const int p = GetParam();
+  spmd(p, [p](Engine& e) {
+    const int me = e.world_rank();
+    const int mine[2] = {me * 2, me * 2 + 1};
+    std::vector<int> all(static_cast<std::size_t>(2 * p), -1);
+    ASSERT_EQ(e.gather(mine, 2, kInt, all.data(), 2, kInt, 0, kCommWorld), Err::Success);
+    if (me == 0) {
+      for (int i = 0; i < 2 * p; ++i) EXPECT_EQ(all[static_cast<std::size_t>(i)], i);
+    }
+  });
+}
+
+TEST_P(CollRanks, AllgatherEveryoneSeesAll) {
+  const int p = GetParam();
+  spmd(p, [p](Engine& e) {
+    const int me = e.world_rank();
+    std::vector<int> all(static_cast<std::size_t>(p), -1);
+    ASSERT_EQ(e.allgather(&me, 1, kInt, all.data(), 1, kInt, kCommWorld), Err::Success);
+    for (int i = 0; i < p; ++i) EXPECT_EQ(all[static_cast<std::size_t>(i)], i);
+  });
+}
+
+TEST_P(CollRanks, ScatterDistributesBlocks) {
+  const int p = GetParam();
+  spmd(p, [p](Engine& e) {
+    const int me = e.world_rank();
+    std::vector<int> src;
+    if (me == 1 % p) {
+      src.resize(static_cast<std::size_t>(3 * p));
+      std::iota(src.begin(), src.end(), 0);
+    }
+    int mine[3] = {-1, -1, -1};
+    ASSERT_EQ(e.scatter(src.data(), 3, kInt, mine, 3, kInt, 1 % p, kCommWorld),
+              Err::Success);
+    EXPECT_EQ(mine[0], me * 3);
+    EXPECT_EQ(mine[2], me * 3 + 2);
+  });
+}
+
+TEST_P(CollRanks, AlltoallTransposes) {
+  const int p = GetParam();
+  spmd(p, [p](Engine& e) {
+    const int me = e.world_rank();
+    std::vector<int> send(static_cast<std::size_t>(p));
+    std::vector<int> recv(static_cast<std::size_t>(p), -1);
+    for (int i = 0; i < p; ++i) send[static_cast<std::size_t>(i)] = me * 100 + i;
+    ASSERT_EQ(e.alltoall(send.data(), 1, kInt, recv.data(), 1, kInt, kCommWorld),
+              Err::Success);
+    for (int i = 0; i < p; ++i) EXPECT_EQ(recv[static_cast<std::size_t>(i)], i * 100 + me);
+  });
+}
+
+TEST_P(CollRanks, ScanIsInclusivePrefix) {
+  const int p = GetParam();
+  spmd(p, [](Engine& e) {
+    const int me = e.world_rank();
+    const int mine = me + 1;
+    int out = 0;
+    ASSERT_EQ(e.scan(&mine, &out, 1, kInt, ReduceOp::Sum, kCommWorld), Err::Success);
+    EXPECT_EQ(out, (me + 1) * (me + 2) / 2);
+  });
+  (void)p;
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollRanks, ::testing::Values(1, 2, 3, 4, 5, 8));
+
+class CollOps : public ::testing::TestWithParam<ReduceOp> {};
+
+TEST_P(CollOps, AllreduceIntOpsAgreeWithSerial) {
+  const ReduceOp op = GetParam();
+  constexpr int p = 4;
+  spmd(p, [op](Engine& e) {
+    const int me = e.world_rank();
+    const int mine = me + 2;  // 2,3,4,5
+    int out = 0;
+    ASSERT_EQ(e.allreduce(&mine, &out, 1, kInt, op, kCommWorld), Err::Success);
+    int expect = 2;
+    for (int i = 1; i < p; ++i) {
+      const int v = i + 2;
+      switch (op) {
+        case ReduceOp::Sum: expect += v; break;
+        case ReduceOp::Prod: expect *= v; break;
+        case ReduceOp::Max: expect = std::max(expect, v); break;
+        case ReduceOp::Min: expect = std::min(expect, v); break;
+        case ReduceOp::LAnd: expect = expect && v; break;
+        case ReduceOp::LOr: expect = expect || v; break;
+        case ReduceOp::BAnd: expect &= v; break;
+        case ReduceOp::BOr: expect |= v; break;
+        case ReduceOp::BXor: expect ^= v; break;
+        default: break;
+      }
+    }
+    EXPECT_EQ(out, expect);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Ops, CollOps,
+                         ::testing::Values(ReduceOp::Sum, ReduceOp::Prod, ReduceOp::Max,
+                                           ReduceOp::Min, ReduceOp::LAnd, ReduceOp::LOr,
+                                           ReduceOp::BAnd, ReduceOp::BOr, ReduceOp::BXor));
+
+TEST(Coll, LargeCountAllreduce) {
+  spmd(4, [](Engine& e) {
+    constexpr int kN = 10000;
+    std::vector<double> mine(kN, 1.0);
+    std::vector<double> out(kN, 0.0);
+    ASSERT_EQ(e.allreduce(mine.data(), out.data(), kN, kDouble, ReduceOp::Sum, kCommWorld),
+              Err::Success);
+    EXPECT_EQ(out[0], 4.0);
+    EXPECT_EQ(out[kN - 1], 4.0);
+  });
+}
+
+TEST(Coll, BcastLargeMessageUsesRendezvous) {
+  spmd(3, [](Engine& e) {
+    std::vector<int> data(32 * 1024, 0);  // 128 KiB > eager threshold
+    if (e.world_rank() == 0) {
+      std::iota(data.begin(), data.end(), 0);
+    }
+    ASSERT_EQ(e.bcast(data.data(), static_cast<int>(data.size()), kInt, 0, kCommWorld),
+              Err::Success);
+    EXPECT_EQ(data[12345], 12345);
+    EXPECT_EQ(data.back(), static_cast<int>(data.size()) - 1);
+  });
+}
+
+TEST(Coll, WorksOnOrigDevice) {
+  spmd(
+      4,
+      [](Engine& e) {
+        const int me = e.world_rank();
+        int out = 0;
+        ASSERT_EQ(e.allreduce(&me, &out, 1, kInt, ReduceOp::Sum, kCommWorld), Err::Success);
+        EXPECT_EQ(out, 6);
+        ASSERT_EQ(e.barrier(kCommWorld), Err::Success);
+      },
+      fast_opts(DeviceKind::Orig));
+}
+
+TEST(Coll, InvalidRootRejected) {
+  spmd(2, [](Engine& e) {
+    int v = 0;
+    EXPECT_EQ(e.bcast(&v, 1, kInt, 5, kCommWorld), Err::Root);
+    EXPECT_EQ(e.bcast(&v, 1, kInt, -1, kCommWorld), Err::Root);
+    // Keep the ranks in lockstep after the error returns.
+    ASSERT_EQ(e.barrier(kCommWorld), Err::Success);
+  });
+}
+
+TEST(Coll, DerivedTypeRejectedForReduction) {
+  spmd(2, [](Engine& e) {
+    Datatype t = kDatatypeNull;
+    ASSERT_EQ(e.type_contiguous(2, kInt, &t), Err::Success);
+    ASSERT_EQ(e.type_commit(&t), Err::Success);
+    int in[2] = {1, 2};
+    int out[2];
+    EXPECT_EQ(e.allreduce(in, out, 1, t, ReduceOp::Sum, kCommWorld), Err::Datatype);
+    ASSERT_EQ(e.barrier(kCommWorld), Err::Success);
+  });
+}
+
+TEST(Coll, ConcurrentWithPt2ptTraffic) {
+  // A user pt2pt message with a tag colliding with internal collective tags
+  // must not disturb the collective (separate context plane).
+  spmd(2, [](Engine& e) {
+    const int me = e.world_rank();
+    int user = 777 + me;
+    Request sreq = kRequestNull;
+    ASSERT_EQ(e.isend(&user, 1, kInt, 1 - me, /*tag=*/1, kCommWorld, &sreq), Err::Success);
+    int sum = 0;
+    ASSERT_EQ(e.allreduce(&me, &sum, 1, kInt, ReduceOp::Sum, kCommWorld), Err::Success);
+    EXPECT_EQ(sum, 1);
+    int got = 0;
+    ASSERT_EQ(e.recv(&got, 1, kInt, 1 - me, 1, kCommWorld, nullptr), Err::Success);
+    EXPECT_EQ(got, 777 + (1 - me));
+    ASSERT_EQ(e.wait(&sreq, nullptr), Err::Success);
+  });
+}
+
+}  // namespace
+}  // namespace lwmpi

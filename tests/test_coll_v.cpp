@@ -1,0 +1,162 @@
+// Variable-count collectives and reduce_scatter_block.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <numeric>
+#include <vector>
+
+#include "util.hpp"
+
+namespace lwmpi {
+namespace {
+
+using test::spmd;
+
+TEST(Gatherv, VariableBlockSizes) {
+  spmd(4, [](Engine& e) {
+    const int me = e.world_rank();
+    // Rank i contributes i+1 ints: 1, 2, 3, 4 elements.
+    std::vector<int> mine(static_cast<std::size_t>(me + 1));
+    for (int i = 0; i <= me; ++i) mine[static_cast<std::size_t>(i)] = me * 10 + i;
+    const std::array<int, 4> rcounts = {1, 2, 3, 4};
+    const std::array<int, 4> displs = {0, 1, 3, 6};
+    std::vector<int> all(10, -1);
+    ASSERT_EQ(e.gatherv(mine.data(), me + 1, kInt, all.data(), rcounts, displs, kInt, 0,
+                        kCommWorld),
+              Err::Success);
+    if (me == 0) {
+      const std::vector<int> expect = {0, 10, 11, 20, 21, 22, 30, 31, 32, 33};
+      EXPECT_EQ(all, expect);
+    }
+  });
+}
+
+TEST(Gatherv, GapsBetweenBlocks) {
+  spmd(2, [](Engine& e) {
+    const int me = e.world_rank();
+    const int v = 7 + me;
+    const std::array<int, 2> rcounts = {1, 1};
+    const std::array<int, 2> displs = {0, 5};  // hole between blocks
+    std::vector<int> all(6, -1);
+    ASSERT_EQ(e.gatherv(&v, 1, kInt, all.data(), rcounts, displs, kInt, 0, kCommWorld),
+              Err::Success);
+    if (me == 0) {
+      EXPECT_EQ(all[0], 7);
+      EXPECT_EQ(all[5], 8);
+      EXPECT_EQ(all[1], -1);  // untouched gap
+    }
+  });
+}
+
+TEST(Allgatherv, EveryoneAssembles) {
+  spmd(3, [](Engine& e) {
+    const int me = e.world_rank();
+    std::vector<int> mine(static_cast<std::size_t>(me + 1), 100 * me);
+    const std::array<int, 3> rcounts = {1, 2, 3};
+    const std::array<int, 3> displs = {0, 1, 3};
+    std::vector<int> all(6, -1);
+    ASSERT_EQ(e.allgatherv(mine.data(), me + 1, kInt, all.data(), rcounts, displs, kInt,
+                           kCommWorld),
+              Err::Success);
+    const std::vector<int> expect = {0, 100, 100, 200, 200, 200};
+    EXPECT_EQ(all, expect);
+  });
+}
+
+TEST(Scatterv, VariableBlockSizes) {
+  spmd(3, [](Engine& e) {
+    const int me = e.world_rank();
+    std::vector<int> src;
+    const std::array<int, 3> scounts = {3, 1, 2};
+    const std::array<int, 3> displs = {0, 4, 6};
+    if (me == 0) {
+      src.resize(8);
+      std::iota(src.begin(), src.end(), 0);  // 0..7
+    }
+    std::vector<int> mine(static_cast<std::size_t>(scounts[static_cast<std::size_t>(me)]),
+                          -1);
+    ASSERT_EQ(e.scatterv(src.data(), scounts, displs, kInt, mine.data(),
+                         scounts[static_cast<std::size_t>(me)], kInt, 0, kCommWorld),
+              Err::Success);
+    if (me == 0) {
+      EXPECT_EQ(mine, (std::vector<int>{0, 1, 2}));
+    } else if (me == 1) {
+      EXPECT_EQ(mine, (std::vector<int>{4}));
+    } else {
+      EXPECT_EQ(mine, (std::vector<int>{6, 7}));
+    }
+  });
+}
+
+TEST(Gatherv, BadRootRejected) {
+  spmd(2, [](Engine& e) {
+    const int v = 0;
+    const std::array<int, 2> counts = {1, 1};
+    const std::array<int, 2> displs = {0, 1};
+    int out[2];
+    EXPECT_EQ(e.gatherv(&v, 1, kInt, out, counts, displs, kInt, 9, kCommWorld), Err::Root);
+    ASSERT_EQ(e.barrier(kCommWorld), Err::Success);
+  });
+}
+
+TEST(ReduceScatterBlock, EachRankGetsItsBlock) {
+  spmd(4, [](Engine& e) {
+    const int me = e.world_rank();
+    // Everyone contributes the vector [0,1,...,7]; the elementwise sum is
+    // 4x that; rank i receives block i of size 2.
+    std::vector<int> src(8);
+    std::iota(src.begin(), src.end(), 0);
+    int mine[2] = {-1, -1};
+    ASSERT_EQ(e.reduce_scatter_block(src.data(), mine, 2, kInt, ReduceOp::Sum, kCommWorld),
+              Err::Success);
+    EXPECT_EQ(mine[0], 4 * (2 * me));
+    EXPECT_EQ(mine[1], 4 * (2 * me + 1));
+  });
+}
+
+TEST(ReduceScatterBlock, MaxOp) {
+  spmd(2, [](Engine& e) {
+    const int me = e.world_rank();
+    const int src[2] = {me == 0 ? 5 : 9, me == 0 ? 8 : 3};
+    int mine = -1;
+    ASSERT_EQ(e.reduce_scatter_block(src, &mine, 1, kInt, ReduceOp::Max, kCommWorld),
+              Err::Success);
+    EXPECT_EQ(mine, me == 0 ? 9 : 8);
+  });
+}
+
+TEST(ReduceScatterBlock, DerivedTypeRejected) {
+  spmd(2, [](Engine& e) {
+    Datatype t = kDatatypeNull;
+    ASSERT_EQ(e.type_contiguous(2, kInt, &t), Err::Success);
+    ASSERT_EQ(e.type_commit(&t), Err::Success);
+    int in[4] = {0};
+    int out[2];
+    EXPECT_EQ(e.reduce_scatter_block(in, out, 1, t, ReduceOp::Sum, kCommWorld),
+              Err::Datatype);
+    ASSERT_EQ(e.barrier(kCommWorld), Err::Success);
+  });
+}
+
+TEST(Allgatherv, WorksOnSubCommunicator) {
+  spmd(4, [](Engine& e) {
+    const int me = e.world_rank();
+    Comm evens = kCommNull;
+    ASSERT_EQ(e.comm_split(kCommWorld, me % 2, me, &evens), Err::Success);
+    const int sub_me = e.rank(evens);
+    const int v = 1000 + me;
+    const std::array<int, 2> counts = {1, 1};
+    const std::array<int, 2> displs = {1, 0};  // reversed placement
+    int all[2] = {-1, -1};
+    ASSERT_EQ(e.allgatherv(&v, 1, kInt, all, counts, displs, kInt, evens), Err::Success);
+    // Block of sub-rank 0 goes to index 1 and vice versa.
+    const int base = me % 2;
+    EXPECT_EQ(all[1], 1000 + base);
+    EXPECT_EQ(all[0], 1000 + base + 2);
+    (void)sub_me;
+    ASSERT_EQ(e.comm_free(&evens), Err::Success);
+  });
+}
+
+}  // namespace
+}  // namespace lwmpi

@@ -1,0 +1,225 @@
+// Communicator and group management integration tests.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "util.hpp"
+
+namespace lwmpi {
+namespace {
+
+using test::spmd;
+
+TEST(Comm, WorldAndSelfAreValid) {
+  spmd(3, [](Engine& e) {
+    EXPECT_EQ(e.size(kCommWorld), 3);
+    EXPECT_EQ(e.rank(kCommWorld), e.world_rank());
+    EXPECT_EQ(e.size(kCommSelf), 1);
+    EXPECT_EQ(e.rank(kCommSelf), 0);
+    EXPECT_TRUE(e.comm_valid(kCommWorld));
+    EXPECT_FALSE(e.comm_valid(kCommNull));
+    EXPECT_FALSE(e.comm_valid(kComm1));  // predefined slots start unpopulated
+  });
+}
+
+TEST(Comm, DupIsolatesTraffic) {
+  spmd(2, [](Engine& e) {
+    Comm dup = kCommNull;
+    ASSERT_EQ(e.comm_dup(kCommWorld, &dup), Err::Success);
+    ASSERT_TRUE(e.comm_valid(dup));
+    EXPECT_EQ(e.size(dup), 2);
+    EXPECT_EQ(e.rank(dup), e.world_rank());
+
+    const int me = e.world_rank();
+    // Same (source, tag) on both communicators: each receive must get the
+    // message from its own communicator.
+    int on_world = 100 + me;
+    int on_dup = 200 + me;
+    Request reqs[2];
+    ASSERT_EQ(e.isend(&on_world, 1, kInt, 1 - me, 5, kCommWorld, &reqs[0]), Err::Success);
+    ASSERT_EQ(e.isend(&on_dup, 1, kInt, 1 - me, 5, dup, &reqs[1]), Err::Success);
+    int got_dup = 0, got_world = 0;
+    ASSERT_EQ(e.recv(&got_dup, 1, kInt, 1 - me, 5, dup, nullptr), Err::Success);
+    ASSERT_EQ(e.recv(&got_world, 1, kInt, 1 - me, 5, kCommWorld, nullptr), Err::Success);
+    EXPECT_EQ(got_dup, 200 + (1 - me));
+    EXPECT_EQ(got_world, 100 + (1 - me));
+    ASSERT_EQ(e.waitall(reqs, {}), Err::Success);
+    ASSERT_EQ(e.comm_free(&dup), Err::Success);
+    EXPECT_EQ(dup, kCommNull);
+  });
+}
+
+TEST(Comm, SplitByParity) {
+  spmd(4, [](Engine& e) {
+    const int me = e.world_rank();
+    Comm half = kCommNull;
+    ASSERT_EQ(e.comm_split(kCommWorld, me % 2, me, &half), Err::Success);
+    ASSERT_TRUE(e.comm_valid(half));
+    EXPECT_EQ(e.size(half), 2);
+    EXPECT_EQ(e.rank(half), me / 2);
+    // Sum within my half: evens 0+2, odds 1+3.
+    int sum = 0;
+    ASSERT_EQ(e.allreduce(&me, &sum, 1, kInt, ReduceOp::Sum, half), Err::Success);
+    EXPECT_EQ(sum, me % 2 == 0 ? 2 : 4);
+    ASSERT_EQ(e.comm_free(&half), Err::Success);
+  });
+}
+
+TEST(Comm, SplitHonorsKeyOrder) {
+  spmd(4, [](Engine& e) {
+    const int me = e.world_rank();
+    Comm rev = kCommNull;
+    // Single color, key reverses the order.
+    ASSERT_EQ(e.comm_split(kCommWorld, 0, -me, &rev), Err::Success);
+    EXPECT_EQ(e.rank(rev), 3 - me);
+    ASSERT_EQ(e.comm_free(&rev), Err::Success);
+  });
+}
+
+TEST(Comm, SplitWithUndefinedColorYieldsNull) {
+  spmd(3, [](Engine& e) {
+    const int me = e.world_rank();
+    Comm sub = kCommNull;
+    const int color = me == 0 ? kUndefined : 1;
+    ASSERT_EQ(e.comm_split(kCommWorld, color, 0, &sub), Err::Success);
+    if (me == 0) {
+      EXPECT_EQ(sub, kCommNull);
+    } else {
+      EXPECT_EQ(e.size(sub), 2);
+      int sum = 0;
+      ASSERT_EQ(e.allreduce(&me, &sum, 1, kInt, ReduceOp::Sum, sub), Err::Success);
+      EXPECT_EQ(sum, 3);
+      ASSERT_EQ(e.comm_free(&sub), Err::Success);
+    }
+  });
+}
+
+TEST(Comm, NestedSplitOfSplit) {
+  spmd(8, [](Engine& e) {
+    const int me = e.world_rank();
+    Comm half = kCommNull;
+    ASSERT_EQ(e.comm_split(kCommWorld, me / 4, me, &half), Err::Success);
+    Comm quarter = kCommNull;
+    ASSERT_EQ(e.comm_split(half, e.rank(half) / 2, 0, &quarter), Err::Success);
+    EXPECT_EQ(e.size(quarter), 2);
+    int sum = 0;
+    ASSERT_EQ(e.allreduce(&me, &sum, 1, kInt, ReduceOp::Sum, quarter), Err::Success);
+    const int base = (me / 2) * 2;
+    EXPECT_EQ(sum, base + base + 1);
+    ASSERT_EQ(e.comm_free(&quarter), Err::Success);
+    ASSERT_EQ(e.comm_free(&half), Err::Success);
+  });
+}
+
+TEST(Comm, CannotFreeWorldOrSelf) {
+  spmd(1, [](Engine& e) {
+    Comm w = kCommWorld;
+    EXPECT_EQ(e.comm_free(&w), Err::Comm);
+    Comm s = kCommSelf;
+    EXPECT_EQ(e.comm_free(&s), Err::Comm);
+  });
+}
+
+TEST(Comm, PredefinedHandleDup) {
+  spmd(2, [](Engine& e) {
+    ASSERT_EQ(e.comm_dup_predefined(kCommWorld, kComm1), Err::Success);
+    EXPECT_TRUE(e.comm_valid(kComm1));
+    EXPECT_EQ(e.size(kComm1), 2);
+    const int me = e.world_rank();
+    int sum = 0;
+    ASSERT_EQ(e.allreduce(&me, &sum, 1, kInt, ReduceOp::Sum, kComm1), Err::Success);
+    EXPECT_EQ(sum, 1);
+    // Duplicate into an already-populated predefined slot fails.
+    EXPECT_EQ(e.comm_dup_predefined(kCommWorld, kComm1), Err::Comm);
+    // A dynamic handle is not a predefined slot.
+    EXPECT_EQ(e.comm_dup_predefined(kCommWorld, kCommWorld), Err::Comm);
+    Comm c1 = kComm1;
+    ASSERT_EQ(e.comm_free(&c1), Err::Success);
+    ASSERT_EQ(e.barrier(kCommWorld), Err::Success);
+    // Freed slots can be repopulated.
+    ASSERT_EQ(e.comm_dup_predefined(kCommWorld, kComm1), Err::Success);
+  });
+}
+
+TEST(Comm, GroupReflectsCommMembership) {
+  spmd(4, [](Engine& e) {
+    Group g = kGroupNull;
+    ASSERT_EQ(e.comm_group(kCommWorld, &g), Err::Success);
+    int size = 0, rank = kUndefined;
+    ASSERT_EQ(e.group_size(g, &size), Err::Success);
+    ASSERT_EQ(e.group_rank(g, &rank), Err::Success);
+    EXPECT_EQ(size, 4);
+    EXPECT_EQ(rank, e.world_rank());
+    ASSERT_EQ(e.group_free(&g), Err::Success);
+    EXPECT_EQ(g, kGroupNull);
+  });
+}
+
+TEST(Comm, GroupInclAndTranslate) {
+  spmd(4, [](Engine& e) {
+    Group world = kGroupNull;
+    ASSERT_EQ(e.comm_group(kCommWorld, &world), Err::Success);
+    const std::array<int, 2> picks = {3, 1};
+    Group sub = kGroupNull;
+    ASSERT_EQ(e.group_incl(world, picks, &sub), Err::Success);
+    int size = 0;
+    ASSERT_EQ(e.group_size(sub, &size), Err::Success);
+    EXPECT_EQ(size, 2);
+
+    // Translate sub-group ranks back into the world group.
+    const std::array<int, 2> in = {0, 1};
+    std::array<int, 2> out{};
+    ASSERT_EQ(e.group_translate_ranks(sub, in, world, out), Err::Success);
+    EXPECT_EQ(out[0], 3);
+    EXPECT_EQ(out[1], 1);
+
+    // And the reverse: world rank 0 is not in sub.
+    const std::array<int, 3> win = {0, 1, 3};
+    std::array<int, 3> wout{};
+    ASSERT_EQ(e.group_translate_ranks(world, win, sub, wout), Err::Success);
+    EXPECT_EQ(wout[0], kUndefined);
+    EXPECT_EQ(wout[1], 1);
+    EXPECT_EQ(wout[2], 0);
+    ASSERT_EQ(e.group_free(&sub), Err::Success);
+    ASSERT_EQ(e.group_free(&world), Err::Success);
+  });
+}
+
+TEST(Comm, TranslateProcNullPassesThrough) {
+  spmd(2, [](Engine& e) {
+    Group g = kGroupNull;
+    ASSERT_EQ(e.comm_group(kCommWorld, &g), Err::Success);
+    const std::array<int, 1> in = {kProcNull};
+    std::array<int, 1> out{};
+    ASSERT_EQ(e.group_translate_ranks(g, in, g, out), Err::Success);
+    EXPECT_EQ(out[0], kProcNull);
+    ASSERT_EQ(e.group_free(&g), Err::Success);
+  });
+}
+
+TEST(Comm, SplitCommUsesCompressedMapWhenPossible) {
+  // Even-rank split of a contiguous world is a strided map (no O(P) table):
+  // verified indirectly through traffic correctness on the new communicator.
+  spmd(4, [](Engine& e) {
+    const int me = e.world_rank();
+    Comm sub = kCommNull;
+    ASSERT_EQ(e.comm_split(kCommWorld, me % 2, me, &sub), Err::Success);
+    const int sub_me = e.rank(sub);
+    const int sub_p = e.size(sub);
+    int token = me;
+    int got = -1;
+    // Ring shift within the sub-communicator.
+    const Rank to = static_cast<Rank>((sub_me + 1) % sub_p);
+    const Rank from = static_cast<Rank>((sub_me - 1 + sub_p) % sub_p);
+    ASSERT_EQ(e.sendrecv(&token, 1, kInt, to, 1, &got, 1, kInt, from, 1, sub, nullptr),
+              Err::Success);
+    // My predecessor in the sub-communicator has world rank me-2 (mod 4, same
+    // parity).
+    EXPECT_EQ(got, (me + 2) % 4);
+    ASSERT_EQ(e.comm_free(&sub), Err::Success);
+  });
+}
+
+}  // namespace
+}  // namespace lwmpi

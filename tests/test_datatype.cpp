@@ -1,0 +1,342 @@
+// Datatype engine tests: construction, commit semantics, flattening,
+// pack/unpack round trips (including parameterized property sweeps), and the
+// wire serialization used by RMA active messages.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "datatype/datatype.hpp"
+
+namespace lwmpi::dt {
+namespace {
+
+TEST(BuiltinTypes, HandleEncodesSize) {
+  EXPECT_EQ(builtin_size(kChar), 1u);
+  EXPECT_EQ(builtin_size(kShort), 2u);
+  EXPECT_EQ(builtin_size(kInt), 4u);
+  EXPECT_EQ(builtin_size(kDouble), 8u);
+  EXPECT_EQ(builtin_size(kFloat), 4u);
+  EXPECT_EQ(builtin_size(kInt64), 8u);
+  EXPECT_TRUE(is_builtin(kInt));
+  EXPECT_FALSE(is_builtin(kDatatypeNull));
+}
+
+TEST(BuiltinTypes, EngineAgreesWithHandle) {
+  TypeEngine eng;
+  for (Datatype d : {kChar, kShort, kInt, kUnsigned, kLong, kFloat, kDouble, kUint64}) {
+    std::size_t size = 0;
+    ASSERT_EQ(eng.get_size(d, &size), Err::Success);
+    EXPECT_EQ(size, builtin_size(d));
+    EXPECT_TRUE(eng.is_contiguous(d));
+    EXPECT_TRUE(eng.committed_or_builtin(d));
+  }
+}
+
+TEST(BuiltinTypes, InvalidHandlesRejected) {
+  TypeEngine eng;
+  EXPECT_FALSE(eng.valid(kDatatypeNull));
+  EXPECT_FALSE(eng.valid(0xdeadbeef));
+  std::size_t size = 0;
+  EXPECT_EQ(eng.get_size(kDatatypeNull, &size), Err::Datatype);
+}
+
+TEST(Contiguous, BasicProperties) {
+  TypeEngine eng;
+  Datatype t = kDatatypeNull;
+  ASSERT_EQ(eng.contiguous(5, kInt, &t), Err::Success);
+  std::size_t size = 0;
+  ASSERT_EQ(eng.get_size(t, &size), Err::Success);
+  EXPECT_EQ(size, 20u);
+  EXPECT_TRUE(eng.is_contiguous(t));
+  std::int64_t lb = 0, extent = 0;
+  ASSERT_EQ(eng.get_extent(t, &lb, &extent), Err::Success);
+  EXPECT_EQ(lb, 0);
+  EXPECT_EQ(extent, 20);
+  ASSERT_EQ(eng.commit(&t), Err::Success);
+  EXPECT_TRUE(eng.committed_or_builtin(t));
+  EXPECT_EQ(eng.free_type(&t), Err::Success);
+  EXPECT_EQ(t, kDatatypeNull);
+}
+
+TEST(Contiguous, UncommittedIsNotUsable) {
+  TypeEngine eng;
+  Datatype t = kDatatypeNull;
+  ASSERT_EQ(eng.contiguous(3, kDouble, &t), Err::Success);
+  EXPECT_TRUE(eng.valid(t));
+  EXPECT_FALSE(eng.committed_or_builtin(t));
+}
+
+TEST(Vector, StridedLayout) {
+  TypeEngine eng;
+  Datatype t = kDatatypeNull;
+  // 3 blocks of 2 ints, stride 4 ints.
+  ASSERT_EQ(eng.vector(3, 2, 4, kInt, &t), Err::Success);
+  const TypeInfo* info = eng.info(t);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->size, 24u);          // 6 ints
+  EXPECT_EQ(info->extent, 40);         // (2*4 + 2) ints
+  EXPECT_FALSE(info->contiguous);
+  ASSERT_EQ(info->segments.size(), 3u);
+  EXPECT_EQ(info->segments[0], (Segment{0, 8}));
+  EXPECT_EQ(info->segments[1], (Segment{16, 8}));
+  EXPECT_EQ(info->segments[2], (Segment{32, 8}));
+}
+
+TEST(Vector, UnitStrideCollapsesToContiguous) {
+  TypeEngine eng;
+  Datatype t = kDatatypeNull;
+  ASSERT_EQ(eng.vector(4, 1, 1, kDouble, &t), Err::Success);
+  const TypeInfo* info = eng.info(t);
+  ASSERT_NE(info, nullptr);
+  EXPECT_TRUE(info->contiguous);
+  EXPECT_EQ(info->segments.size(), 1u);
+  EXPECT_EQ(info->size, 32u);
+}
+
+TEST(Vector, NegativeCountRejected) {
+  TypeEngine eng;
+  Datatype t = kDatatypeNull;
+  EXPECT_EQ(eng.vector(-1, 1, 1, kInt, &t), Err::Count);
+  EXPECT_EQ(eng.vector(1, -1, 1, kInt, &t), Err::Count);
+}
+
+TEST(Indexed, IrregularLayout) {
+  TypeEngine eng;
+  Datatype t = kDatatypeNull;
+  const std::array<int, 3> blocklens = {1, 3, 2};
+  const std::array<int, 3> displs = {0, 2, 8};
+  ASSERT_EQ(eng.indexed(blocklens, displs, kInt, &t), Err::Success);
+  const TypeInfo* info = eng.info(t);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->size, 24u);  // 6 ints
+  // Segments: [0,4), [8,20), [32,40)
+  ASSERT_EQ(info->segments.size(), 3u);
+  EXPECT_EQ(info->segments[1], (Segment{8, 12}));
+  EXPECT_EQ(info->extent, 40);
+}
+
+TEST(Indexed, AdjacentBlocksMerge) {
+  TypeEngine eng;
+  Datatype t = kDatatypeNull;
+  const std::array<int, 2> blocklens = {2, 2};
+  const std::array<int, 2> displs = {0, 2};  // contiguous: 4 ints
+  ASSERT_EQ(eng.indexed(blocklens, displs, kInt, &t), Err::Success);
+  const TypeInfo* info = eng.info(t);
+  ASSERT_NE(info, nullptr);
+  EXPECT_TRUE(info->contiguous);
+  EXPECT_EQ(info->segments.size(), 1u);
+}
+
+TEST(Struct, MixedTypes) {
+  TypeEngine eng;
+  Datatype t = kDatatypeNull;
+  // struct { int32 a; double b; } with explicit byte displacements.
+  const std::array<int, 2> blocklens = {1, 1};
+  const std::array<std::int64_t, 2> displs = {0, 8};
+  const std::array<Datatype, 2> types = {kInt32, kDouble};
+  ASSERT_EQ(eng.create_struct(blocklens, displs, types, &t), Err::Success);
+  const TypeInfo* info = eng.info(t);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->size, 12u);
+  EXPECT_EQ(info->extent, 16);
+  EXPECT_FALSE(info->contiguous);
+}
+
+TEST(Struct, NestedDerived) {
+  TypeEngine eng;
+  Datatype vec = kDatatypeNull;
+  ASSERT_EQ(eng.vector(2, 1, 2, kInt, &vec), Err::Success);  // 2 ints, gap between
+  Datatype t = kDatatypeNull;
+  const std::array<int, 1> blocklens = {2};
+  const std::array<std::int64_t, 1> displs = {4};
+  const std::array<Datatype, 1> types = {vec};
+  ASSERT_EQ(eng.create_struct(blocklens, displs, types, &t), Err::Success);
+  const TypeInfo* info = eng.info(t);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->size, 16u);  // 4 ints of data
+}
+
+TEST(TypeEngine, SlotsAreRecycled) {
+  TypeEngine eng;
+  Datatype a = kDatatypeNull;
+  ASSERT_EQ(eng.contiguous(2, kInt, &a), Err::Success);
+  EXPECT_EQ(eng.num_derived_live(), 1u);
+  ASSERT_EQ(eng.free_type(&a), Err::Success);
+  EXPECT_EQ(eng.num_derived_live(), 0u);
+  Datatype b = kDatatypeNull;
+  ASSERT_EQ(eng.contiguous(3, kInt, &b), Err::Success);
+  EXPECT_EQ(eng.num_derived_live(), 1u);
+}
+
+TEST(TypeEngine, CannotFreeBuiltin) {
+  TypeEngine eng;
+  Datatype d = kInt;
+  EXPECT_EQ(eng.free_type(&d), Err::Datatype);
+}
+
+TEST(TypeEngine, CommitBuiltinIsNoop) {
+  TypeEngine eng;
+  Datatype d = kDouble;
+  EXPECT_EQ(eng.commit(&d), Err::Success);
+}
+
+// ---------------------------------------------------------------------------
+// Pack / unpack round trips
+// ---------------------------------------------------------------------------
+
+TEST(Pack, ContiguousIsMemcpy) {
+  TypeEngine eng;
+  std::vector<int> src(8);
+  std::iota(src.begin(), src.end(), 0);
+  std::vector<std::byte> buf(packed_size(eng, 8, kInt));
+  EXPECT_EQ(pack(eng, src.data(), 8, kInt, buf.data()), 32u);
+  std::vector<int> dst(8, -1);
+  EXPECT_EQ(unpack(eng, buf.data(), buf.size(), dst.data(), 8, kInt), 32u);
+  EXPECT_EQ(src, dst);
+}
+
+TEST(Pack, VectorRoundTripExtractsColumns) {
+  TypeEngine eng;
+  // A 4x4 int matrix, column extraction: count=4, blocklen=1, stride=4.
+  Datatype col = kDatatypeNull;
+  ASSERT_EQ(eng.vector(4, 1, 4, kInt, &col), Err::Success);
+  std::array<int, 16> m{};
+  std::iota(m.begin(), m.end(), 0);
+  std::vector<std::byte> buf(packed_size(eng, 1, col));
+  ASSERT_EQ(buf.size(), 16u);
+  pack(eng, &m[1], 1, col, buf.data());  // column 1
+  std::array<int, 4> col_vals{};
+  std::memcpy(col_vals.data(), buf.data(), 16);
+  EXPECT_EQ(col_vals, (std::array<int, 4>{1, 5, 9, 13}));
+
+  // Scatter it back into a different matrix.
+  std::array<int, 16> m2{};
+  unpack(eng, buf.data(), buf.size(), &m2[2], 1, col);  // into column 2
+  EXPECT_EQ(m2[2], 1);
+  EXPECT_EQ(m2[6], 5);
+  EXPECT_EQ(m2[10], 9);
+  EXPECT_EQ(m2[14], 13);
+  EXPECT_EQ(m2[0], 0);
+}
+
+TEST(Pack, PartialUnpackStopsAtLimit) {
+  TypeEngine eng;
+  std::vector<double> src = {1, 2, 3, 4};
+  std::vector<std::byte> buf(32);
+  pack(eng, src.data(), 4, kDouble, buf.data());
+  std::vector<double> dst(4, -1);
+  EXPECT_EQ(unpack(eng, buf.data(), 16, dst.data(), 4, kDouble), 16u);
+  EXPECT_EQ(dst[0], 1);
+  EXPECT_EQ(dst[1], 2);
+  EXPECT_EQ(dst[2], -1);  // untouched
+}
+
+TEST(Pack, ZeroCountIsEmpty) {
+  TypeEngine eng;
+  EXPECT_EQ(packed_size(eng, 0, kInt), 0u);
+  int x = 5;
+  EXPECT_EQ(pack(eng, &x, 0, kInt, nullptr), 0u);
+}
+
+// Property sweep: pack followed by unpack into a cleared buffer reproduces
+// the data-carrying bytes for a family of vector types.
+struct VecParam {
+  int count;
+  int blocklen;
+  int stride;
+};
+
+class VectorRoundTrip : public ::testing::TestWithParam<VecParam> {};
+
+TEST_P(VectorRoundTrip, PackUnpackRestoresData) {
+  const VecParam p = GetParam();
+  TypeEngine eng;
+  Datatype t = kDatatypeNull;
+  ASSERT_EQ(eng.vector(p.count, p.blocklen, p.stride, kInt32, &t), Err::Success);
+  ASSERT_EQ(eng.commit(&t), Err::Success);
+  const TypeInfo* info = eng.info(t);
+  ASSERT_NE(info, nullptr);
+
+  // Element count 2 to also exercise extent stepping.
+  const int elems = 2;
+  const std::size_t span_ints =
+      static_cast<std::size_t>((info->extent / 4) * elems + 8);
+  std::vector<std::int32_t> src(span_ints);
+  std::iota(src.begin(), src.end(), 100);
+  std::vector<std::int32_t> dst(span_ints, 0);
+
+  std::vector<std::byte> buf(packed_size(eng, elems, t));
+  const std::size_t packed = pack(eng, src.data(), elems, t, buf.data());
+  EXPECT_EQ(packed, buf.size());
+  const std::size_t consumed = unpack(eng, buf.data(), buf.size(), dst.data(), elems, t);
+  EXPECT_EQ(consumed, buf.size());
+
+  // Every byte covered by a segment must match; bytes outside stay zero.
+  for (int e = 0; e < elems; ++e) {
+    for (const Segment& s : info->segments) {
+      const std::int64_t base = e * info->extent + s.offset;
+      EXPECT_EQ(std::memcmp(reinterpret_cast<const std::byte*>(src.data()) + base,
+                            reinterpret_cast<const std::byte*>(dst.data()) + base, s.length),
+                0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, VectorRoundTrip,
+                         ::testing::Values(VecParam{1, 1, 1}, VecParam{3, 2, 4},
+                                           VecParam{4, 1, 2}, VecParam{2, 3, 3},
+                                           VecParam{5, 2, 7}, VecParam{8, 1, 3},
+                                           VecParam{1, 16, 16}, VecParam{6, 4, 5}));
+
+// ---------------------------------------------------------------------------
+// Wire serialization
+// ---------------------------------------------------------------------------
+
+TEST(Serialize, RoundTrip) {
+  TypeEngine eng;
+  Datatype t = kDatatypeNull;
+  ASSERT_EQ(eng.vector(3, 2, 4, kInt, &t), Err::Success);
+  const TypeInfo* info = eng.info(t);
+  const std::vector<std::byte> blob = serialize_info(*info);
+  auto parsed = deserialize_info(blob);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->second, blob.size());
+  const TypeInfo& got = parsed->first;
+  EXPECT_EQ(got.size, info->size);
+  EXPECT_EQ(got.lb, info->lb);
+  EXPECT_EQ(got.extent, info->extent);
+  EXPECT_EQ(got.contiguous, info->contiguous);
+  EXPECT_EQ(got.segments, info->segments);
+  EXPECT_TRUE(got.committed);
+}
+
+TEST(Serialize, TruncatedBlobRejected) {
+  TypeEngine eng;
+  Datatype t = kDatatypeNull;
+  ASSERT_EQ(eng.vector(3, 2, 4, kInt, &t), Err::Success);
+  std::vector<std::byte> blob = serialize_info(*eng.info(t));
+  blob.resize(blob.size() - 1);
+  EXPECT_FALSE(deserialize_info(blob).has_value());
+  EXPECT_FALSE(deserialize_info({}).has_value());
+}
+
+TEST(Serialize, PackInfoMatchesEnginePack) {
+  TypeEngine eng;
+  Datatype t = kDatatypeNull;
+  ASSERT_EQ(eng.vector(2, 2, 3, kDouble, &t), Err::Success);
+  std::vector<double> src(16);
+  std::iota(src.begin(), src.end(), 0.0);
+  std::vector<std::byte> a(packed_size(eng, 2, t));
+  std::vector<std::byte> b(a.size());
+  pack(eng, src.data(), 2, t, a.data());
+  auto parsed = deserialize_info(serialize_info(*eng.info(t)));
+  ASSERT_TRUE(parsed.has_value());
+  pack_info(parsed->first, src.data(), 2, b.data());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace lwmpi::dt

@@ -1,0 +1,244 @@
+// Semantics tests for the Section-3 proposed MPI extensions: the optimized
+// entry points must deliver exactly what their standard counterparts do.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "util.hpp"
+
+namespace lwmpi {
+namespace {
+
+using test::spmd;
+
+TEST(ExtGlobal, WorldRankAddressingOnSubComm) {
+  spmd(4, [](Engine& e) {
+    const int me = e.world_rank();
+    Comm evens_odds = kCommNull;
+    ASSERT_EQ(e.comm_split(kCommWorld, me % 2, me, &evens_odds), Err::Success);
+    // Translate my sub-comm neighbour to a world rank once (setup)...
+    Group sub = kGroupNull, world = kGroupNull;
+    ASSERT_EQ(e.comm_group(evens_odds, &sub), Err::Success);
+    ASSERT_EQ(e.comm_group(kCommWorld, &world), Err::Success);
+    const int sub_peer = 1 - e.rank(evens_odds);
+    std::array<int, 1> in = {sub_peer};
+    std::array<int, 1> out{};
+    ASSERT_EQ(e.group_translate_ranks(sub, in, world, out), Err::Success);
+    const Rank peer_world = out[0];
+    EXPECT_EQ(peer_world, (me + 2) % 4);
+
+    // ...then communicate with the stored world rank (_GLOBAL), still
+    // isolated by the sub-communicator's context.
+    const int v = 1000 + me;
+    Request sreq = kRequestNull;
+    ASSERT_EQ(e.isend_global(&v, 1, kInt, peer_world, 3, evens_odds, &sreq), Err::Success);
+    int got = 0;
+    ASSERT_EQ(e.recv(&got, 1, kInt, sub_peer, 3, evens_odds, nullptr), Err::Success);
+    EXPECT_EQ(got, 1000 + ((me + 2) % 4));
+    ASSERT_EQ(e.wait(&sreq, nullptr), Err::Success);
+    ASSERT_EQ(e.group_free(&sub), Err::Success);
+    ASSERT_EQ(e.group_free(&world), Err::Success);
+    ASSERT_EQ(e.comm_free(&evens_odds), Err::Success);
+  });
+}
+
+TEST(ExtGlobal, StatusCarriesCommRankOfSender) {
+  spmd(2, [](Engine& e) {
+    if (e.world_rank() == 0) {
+      const int v = 5;
+      Request r = kRequestNull;
+      ASSERT_EQ(e.isend_global(&v, 1, kInt, 1, 1, kCommWorld, &r), Err::Success);
+      ASSERT_EQ(e.wait(&r, nullptr), Err::Success);
+    } else {
+      int got = 0;
+      Status st;
+      ASSERT_EQ(e.recv(&got, 1, kInt, kAnySource, 1, kCommWorld, &st), Err::Success);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(got, 5);
+    }
+  });
+}
+
+TEST(ExtNpn, DeliversLikeIsend) {
+  spmd(2, [](Engine& e) {
+    const int me = e.world_rank();
+    const int v = 40 + me;
+    Request sreq = kRequestNull;
+    ASSERT_EQ(e.isend_npn(&v, 1, kInt, 1 - me, 2, kCommWorld, &sreq), Err::Success);
+    int got = 0;
+    ASSERT_EQ(e.recv(&got, 1, kInt, 1 - me, 2, kCommWorld, nullptr), Err::Success);
+    EXPECT_EQ(got, 40 + (1 - me));
+    ASSERT_EQ(e.wait(&sreq, nullptr), Err::Success);
+  });
+}
+
+TEST(ExtNpn, ProcNullIsAUserErrorWhenCheckingEnabled) {
+  spmd(1, [](Engine& e) {
+    const int v = 1;
+    Request r = kRequestNull;
+    EXPECT_EQ(e.isend_npn(&v, 1, kInt, kProcNull, 0, kCommWorld, &r), Err::Rank);
+  });
+}
+
+TEST(ExtNoreq, BulkCompletionByCommWaitall) {
+  spmd(2, [](Engine& e) {
+    const int me = e.world_rank();
+    constexpr int kN = 20;
+    if (me == 0) {
+      std::array<int, kN> vals{};
+      for (int i = 0; i < kN; ++i) {
+        vals[static_cast<std::size_t>(i)] = i * 3;
+        ASSERT_EQ(e.isend_noreq(&vals[static_cast<std::size_t>(i)], 1, kInt, 1,
+                                static_cast<Tag>(i), kCommWorld),
+                  Err::Success);
+      }
+      ASSERT_EQ(e.comm_waitall(kCommWorld), Err::Success);
+      EXPECT_EQ(e.live_requests(), 0u);  // no user-visible requests were made
+    } else {
+      for (int i = 0; i < kN; ++i) {
+        int got = -1;
+        ASSERT_EQ(e.recv(&got, 1, kInt, 0, static_cast<Tag>(i), kCommWorld, nullptr),
+                  Err::Success);
+        EXPECT_EQ(got, i * 3);
+      }
+    }
+  });
+}
+
+TEST(ExtNoreq, RendezvousSizedNoreqCompletes) {
+  spmd(2, [](Engine& e) {
+    constexpr int kBig = 64 * 1024;  // > eager threshold: exercises the hidden
+                                     // request + outstanding counter path
+    if (e.world_rank() == 0) {
+      std::vector<int> data(kBig, 9);
+      ASSERT_EQ(e.isend_noreq(data.data(), kBig, kInt, 1, 1, kCommWorld), Err::Success);
+      // The buffer must stay live until comm_waitall returns.
+      ASSERT_EQ(e.comm_waitall(kCommWorld), Err::Success);
+      EXPECT_EQ(e.live_requests(), 0u);
+    } else {
+      std::vector<int> data(kBig, 0);
+      ASSERT_EQ(e.recv(data.data(), kBig, kInt, 0, 1, kCommWorld, nullptr), Err::Success);
+      EXPECT_EQ(data[0], 9);
+      EXPECT_EQ(data[kBig - 1], 9);
+    }
+  });
+}
+
+TEST(ExtNoreq, WaitallOnQuietCommReturnsImmediately) {
+  spmd(1, [](Engine& e) {
+    ASSERT_EQ(e.comm_waitall(kCommWorld), Err::Success);
+  });
+}
+
+TEST(ExtNomatch, ArrivalOrderDelivery) {
+  spmd(2, [](Engine& e) {
+    if (e.world_rank() == 0) {
+      // Three messages, sent in this order; receiver gets them in arrival
+      // order regardless of any tag-like distinctions.
+      for (int v : {11, 22, 33}) {
+        Request r = kRequestNull;
+        ASSERT_EQ(e.isend_nomatch(&v, 1, kInt, 1, kCommWorld, &r), Err::Success);
+        ASSERT_EQ(e.wait(&r, nullptr), Err::Success);
+      }
+    } else {
+      for (int expect : {11, 22, 33}) {
+        int got = 0;
+        Request r = kRequestNull;
+        ASSERT_EQ(e.irecv_nomatch(&got, 1, kInt, kCommWorld, &r), Err::Success);
+        ASSERT_EQ(e.wait(&r, nullptr), Err::Success);
+        EXPECT_EQ(got, expect);
+      }
+    }
+  });
+}
+
+TEST(ExtNomatch, MixedSourcesInterleaveByArrival) {
+  spmd(3, [](Engine& e) {
+    const int me = e.world_rank();
+    if (me == 0) {
+      int sum = 0;
+      for (int i = 0; i < 2; ++i) {
+        int got = 0;
+        Request r = kRequestNull;
+        ASSERT_EQ(e.irecv_nomatch(&got, 1, kInt, kCommWorld, &r), Err::Success);
+        Status st;
+        ASSERT_EQ(e.wait(&r, &st), Err::Success);
+        sum += got;
+        EXPECT_EQ(st.source, got);  // sender rank encoded in payload
+      }
+      EXPECT_EQ(sum, 3);
+    } else {
+      int v = me;
+      Request r = kRequestNull;
+      ASSERT_EQ(e.isend_nomatch(&v, 1, kInt, 0, kCommWorld, &r), Err::Success);
+      ASSERT_EQ(e.wait(&r, nullptr), Err::Success);
+    }
+  });
+}
+
+TEST(ExtNomatch, IsolatedFromFullMatchTraffic) {
+  spmd(2, [](Engine& e) {
+    if (e.world_rank() == 0) {
+      int tagged = 5;
+      ASSERT_EQ(e.send(&tagged, 1, kInt, 1, 9, kCommWorld), Err::Success);
+      int nm = 6;
+      Request r = kRequestNull;
+      ASSERT_EQ(e.isend_nomatch(&nm, 1, kInt, 1, kCommWorld, &r), Err::Success);
+      ASSERT_EQ(e.wait(&r, nullptr), Err::Success);
+    } else {
+      // The nomatch receive must take only the arrival-order message even
+      // though the tagged message arrived first.
+      int got_nm = 0;
+      Request r = kRequestNull;
+      ASSERT_EQ(e.irecv_nomatch(&got_nm, 1, kInt, kCommWorld, &r), Err::Success);
+      ASSERT_EQ(e.wait(&r, nullptr), Err::Success);
+      EXPECT_EQ(got_nm, 6);
+      int got_tagged = 0;
+      ASSERT_EQ(e.recv(&got_tagged, 1, kInt, 0, 9, kCommWorld, nullptr), Err::Success);
+      EXPECT_EQ(got_tagged, 5);
+    }
+  });
+}
+
+TEST(ExtAllOpts, MinimalPathDelivers) {
+  spmd(2, [](Engine& e) {
+    ASSERT_EQ(e.comm_dup_predefined(kCommWorld, kComm1), Err::Success);
+    const int me = e.world_rank();
+    if (me == 0) {
+      const int v = 4242;
+      ASSERT_EQ(e.isend_all_opts(&v, 1, kInt, 1, kComm1), Err::Success);
+      ASSERT_EQ(e.comm_waitall(kComm1), Err::Success);
+    } else {
+      int got = 0;
+      Request r = kRequestNull;
+      ASSERT_EQ(e.irecv_nomatch(&got, 1, kInt, kComm1, &r), Err::Success);
+      ASSERT_EQ(e.wait(&r, nullptr), Err::Success);
+      EXPECT_EQ(got, 4242);
+    }
+    ASSERT_EQ(e.barrier(kCommWorld), Err::Success);
+  });
+}
+
+TEST(ExtAllOpts, LargeMessageFallsBackToRendezvous) {
+  spmd(2, [](Engine& e) {
+    ASSERT_EQ(e.comm_dup_predefined(kCommWorld, kComm2), Err::Success);
+    constexpr int kBig = 32 * 1024;
+    if (e.world_rank() == 0) {
+      std::vector<double> big(kBig, 2.5);
+      ASSERT_EQ(e.isend_all_opts(big.data(), kBig, kDouble, 1, kComm2), Err::Success);
+      ASSERT_EQ(e.comm_waitall(kComm2), Err::Success);
+    } else {
+      std::vector<double> got(kBig, 0.0);
+      Request r = kRequestNull;
+      ASSERT_EQ(e.irecv_nomatch(got.data(), kBig, kDouble, kComm2, &r), Err::Success);
+      ASSERT_EQ(e.wait(&r, nullptr), Err::Success);
+      EXPECT_EQ(got[0], 2.5);
+      EXPECT_EQ(got[kBig - 1], 2.5);
+    }
+    ASSERT_EQ(e.barrier(kCommWorld), Err::Success);
+  });
+}
+
+}  // namespace
+}  // namespace lwmpi

@@ -1,0 +1,146 @@
+// Network simulator (fabric + profiles) tests.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/fabric.hpp"
+#include "net/profile.hpp"
+#include "runtime/backoff.hpp"
+
+namespace lwmpi::net {
+namespace {
+
+rt::Packet* make_packet(Tag tag) {
+  rt::Packet* p = rt::PacketPool::alloc();
+  p->hdr.tag = tag;
+  return p;
+}
+
+TEST(Profile, SerializationTime) {
+  Profile p;
+  p.bytes_per_us = 1000;  // 1 GB/s
+  EXPECT_EQ(p.serialization_ns(0), 0u);
+  EXPECT_EQ(p.serialization_ns(1000), 1000u);
+  EXPECT_EQ(p.serialization_ns(500), 500u);
+  Profile inf;
+  EXPECT_EQ(inf.serialization_ns(1 << 20), 0u);  // infinite bandwidth
+}
+
+TEST(Profile, NamedProfilesAreSane) {
+  EXPECT_GT(psm2().inject_cost_ns, 0u);
+  EXPECT_GT(ucx_edr().inject_cost_ns, psm2().inject_cost_ns);
+  EXPECT_TRUE(infinite().blackhole);
+  EXPECT_EQ(infinite().inject_cost_ns, 0u);
+  EXPECT_GT(bgq().latency_ns, psm2().latency_ns);
+  // shm path must be cheaper than the network path on every real profile.
+  for (const Profile& p : {psm2(), ucx_edr(), bgq()}) {
+    EXPECT_LT(p.shm_inject_cost_ns, p.inject_cost_ns) << p.name;
+    EXPECT_LT(p.shm_latency_ns, p.latency_ns) << p.name;
+  }
+}
+
+TEST(Fabric, NodeLocality) {
+  Fabric f(8, 4, loopback());
+  EXPECT_EQ(f.node_of(0), 0);
+  EXPECT_EQ(f.node_of(3), 0);
+  EXPECT_EQ(f.node_of(4), 1);
+  EXPECT_TRUE(f.same_node(0, 3));
+  EXPECT_FALSE(f.same_node(3, 4));
+  EXPECT_EQ(f.ranks_per_node(), 4);
+}
+
+TEST(Fabric, RanksPerNodeClampedToOne) {
+  Fabric f(4, 0, loopback());
+  EXPECT_EQ(f.ranks_per_node(), 1);
+  EXPECT_FALSE(f.same_node(0, 1));
+}
+
+TEST(Fabric, DeliversInOrder) {
+  Fabric f(2, 2, loopback());
+  for (Tag t = 0; t < 5; ++t) f.inject(0, 1, make_packet(t));
+  for (Tag t = 0; t < 5; ++t) {
+    rt::Packet* p = f.poll(1);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->hdr.tag, t);
+    rt::PacketPool::free(p);
+  }
+  EXPECT_EQ(f.poll(1), nullptr);
+  EXPECT_TRUE(f.idle(1));
+}
+
+TEST(Fabric, CountsInjectedAndDelivered) {
+  Fabric f(2, 2, loopback());
+  f.inject(0, 1, make_packet(1));
+  f.inject(0, 1, make_packet(2));
+  EXPECT_EQ(f.injected(1), 2u);
+  EXPECT_EQ(f.delivered(1), 0u);
+  rt::PacketPool::free(f.poll(1));
+  EXPECT_EQ(f.delivered(1), 1u);
+  rt::PacketPool::free(f.poll(1));
+  EXPECT_EQ(f.delivered(1), 2u);
+}
+
+TEST(Fabric, BlackholeDropsAtInjection) {
+  Fabric f(2, 2, infinite());
+  f.inject(0, 1, make_packet(1));
+  f.inject(0, 1, make_packet(2));
+  EXPECT_EQ(f.dropped(), 2u);
+  EXPECT_EQ(f.injected(1), 0u);
+  EXPECT_EQ(f.poll(1), nullptr);
+}
+
+TEST(Fabric, LatencyMaturation) {
+  Profile p;
+  p.latency_ns = 3'000'000;  // 3 ms inter-node
+  p.shm_latency_ns = 0;
+  Fabric f(4, 2, p);
+  f.inject(0, 2, make_packet(7));  // cross-node: latency applies
+  // Immediately after injection the packet has not matured.
+  EXPECT_EQ(f.poll(2), nullptr);
+  std::this_thread::sleep_for(std::chrono::milliseconds(6));
+  rt::Packet* got = f.poll(2);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->hdr.tag, 7);
+  rt::PacketPool::free(got);
+}
+
+TEST(Fabric, IntraNodeSkipsNetworkLatency) {
+  Profile p;
+  p.latency_ns = 50'000'000;  // would stall for 50 ms if misclassified
+  p.shm_latency_ns = 0;
+  Fabric f(4, 2, p);
+  f.inject(0, 1, make_packet(9));  // same node
+  rt::Packet* got = f.poll(1);
+  ASSERT_NE(got, nullptr);
+  rt::PacketPool::free(got);
+}
+
+TEST(Fabric, InjectionCostIsPaid) {
+  Profile p;
+  p.inject_cost_ns = 2'000'000;  // 2 ms, measurable
+  Fabric f(2, 1, p);
+  const auto t0 = rt::now_ns();
+  f.inject(0, 1, make_packet(1));
+  const auto dt = rt::now_ns() - t0;
+  EXPECT_GE(dt, 2'000'000u);
+  rt::PacketPool::free(f.poll(1));
+}
+
+TEST(Fabric, ChargeInjectionWithoutPacket) {
+  Profile p;
+  p.inject_cost_ns = 2'000'000;
+  Fabric f(2, 1, p);
+  const auto t0 = rt::now_ns();
+  f.charge_injection(0, 1);
+  EXPECT_GE(rt::now_ns() - t0, 2'000'000u);
+  EXPECT_EQ(f.poll(1), nullptr);  // nothing was transmitted
+}
+
+TEST(Backoff, SpinForNsWaitsAtLeastThatLong) {
+  const auto t0 = rt::now_ns();
+  rt::spin_for_ns(1'000'000);
+  EXPECT_GE(rt::now_ns() - t0, 1'000'000u);
+}
+
+}  // namespace
+}  // namespace lwmpi::net

@@ -1,0 +1,127 @@
+// Info-hint tests, including the Section-3.6 alternative proposal: an
+// arrival-order assertion on the communicator instead of the _NOMATCH
+// routines, costing an extra hint branch on every send.
+#include <gtest/gtest.h>
+
+#include "cost/meter.hpp"
+#include "cost/model.hpp"
+#include "util.hpp"
+
+namespace lwmpi {
+namespace {
+
+using test::spmd;
+
+TEST(Hints, SetAndGetRoundTrip) {
+  spmd(1, [](Engine& e) {
+    Comm dup = kCommNull;
+    ASSERT_EQ(e.comm_dup(kCommWorld, &dup), Err::Success);
+    ASSERT_EQ(e.comm_set_info(dup, "my_key", "my_value"), Err::Success);
+    std::string v;
+    ASSERT_EQ(e.comm_get_info(dup, "my_key", &v), Err::Success);
+    EXPECT_EQ(v, "my_value");
+    EXPECT_EQ(e.comm_get_info(dup, "missing", &v), Err::Arg);
+    // Overwrite.
+    ASSERT_EQ(e.comm_set_info(dup, "my_key", "new"), Err::Success);
+    ASSERT_EQ(e.comm_get_info(dup, "my_key", &v), Err::Success);
+    EXPECT_EQ(v, "new");
+    ASSERT_EQ(e.comm_free(&dup), Err::Success);
+  });
+}
+
+TEST(Hints, ArrivalOrderHintDelivers) {
+  spmd(2, [](Engine& e) {
+    Comm hinted = kCommNull;
+    ASSERT_EQ(e.comm_dup(kCommWorld, &hinted), Err::Success);
+    ASSERT_EQ(e.comm_set_info(hinted, "lwmpi_arrival_order", "true"), Err::Success);
+    if (e.world_rank() == 0) {
+      for (int v : {5, 6, 7}) {
+        // Plain isend on a hinted communicator behaves like _NOMATCH.
+        Request r = kRequestNull;
+        ASSERT_EQ(e.isend(&v, 1, kInt, 1, /*tag ignored=*/v, hinted, &r), Err::Success);
+        ASSERT_EQ(e.wait(&r, nullptr), Err::Success);
+      }
+    } else {
+      for (int expect : {5, 6, 7}) {
+        int got = 0;
+        Request r = kRequestNull;
+        ASSERT_EQ(e.irecv_nomatch(&got, 1, kInt, hinted, &r), Err::Success);
+        ASSERT_EQ(e.wait(&r, nullptr), Err::Success);
+        EXPECT_EQ(got, expect);  // arrival order, tags ignored
+      }
+    }
+    ASSERT_EQ(e.barrier(kCommWorld), Err::Success);
+    ASSERT_EQ(e.comm_free(&hinted), Err::Success);
+  });
+}
+
+TEST(Hints, HintCostsBranchOverNomatchRoutine) {
+  // Section 3.6: the hint design is semantically equivalent to _NOMATCH but
+  // adds an extra branch (two instructions here) to the critical path.
+  cost::Meter hint_m, routine_m;
+  WorldOptions o = test::fast_opts();
+  o.build = BuildConfig::no_err_single_ipo();
+  World w(2, o);
+  w.run([&](Engine& e) {
+    if (e.world_rank() != 0) return;
+    Comm hinted = kCommNull;
+    ASSERT_EQ(e.comm_dup(kCommWorld, &hinted), Err::Success);
+    ASSERT_EQ(e.comm_set_info(hinted, "lwmpi_arrival_order", "true"), Err::Success);
+    int v = 1;
+    Request r = kRequestNull;
+    {
+      cost::ScopedMeter arm(hint_m);
+      ASSERT_EQ(e.isend(&v, 1, kInt, 1, 0, hinted, &r), Err::Success);
+    }
+    ASSERT_EQ(e.wait(&r, nullptr), Err::Success);
+    {
+      cost::ScopedMeter arm(routine_m);
+      ASSERT_EQ(e.isend_nomatch(&v, 1, kInt, 1, hinted, &r), Err::Success);
+    }
+    ASSERT_EQ(e.wait(&r, nullptr), Err::Success);
+  });
+  EXPECT_EQ(hint_m.total(), routine_m.total() + cost::kMandHintBranch);
+}
+
+TEST(Hints, HintDoesNotLeakIntoCollectives) {
+  // Collectives on a hinted communicator still use full matching on the
+  // collective plane (their algorithms rely on source/tag selection).
+  spmd(3, [](Engine& e) {
+    Comm hinted = kCommNull;
+    ASSERT_EQ(e.comm_dup(kCommWorld, &hinted), Err::Success);
+    ASSERT_EQ(e.comm_set_info(hinted, "lwmpi_arrival_order", "true"), Err::Success);
+    const int me = e.world_rank();
+    int sum = 0;
+    ASSERT_EQ(e.allreduce(&me, &sum, 1, kInt, ReduceOp::Sum, hinted), Err::Success);
+    EXPECT_EQ(sum, 3);
+    std::array<int, 3> all{};
+    ASSERT_EQ(e.allgather(&me, 1, kInt, all.data(), 1, kInt, hinted), Err::Success);
+    EXPECT_EQ(all[2], 2);
+    ASSERT_EQ(e.comm_free(&hinted), Err::Success);
+  });
+}
+
+TEST(Hints, UnrelatedHintLeavesMatchingAlone) {
+  spmd(2, [](Engine& e) {
+    Comm c = kCommNull;
+    ASSERT_EQ(e.comm_dup(kCommWorld, &c), Err::Success);
+    ASSERT_EQ(e.comm_set_info(c, "some_other_hint", "whatever"), Err::Success);
+    if (e.world_rank() == 0) {
+      int a = 1, b = 2;
+      ASSERT_EQ(e.send(&a, 1, kInt, 1, 10, c), Err::Success);
+      ASSERT_EQ(e.send(&b, 1, kInt, 1, 11, c), Err::Success);
+    } else {
+      int v = 0;
+      // Out-of-order receive by tag must still work (full matching).
+      ASSERT_EQ(e.recv(&v, 1, kInt, 0, 11, c, nullptr), Err::Success);
+      EXPECT_EQ(v, 2);
+      ASSERT_EQ(e.recv(&v, 1, kInt, 0, 10, c, nullptr), Err::Success);
+      EXPECT_EQ(v, 1);
+    }
+    ASSERT_EQ(e.barrier(kCommWorld), Err::Success);
+    ASSERT_EQ(e.comm_free(&c), Err::Success);
+  });
+}
+
+}  // namespace
+}  // namespace lwmpi

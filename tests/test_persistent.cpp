@@ -1,0 +1,134 @@
+// Persistent-request tests: SEND_INIT / RECV_INIT / START / REQUEST_FREE.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util.hpp"
+
+namespace lwmpi {
+namespace {
+
+using test::spmd;
+
+TEST(Persistent, RepeatedStartReusesBinding) {
+  spmd(2, [](Engine& e) {
+    constexpr int kRounds = 20;
+    if (e.world_rank() == 0) {
+      int buf = 0;
+      Request sreq = kRequestNull;
+      ASSERT_EQ(e.send_init(&buf, 1, kInt, 1, 7, kCommWorld, &sreq), Err::Success);
+      for (int i = 0; i < kRounds; ++i) {
+        buf = i * i;
+        ASSERT_EQ(e.start(&sreq), Err::Success);
+        ASSERT_EQ(e.wait(&sreq, nullptr), Err::Success);
+        EXPECT_NE(sreq, kRequestNull);  // handle survives completion
+      }
+      ASSERT_EQ(e.request_free(&sreq), Err::Success);
+      EXPECT_EQ(sreq, kRequestNull);
+    } else {
+      int buf = -1;
+      Request rreq = kRequestNull;
+      ASSERT_EQ(e.recv_init(&buf, 1, kInt, 0, 7, kCommWorld, &rreq), Err::Success);
+      for (int i = 0; i < kRounds; ++i) {
+        ASSERT_EQ(e.start(&rreq), Err::Success);
+        Status st;
+        ASSERT_EQ(e.wait(&rreq, &st), Err::Success);
+        EXPECT_EQ(buf, i * i);
+        EXPECT_EQ(st.source, 0);
+        EXPECT_EQ(st.tag, 7);
+      }
+      ASSERT_EQ(e.request_free(&rreq), Err::Success);
+    }
+    EXPECT_EQ(e.live_requests(), 0u);
+  });
+}
+
+TEST(Persistent, WaitOnInactiveIsImmediate) {
+  spmd(1, [](Engine& e) {
+    int buf = 0;
+    Request r = kRequestNull;
+    ASSERT_EQ(e.send_init(&buf, 1, kInt, kProcNull, 0, kCommWorld, &r), Err::Success);
+    Status st;
+    ASSERT_EQ(e.wait(&r, &st), Err::Success);  // never started: trivially done
+    EXPECT_NE(r, kRequestNull);
+    bool flag = false;
+    ASSERT_EQ(e.test(&r, &flag, nullptr), Err::Success);
+    EXPECT_TRUE(flag);
+    ASSERT_EQ(e.request_free(&r), Err::Success);
+  });
+}
+
+TEST(Persistent, DoubleStartRejected) {
+  spmd(1, [](Engine& e) {
+    int buf = 0;
+    Request r = kRequestNull;
+    // A receive that will not match: stays in flight.
+    ASSERT_EQ(e.recv_init(&buf, 1, kInt, 0, 5, kCommWorld, &r), Err::Success);
+    ASSERT_EQ(e.start(&r), Err::Success);
+    EXPECT_EQ(e.start(&r), Err::Pending);
+    // Free reaps the in-flight receive after satisfying it.
+    int v = 3;
+    ASSERT_EQ(e.send(&v, 1, kInt, 0, 5, kCommWorld), Err::Success);
+    ASSERT_EQ(e.request_free(&r), Err::Success);
+    EXPECT_EQ(buf, 3);
+    EXPECT_EQ(e.live_requests(), 0u);
+  });
+}
+
+TEST(Persistent, StartallHaloPattern) {
+  // The canonical persistent-request use: bind the halo exchange once,
+  // startall/waitall every iteration.
+  spmd(2, [](Engine& e) {
+    const int me = e.world_rank();
+    const Rank other = 1 - me;
+    int sendbuf = 0;
+    int recvbuf = -1;
+    std::vector<Request> reqs(2, kRequestNull);
+    ASSERT_EQ(e.recv_init(&recvbuf, 1, kInt, other, 2, kCommWorld, &reqs[0]), Err::Success);
+    ASSERT_EQ(e.send_init(&sendbuf, 1, kInt, other, 2, kCommWorld, &reqs[1]), Err::Success);
+    for (int it = 0; it < 10; ++it) {
+      sendbuf = me * 100 + it;
+      ASSERT_EQ(e.startall(reqs), Err::Success);
+      ASSERT_EQ(e.waitall(reqs, {}), Err::Success);
+      EXPECT_EQ(recvbuf, other * 100 + it);
+      // waitall must leave persistent handles allocated (inactive).
+      EXPECT_NE(reqs[0], kRequestNull);
+      EXPECT_NE(reqs[1], kRequestNull);
+    }
+    ASSERT_EQ(e.request_free(&reqs[0]), Err::Success);
+    ASSERT_EQ(e.request_free(&reqs[1]), Err::Success);
+  });
+}
+
+TEST(Persistent, WaitanySeesStartedPersistent) {
+  spmd(2, [](Engine& e) {
+    if (e.world_rank() == 0) {
+      int v = 55;
+      ASSERT_EQ(e.send(&v, 1, kInt, 1, 1, kCommWorld), Err::Success);
+    } else {
+      int buf = 0;
+      std::vector<Request> reqs(1, kRequestNull);
+      ASSERT_EQ(e.recv_init(&buf, 1, kInt, 0, 1, kCommWorld, &reqs[0]), Err::Success);
+      ASSERT_EQ(e.start(&reqs[0]), Err::Success);
+      int idx = -1;
+      ASSERT_EQ(e.waitany(reqs, &idx, nullptr), Err::Success);
+      EXPECT_EQ(idx, 0);
+      EXPECT_EQ(buf, 55);
+      ASSERT_EQ(e.request_free(&reqs[0]), Err::Success);
+    }
+  });
+}
+
+TEST(Persistent, InitValidatesArguments) {
+  spmd(1, [](Engine& e) {
+    int buf = 0;
+    Request r = kRequestNull;
+    EXPECT_EQ(e.send_init(&buf, 1, kInt, 5, 0, kCommWorld, &r), Err::Rank);
+    EXPECT_EQ(e.send_init(&buf, -1, kInt, 0, 0, kCommWorld, &r), Err::Count);
+    EXPECT_EQ(e.recv_init(&buf, 1, kInt, 0, 0, kCommNull, &r), Err::Comm);
+    EXPECT_EQ(e.request_free(&r), Err::Request);  // never created
+  });
+}
+
+}  // namespace
+}  // namespace lwmpi

@@ -1,0 +1,168 @@
+// Generalized active-target (PSCW) synchronization tests.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "util.hpp"
+
+namespace lwmpi {
+namespace {
+
+using test::fast_opts;
+using test::spmd;
+
+// Build a group holding the given comm ranks of kCommWorld.
+Group make_group(Engine& e, std::initializer_list<int> ranks) {
+  Group world = kGroupNull;
+  EXPECT_EQ(e.comm_group(kCommWorld, &world), Err::Success);
+  Group g = kGroupNull;
+  std::vector<int> idx(ranks);
+  EXPECT_EQ(e.group_incl(world, idx, &g), Err::Success);
+  EXPECT_EQ(e.group_free(&world), Err::Success);
+  return g;
+}
+
+class PscwDevice : public ::testing::TestWithParam<DeviceKind> {};
+
+TEST_P(PscwDevice, OneOriginOneTarget) {
+  spmd(
+      2,
+      [](Engine& e) {
+        const int me = e.world_rank();
+        std::vector<int> mem(4, -1);
+        Win win = kWinNull;
+        ASSERT_EQ(e.win_create(mem.data(), mem.size() * sizeof(int), sizeof(int),
+                               kCommWorld, &win),
+                  Err::Success);
+        if (me == 1) {
+          // Target: expose to origin 0, then wait for its epoch to end.
+          Group origins = make_group(e, {0});
+          ASSERT_EQ(e.win_post(origins, win), Err::Success);
+          ASSERT_EQ(e.win_wait(win), Err::Success);
+          EXPECT_EQ(mem[2], 777);  // the put is complete after win_wait
+          ASSERT_EQ(e.group_free(&origins), Err::Success);
+        } else {
+          Group targets = make_group(e, {1});
+          ASSERT_EQ(e.win_start(targets, win), Err::Success);
+          const int v = 777;
+          ASSERT_EQ(e.put(&v, 1, kInt, 1, 2, 1, kInt, win), Err::Success);
+          ASSERT_EQ(e.win_complete(win), Err::Success);
+          ASSERT_EQ(e.group_free(&targets), Err::Success);
+        }
+        ASSERT_EQ(e.win_free(&win), Err::Success);
+      },
+      fast_opts(GetParam()));
+}
+
+TEST_P(PscwDevice, ManyOriginsOneTarget) {
+  spmd(
+      4,
+      [](Engine& e) {
+        const int me = e.world_rank();
+        std::vector<int> mem(4, 0);
+        Win win = kWinNull;
+        ASSERT_EQ(e.win_create(mem.data(), mem.size() * sizeof(int), sizeof(int),
+                               kCommWorld, &win),
+                  Err::Success);
+        if (me == 0) {
+          Group origins = make_group(e, {1, 2, 3});
+          ASSERT_EQ(e.win_post(origins, win), Err::Success);
+          ASSERT_EQ(e.win_wait(win), Err::Success);
+          EXPECT_EQ(mem[1], 10);
+          EXPECT_EQ(mem[2], 20);
+          EXPECT_EQ(mem[3], 30);
+          ASSERT_EQ(e.group_free(&origins), Err::Success);
+        } else {
+          Group target = make_group(e, {0});
+          ASSERT_EQ(e.win_start(target, win), Err::Success);
+          const int v = me * 10;
+          ASSERT_EQ(e.put(&v, 1, kInt, 0, static_cast<std::uint64_t>(me), 1, kInt, win),
+                    Err::Success);
+          ASSERT_EQ(e.win_complete(win), Err::Success);
+          ASSERT_EQ(e.group_free(&target), Err::Success);
+        }
+        ASSERT_EQ(e.barrier(kCommWorld), Err::Success);
+        ASSERT_EQ(e.win_free(&win), Err::Success);
+      },
+      fast_opts(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(BothDevices, PscwDevice,
+                         ::testing::Values(DeviceKind::Ch4, DeviceKind::Orig));
+
+TEST(Pscw, RepeatedEpochs) {
+  spmd(2, [](Engine& e) {
+    const int me = e.world_rank();
+    std::vector<int> mem(1, 0);
+    Win win = kWinNull;
+    ASSERT_EQ(e.win_create(mem.data(), sizeof(int), sizeof(int), kCommWorld, &win),
+              Err::Success);
+    for (int round = 0; round < 5; ++round) {
+      if (me == 1) {
+        Group origins = make_group(e, {0});
+        ASSERT_EQ(e.win_post(origins, win), Err::Success);
+        ASSERT_EQ(e.win_wait(win), Err::Success);
+        EXPECT_EQ(mem[0], round);
+        ASSERT_EQ(e.group_free(&origins), Err::Success);
+      } else {
+        Group targets = make_group(e, {1});
+        ASSERT_EQ(e.win_start(targets, win), Err::Success);
+        ASSERT_EQ(e.put(&round, 1, kInt, 1, 0, 1, kInt, win), Err::Success);
+        ASSERT_EQ(e.win_complete(win), Err::Success);
+        ASSERT_EQ(e.group_free(&targets), Err::Success);
+      }
+    }
+    ASSERT_EQ(e.win_free(&win), Err::Success);
+  });
+}
+
+TEST(Pscw, PairwiseExchange) {
+  // Both ranks are simultaneously origin and target (symmetric halo-like
+  // pattern with overlapping access and exposure epochs).
+  spmd(2, [](Engine& e) {
+    const int me = e.world_rank();
+    const int other = 1 - me;
+    std::vector<int> mem(1, -1);
+    Win win = kWinNull;
+    ASSERT_EQ(e.win_create(mem.data(), sizeof(int), sizeof(int), kCommWorld, &win),
+              Err::Success);
+    Group peer = make_group(e, {other});
+    ASSERT_EQ(e.win_post(peer, win), Err::Success);
+    ASSERT_EQ(e.win_start(peer, win), Err::Success);
+    const int v = 500 + me;
+    ASSERT_EQ(e.put(&v, 1, kInt, other, 0, 1, kInt, win), Err::Success);
+    ASSERT_EQ(e.win_complete(win), Err::Success);
+    ASSERT_EQ(e.win_wait(win), Err::Success);
+    EXPECT_EQ(mem[0], 500 + other);
+    ASSERT_EQ(e.group_free(&peer), Err::Success);
+    ASSERT_EQ(e.win_free(&win), Err::Success);
+  });
+}
+
+TEST(Pscw, CompleteWithoutStartRejected) {
+  spmd(1, [](Engine& e) {
+    std::vector<int> mem(1, 0);
+    Win win = kWinNull;
+    ASSERT_EQ(e.win_create(mem.data(), sizeof(int), sizeof(int), kCommWorld, &win),
+              Err::Success);
+    EXPECT_EQ(e.win_complete(win), Err::RmaSync);
+    ASSERT_EQ(e.win_free(&win), Err::Success);
+  });
+}
+
+TEST(Pscw, PutOutsideEpochStillRejected) {
+  spmd(2, [](Engine& e) {
+    std::vector<int> mem(1, 0);
+    Win win = kWinNull;
+    ASSERT_EQ(e.win_create(mem.data(), sizeof(int), sizeof(int), kCommWorld, &win),
+              Err::Success);
+    const int v = 1;
+    // No fence/lock/start: epoch violation under error checking.
+    EXPECT_EQ(e.put(&v, 1, kInt, 1 - e.world_rank(), 0, 1, kInt, win), Err::RmaSync);
+    ASSERT_EQ(e.win_free(&win), Err::Success);
+  });
+}
+
+}  // namespace
+}  // namespace lwmpi

@@ -1,0 +1,214 @@
+// Lock-free queue and packet-pool substrate tests.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "runtime/mpsc_queue.hpp"
+#include "runtime/packet.hpp"
+#include "runtime/spsc_ring.hpp"
+
+namespace lwmpi::rt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SpscRing
+// ---------------------------------------------------------------------------
+
+TEST(SpscRing, StartsEmpty) {
+  SpscRing<int> ring(8);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.size_approx(), 0u);
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(SpscRing, PushPopSingle) {
+  SpscRing<int> ring(8);
+  EXPECT_TRUE(ring.try_push(42));
+  EXPECT_FALSE(ring.empty());
+  auto v = ring.try_pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, FifoOrder) {
+  SpscRing<int> ring(16);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(ring.try_push(i));
+  for (int i = 0; i < 10; ++i) {
+    auto v = ring.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(SpscRing, CapacityRoundedToPowerOfTwo) {
+  SpscRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 7u);  // bit_ceil(5)=8, minus the sentinel slot
+}
+
+TEST(SpscRing, RejectsWhenFull) {
+  SpscRing<int> ring(4);  // capacity 3
+  int pushed = 0;
+  while (ring.try_push(pushed)) ++pushed;
+  EXPECT_EQ(pushed, 3);
+  ASSERT_TRUE(ring.try_pop().has_value());
+  EXPECT_TRUE(ring.try_push(99));  // slot freed
+}
+
+TEST(SpscRing, WrapsAround) {
+  SpscRing<int> ring(4);
+  for (int round = 0; round < 20; ++round) {
+    EXPECT_TRUE(ring.try_push(round));
+    auto v = ring.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, round);
+  }
+}
+
+TEST(SpscRing, ConcurrentProducerConsumer) {
+  constexpr int kCount = 20000;
+  SpscRing<int> ring(64);
+  std::atomic<long long> sum{0};
+  std::thread consumer([&] {
+    int got = 0;
+    while (got < kCount) {
+      if (auto v = ring.try_pop()) {
+        sum += *v;
+        ++got;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (int i = 0; i < kCount; ++i) {
+    while (!ring.try_push(i)) std::this_thread::yield();
+  }
+  consumer.join();
+  EXPECT_EQ(sum.load(), static_cast<long long>(kCount) * (kCount - 1) / 2);
+}
+
+// ---------------------------------------------------------------------------
+// MpscQueue
+// ---------------------------------------------------------------------------
+
+struct Node : MpscNode {
+  int value = 0;
+};
+
+TEST(MpscQueue, StartsEmpty) {
+  MpscQueue<Node> q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pop(), nullptr);
+}
+
+TEST(MpscQueue, SingleThreadFifo) {
+  MpscQueue<Node> q;
+  std::vector<std::unique_ptr<Node>> nodes;
+  for (int i = 0; i < 10; ++i) {
+    nodes.push_back(std::make_unique<Node>());
+    nodes.back()->value = i;
+    q.push(nodes.back().get());
+  }
+  EXPECT_FALSE(q.empty());
+  for (int i = 0; i < 10; ++i) {
+    Node* n = q.pop();
+    ASSERT_NE(n, nullptr);
+    EXPECT_EQ(n->value, i);
+  }
+  EXPECT_EQ(q.pop(), nullptr);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(MpscQueue, InterleavedPushPop) {
+  MpscQueue<Node> q;
+  std::array<Node, 6> nodes;
+  q.push(&nodes[0]);
+  q.push(&nodes[1]);
+  EXPECT_EQ(q.pop(), &nodes[0]);
+  q.push(&nodes[2]);
+  EXPECT_EQ(q.pop(), &nodes[1]);
+  EXPECT_EQ(q.pop(), &nodes[2]);
+  EXPECT_EQ(q.pop(), nullptr);
+  q.push(&nodes[3]);
+  EXPECT_EQ(q.pop(), &nodes[3]);
+}
+
+TEST(MpscQueue, MultiProducerStress) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  MpscQueue<Node> q;
+  std::vector<std::vector<std::unique_ptr<Node>>> storage(kProducers);
+  for (auto& v : storage) {
+    v.reserve(kPerProducer);
+    for (int i = 0; i < kPerProducer; ++i) v.push_back(std::make_unique<Node>());
+  }
+
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        storage[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)]->value =
+            t * kPerProducer + i;
+        q.push(storage[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)].get());
+      }
+    });
+  }
+  // Consume concurrently; verify per-producer FIFO.
+  std::vector<int> last_seen(kProducers, -1);
+  int total = 0;
+  while (total < kProducers * kPerProducer) {
+    Node* n = q.pop();
+    if (n == nullptr) {
+      std::this_thread::yield();
+      continue;
+    }
+    const int producer = n->value / kPerProducer;
+    const int seq = n->value % kPerProducer;
+    EXPECT_GT(seq, last_seen[static_cast<std::size_t>(producer)]);
+    last_seen[static_cast<std::size_t>(producer)] = seq;
+    ++total;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(q.pop(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// PacketPool
+// ---------------------------------------------------------------------------
+
+TEST(PacketPool, RecyclesPackets) {
+  PacketPool::tl_drain();
+  Packet* a = PacketPool::alloc();
+  a->hdr.tag = 77;
+  a->set_payload("abc", 3);
+  PacketPool::free(a);
+  EXPECT_EQ(PacketPool::tl_pool_size(), 1u);
+  Packet* b = PacketPool::alloc();
+  EXPECT_EQ(b, a);  // same storage reused
+  EXPECT_EQ(b->hdr.tag, 0);  // header reset
+  EXPECT_TRUE(b->payload.empty());
+  PacketPool::free(b);
+  PacketPool::tl_drain();
+}
+
+TEST(PacketPool, FreeNullIsNoop) {
+  PacketPool::free(nullptr);  // must not crash
+}
+
+TEST(PacketPool, PayloadRoundTrip) {
+  Packet* p = PacketPool::alloc();
+  const char data[] = "hello lwmpi";
+  p->set_payload(data, sizeof(data));
+  ASSERT_EQ(p->payload.size(), sizeof(data));
+  EXPECT_EQ(std::memcmp(p->bytes().data(), data, sizeof(data)), 0);
+  p->set_payload(nullptr, 0);
+  EXPECT_TRUE(p->payload.empty());
+  PacketPool::free(p);
+}
+
+}  // namespace
+}  // namespace lwmpi::rt

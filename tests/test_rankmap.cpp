@@ -1,0 +1,101 @@
+// Rank-map (network address translation) representation tests (Section 3.1).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "comm/rankmap.hpp"
+#include "cost/meter.hpp"
+#include "cost/model.hpp"
+
+namespace lwmpi::comm {
+namespace {
+
+TEST(RankMap, IdentityIsCompressed) {
+  RankMap m = RankMap::identity(16);
+  EXPECT_EQ(m.repr(), RankMap::Repr::Offset);
+  EXPECT_EQ(m.size(), 16);
+  EXPECT_EQ(m.memory_bytes(), 0u);
+  for (Rank r = 0; r < 16; ++r) EXPECT_EQ(m.to_world_nocharge(r), r);
+}
+
+TEST(RankMap, OffsetDetection) {
+  RankMap m = RankMap::from_list({5, 6, 7, 8});
+  EXPECT_EQ(m.repr(), RankMap::Repr::Offset);
+  EXPECT_EQ(m.to_world_nocharge(0), 5);
+  EXPECT_EQ(m.to_world_nocharge(3), 8);
+}
+
+TEST(RankMap, StrideDetection) {
+  RankMap m = RankMap::from_list({1, 3, 5, 7, 9});
+  EXPECT_EQ(m.repr(), RankMap::Repr::Strided);
+  EXPECT_EQ(m.memory_bytes(), 0u);
+  for (Rank r = 0; r < 5; ++r) EXPECT_EQ(m.to_world_nocharge(r), 1 + 2 * r);
+}
+
+TEST(RankMap, NegativeStride) {
+  RankMap m = RankMap::from_list({9, 6, 3, 0});
+  EXPECT_EQ(m.repr(), RankMap::Repr::Strided);
+  EXPECT_EQ(m.to_world_nocharge(0), 9);
+  EXPECT_EQ(m.to_world_nocharge(3), 0);
+}
+
+TEST(RankMap, IrregularFallsBackToDirect) {
+  const std::vector<Rank> ranks = {0, 1, 3, 7};
+  RankMap m = RankMap::from_list(ranks);
+  EXPECT_EQ(m.repr(), RankMap::Repr::Direct);
+  EXPECT_EQ(m.memory_bytes(), 4 * sizeof(Rank));
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    EXPECT_EQ(m.to_world_nocharge(static_cast<Rank>(i)), ranks[i]);
+  }
+}
+
+TEST(RankMap, SingletonIsOffset) {
+  RankMap m = RankMap::from_list({42});
+  EXPECT_EQ(m.repr(), RankMap::Repr::Offset);
+  EXPECT_EQ(m.to_world_nocharge(0), 42);
+}
+
+TEST(RankMap, InverseLookup) {
+  RankMap s = RankMap::from_list({1, 3, 5});
+  EXPECT_EQ(s.from_world(3), 1);
+  EXPECT_EQ(s.from_world(5), 2);
+  EXPECT_EQ(s.from_world(4), -1);   // not a member (stride mismatch)
+  EXPECT_EQ(s.from_world(7), -1);   // out of range
+  RankMap d = RankMap::from_list({0, 1, 3, 7});
+  EXPECT_EQ(d.from_world(7), 3);
+  EXPECT_EQ(d.from_world(2), -1);
+}
+
+TEST(RankMap, ToListRoundTrip) {
+  const std::vector<Rank> irregular = {4, 0, 9, 2};
+  EXPECT_EQ(RankMap::from_list(irregular).to_list(), irregular);
+  const std::vector<Rank> strided = {2, 4, 6};
+  EXPECT_EQ(RankMap::from_list(strided).to_list(), strided);
+}
+
+TEST(RankMap, TranslationCostMatchesRepresentation) {
+  // Compressed representations cost ~11 modeled instructions, the O(P) direct
+  // table costs 2 -- the paper's Section 3.1 trade-off.
+  cost::Meter meter;
+  {
+    cost::ScopedMeter arm(meter);
+    RankMap::identity(8).to_world(3);
+  }
+  EXPECT_EQ(meter.reason(cost::Reason::RankTranslation), cost::kMandRankTranslateCompressed);
+
+  meter.reset();
+  {
+    cost::ScopedMeter arm(meter);
+    RankMap::from_list({0, 1, 3, 7}).to_world(2);
+  }
+  EXPECT_EQ(meter.reason(cost::Reason::RankTranslation), cost::kMandRankTranslateDirect);
+}
+
+TEST(RankMap, EmptyList) {
+  RankMap m = RankMap::from_list({});
+  EXPECT_EQ(m.size(), 0);
+  EXPECT_TRUE(m.to_list().empty());
+}
+
+}  // namespace
+}  // namespace lwmpi::comm

@@ -1,0 +1,239 @@
+// Property and stress tests: randomized (seeded, reproducible) traffic
+// patterns cross-checked against serial references.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util.hpp"
+
+namespace lwmpi {
+namespace {
+
+using test::fast_opts;
+using test::spmd;
+
+// Deterministic PRNG (splitmix64) so failures reproduce exactly.
+struct Rng {
+  std::uint64_t state;
+  explicit Rng(std::uint64_t seed) : state(seed) {}
+  std::uint64_t next() {
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  int range(int lo, int hi) {  // inclusive
+    return lo + static_cast<int>(next() % static_cast<std::uint64_t>(hi - lo + 1));
+  }
+};
+
+// Allreduce over random vectors must equal the serial elementwise reduction,
+// across the algorithm-selection boundary (small -> recursive doubling,
+// large power-of-two -> Rabenseifner).
+class AllreduceProperty : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AllreduceProperty, MatchesSerialReference) {
+  const int p = std::get<0>(GetParam());
+  const int count = std::get<1>(GetParam());
+  spmd(p, [&](Engine& e) {
+    const int me = e.world_rank();
+    std::vector<std::int64_t> mine(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      Rng rng(static_cast<std::uint64_t>(me) * 1000003 + static_cast<std::uint64_t>(i));
+      mine[static_cast<std::size_t>(i)] = static_cast<std::int64_t>(rng.next() % 1000) - 500;
+    }
+    std::vector<std::int64_t> got(static_cast<std::size_t>(count), 0);
+    ASSERT_EQ(e.allreduce(mine.data(), got.data(), count, kInt64, ReduceOp::Sum, kCommWorld),
+              Err::Success);
+    // Serial reference: every rank can recompute every rank's contribution.
+    for (int i = 0; i < count; ++i) {
+      std::int64_t expect = 0;
+      for (int rk = 0; rk < p; ++rk) {
+        Rng rng(static_cast<std::uint64_t>(rk) * 1000003 + static_cast<std::uint64_t>(i));
+        expect += static_cast<std::int64_t>(rng.next() % 1000) - 500;
+      }
+      ASSERT_EQ(got[static_cast<std::size_t>(i)], expect) << "element " << i;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndRanks, AllreduceProperty,
+    ::testing::Values(std::make_tuple(2, 1), std::make_tuple(2, 1024),
+                      std::make_tuple(2, 4096),   // crosses Rabenseifner threshold
+                      std::make_tuple(4, 7),      // count < p uses doubling
+                      std::make_tuple(4, 2048),   // Rabenseifner, non-divisible
+                      std::make_tuple(4, 2051),   // ragged blocks
+                      std::make_tuple(3, 2048),   // non-power-of-two: doubling
+                      std::make_tuple(8, 1029)));
+
+TEST(Stress, RandomTagSizeStorm) {
+  // Rank 0 <-> rank 1 exchange of many messages with random sizes and tags;
+  // posting order is shuffled on the receiver to exercise the unexpected
+  // queue and matching under load.
+  spmd(2, [](Engine& e) {
+    constexpr int kMsgs = 120;
+    Rng rng(42);
+    std::vector<int> sizes(kMsgs);
+    for (int i = 0; i < kMsgs; ++i) sizes[static_cast<std::size_t>(i)] = rng.range(1, 3000);
+    if (e.world_rank() == 0) {
+      std::vector<std::vector<std::int32_t>> bufs(kMsgs);
+      std::vector<Request> reqs(kMsgs, kRequestNull);
+      for (int i = 0; i < kMsgs; ++i) {
+        auto& b = bufs[static_cast<std::size_t>(i)];
+        b.assign(static_cast<std::size_t>(sizes[static_cast<std::size_t>(i)]), i);
+        ASSERT_EQ(e.isend(b.data(), static_cast<int>(b.size()), kInt32, 1,
+                          static_cast<Tag>(i), kCommWorld,
+                          &reqs[static_cast<std::size_t>(i)]),
+                  Err::Success);
+      }
+      ASSERT_EQ(e.waitall(reqs, {}), Err::Success);
+    } else {
+      // Post receives in a shuffled order.
+      std::vector<int> order(kMsgs);
+      std::iota(order.begin(), order.end(), 0);
+      Rng shuffler(7);
+      for (int i = kMsgs - 1; i > 0; --i) {
+        std::swap(order[static_cast<std::size_t>(i)],
+                  order[static_cast<std::size_t>(shuffler.range(0, i))]);
+      }
+      std::vector<std::vector<std::int32_t>> bufs(kMsgs);
+      std::vector<Request> reqs(kMsgs, kRequestNull);
+      for (int k = 0; k < kMsgs; ++k) {
+        const int i = order[static_cast<std::size_t>(k)];
+        auto& b = bufs[static_cast<std::size_t>(i)];
+        b.assign(static_cast<std::size_t>(sizes[static_cast<std::size_t>(i)]), -1);
+        ASSERT_EQ(e.irecv(b.data(), static_cast<int>(b.size()), kInt32, 0,
+                          static_cast<Tag>(i), kCommWorld,
+                          &reqs[static_cast<std::size_t>(i)]),
+                  Err::Success);
+      }
+      ASSERT_EQ(e.waitall(reqs, {}), Err::Success);
+      for (int i = 0; i < kMsgs; ++i) {
+        const auto& b = bufs[static_cast<std::size_t>(i)];
+        ASSERT_EQ(b.front(), i);
+        ASSERT_EQ(b.back(), i);
+      }
+    }
+    EXPECT_EQ(e.live_requests(), 0u);
+    EXPECT_EQ(e.unexpected_depth(), 0u);
+  });
+}
+
+TEST(Stress, AllToAllStormOnBothDevices) {
+  for (DeviceKind dev : {DeviceKind::Ch4, DeviceKind::Orig}) {
+    spmd(
+        4,
+        [](Engine& e) {
+          const int me = e.world_rank();
+          constexpr int kRounds = 15;
+          for (int round = 0; round < kRounds; ++round) {
+            std::vector<int> send(4), recv(4, -1);
+            for (int i = 0; i < 4; ++i) send[static_cast<std::size_t>(i)] =
+                me * 1000 + round * 10 + i;
+            ASSERT_EQ(e.alltoall(send.data(), 1, kInt, recv.data(), 1, kInt, kCommWorld),
+                      Err::Success);
+            for (int i = 0; i < 4; ++i) {
+              ASSERT_EQ(recv[static_cast<std::size_t>(i)], i * 1000 + round * 10 + me);
+            }
+          }
+        },
+        fast_opts(dev));
+  }
+}
+
+TEST(Stress, MixedTrafficKinds) {
+  // Pt2pt, collectives, and RMA interleaved in the same epoch of execution.
+  spmd(4, [](Engine& e) {
+    const int me = e.world_rank();
+    std::vector<int> wmem(4, 0);
+    Win win = kWinNull;
+    ASSERT_EQ(e.win_create(wmem.data(), wmem.size() * sizeof(int), sizeof(int), kCommWorld,
+                           &win),
+              Err::Success);
+    ASSERT_EQ(e.win_fence(win), Err::Success);
+    for (int round = 0; round < 8; ++round) {
+      // pt2pt ring
+      int token = me * 10 + round;
+      int got = -1;
+      const Rank to = static_cast<Rank>((me + 1) % 4);
+      const Rank from = static_cast<Rank>((me + 3) % 4);
+      ASSERT_EQ(e.sendrecv(&token, 1, kInt, to, 3, &got, 1, kInt, from, 3, kCommWorld,
+                           nullptr),
+                Err::Success);
+      ASSERT_EQ(got, ((me + 3) % 4) * 10 + round);
+      // RMA accumulate into every peer's round slot
+      const int one = 1;
+      for (int t = 0; t < 4; ++t) {
+        ASSERT_EQ(e.accumulate(&one, 1, kInt, static_cast<Rank>(t), 0, ReduceOp::Sum, win),
+                  Err::Success);
+      }
+      ASSERT_EQ(e.win_fence(win), Err::Success);
+      // collective checksum
+      int sum = 0;
+      ASSERT_EQ(e.allreduce(&me, &sum, 1, kInt, ReduceOp::Sum, kCommWorld), Err::Success);
+      ASSERT_EQ(sum, 6);
+    }
+    EXPECT_EQ(wmem[0], 4 * 8);  // 4 contributions per round, 8 rounds
+    ASSERT_EQ(e.win_free(&win), Err::Success);
+  });
+}
+
+TEST(Stress, CommChurn) {
+  // Repeated split/dup/free cycles must not leak slots or contexts.
+  spmd(4, [](Engine& e) {
+    const int me = e.world_rank();
+    for (int round = 0; round < 10; ++round) {
+      Comm half = kCommNull, quarter = kCommNull, dup = kCommNull;
+      ASSERT_EQ(e.comm_split(kCommWorld, me % 2, me, &half), Err::Success);
+      ASSERT_EQ(e.comm_dup(half, &dup), Err::Success);
+      ASSERT_EQ(e.comm_split(dup, e.rank(dup), 0, &quarter), Err::Success);
+      int one = 1, sum = 0;
+      ASSERT_EQ(e.allreduce(&one, &sum, 1, kInt, ReduceOp::Sum, half), Err::Success);
+      ASSERT_EQ(sum, 2);
+      ASSERT_EQ(e.comm_free(&quarter), Err::Success);
+      ASSERT_EQ(e.comm_free(&dup), Err::Success);
+      ASSERT_EQ(e.comm_free(&half), Err::Success);
+    }
+  });
+}
+
+TEST(Stress, LargeMessageBombardment) {
+  // Several concurrent rendezvous transfers in both directions.
+  spmd(2, [](Engine& e) {
+    constexpr int kN = 6;
+    constexpr int kElems = 100 * 1024;  // 400 KiB each: multi-segment rdv
+    const int me = e.world_rank();
+    std::vector<std::vector<int>> out(kN), in(kN);
+    std::vector<Request> reqs;
+    for (int i = 0; i < kN; ++i) {
+      out[static_cast<std::size_t>(i)].assign(kElems, me * 100 + i);
+      in[static_cast<std::size_t>(i)].assign(kElems, -1);
+      Request r = kRequestNull;
+      ASSERT_EQ(e.irecv(in[static_cast<std::size_t>(i)].data(), kElems, kInt, 1 - me,
+                        static_cast<Tag>(i), kCommWorld, &r),
+                Err::Success);
+      reqs.push_back(r);
+    }
+    for (int i = 0; i < kN; ++i) {
+      Request r = kRequestNull;
+      ASSERT_EQ(e.isend(out[static_cast<std::size_t>(i)].data(), kElems, kInt, 1 - me,
+                        static_cast<Tag>(i), kCommWorld, &r),
+                Err::Success);
+      reqs.push_back(r);
+    }
+    ASSERT_EQ(e.waitall(reqs, {}), Err::Success);
+    for (int i = 0; i < kN; ++i) {
+      const auto& b = in[static_cast<std::size_t>(i)];
+      ASSERT_EQ(b.front(), (1 - me) * 100 + i);
+      ASSERT_EQ(b.back(), (1 - me) * 100 + i);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace lwmpi

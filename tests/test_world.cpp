@@ -1,0 +1,98 @@
+// World runtime tests: SPMD launch, exception propagation, allocators,
+// engine identity, and configuration plumbing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "util.hpp"
+
+namespace lwmpi {
+namespace {
+
+TEST(World, EveryRankRunsExactlyOnce) {
+  std::atomic<int> count{0};
+  std::atomic<int> rank_sum{0};
+  test::spmd(5, [&](Engine& e) {
+    count.fetch_add(1);
+    rank_sum.fetch_add(e.world_rank());
+    EXPECT_EQ(e.world_size(), 5);
+  });
+  EXPECT_EQ(count.load(), 5);
+  EXPECT_EQ(rank_sum.load(), 10);
+}
+
+TEST(World, ExceptionsPropagateToCaller) {
+  World w(3, test::fast_opts());
+  EXPECT_THROW(w.run([](Engine& e) {
+    if (e.world_rank() == 1) throw std::runtime_error("rank 1 exploded");
+  }),
+               std::runtime_error);
+}
+
+TEST(World, ReusableAcrossRuns) {
+  World w(2, test::fast_opts());
+  for (int round = 0; round < 3; ++round) {
+    w.run([round](Engine& e) {
+      int v = round;
+      int sum = 0;
+      ASSERT_EQ(e.allreduce(&v, &sum, 1, kInt, ReduceOp::Sum, kCommWorld), Err::Success);
+      EXPECT_EQ(sum, 2 * round);
+    });
+  }
+}
+
+TEST(World, ContextAllocatorNeverReusesIds) {
+  World w(1, test::fast_opts());
+  const auto a = w.alloc_context_pair();
+  const auto b = w.alloc_context_pair();
+  const auto block = w.alloc_context_block(3);
+  const auto c = w.alloc_context_pair();
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, block);
+  EXPECT_GE(c, block + 6);
+  EXPECT_GE(a, kFirstDynamicCtx);
+}
+
+TEST(World, OptionsReachEngines) {
+  WorldOptions o;
+  o.device = DeviceKind::Orig;
+  o.build = BuildConfig::no_err_single();
+  o.ranks_per_node = 1;
+  World w(2, o);
+  EXPECT_EQ(w.engine(0).device(), DeviceKind::Orig);
+  EXPECT_FALSE(w.engine(1).config().error_checking);
+  EXPECT_FALSE(w.engine(1).config().thread_safety);
+  EXPECT_FALSE(w.fabric().same_node(0, 1));
+}
+
+TEST(World, EngineAccessorMatchesRank) {
+  World w(3, test::fast_opts());
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(w.engine(r).world_rank(), r);
+  }
+  EXPECT_THROW(w.engine(9), std::out_of_range);
+}
+
+TEST(World, WindowRegistryRoundTrip) {
+  World w(1, test::fast_opts());
+  auto g = std::make_shared<rma::WindowGlobal>();
+  g->id = w.alloc_win_id();
+  w.register_window(g);
+  EXPECT_EQ(w.find_window(g->id), g);
+  w.unregister_window(g->id);
+  EXPECT_EQ(w.find_window(g->id), nullptr);
+  EXPECT_EQ(w.find_window(999999), nullptr);
+}
+
+TEST(World, BuildConfigLabels) {
+  EXPECT_EQ(BuildConfig::dflt().label(), "default");
+  EXPECT_EQ(BuildConfig::no_err().label(), "no-err");
+  EXPECT_EQ(BuildConfig::no_err_single().label(), "no-err-single");
+  EXPECT_EQ(BuildConfig::no_err_single_ipo().label(), "no-err-single-ipo");
+  EXPECT_STREQ(to_string(DeviceKind::Ch4), "mpich/ch4");
+  EXPECT_STREQ(to_string(DeviceKind::Orig), "mpich/original");
+}
+
+}  // namespace
+}  // namespace lwmpi

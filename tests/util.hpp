@@ -1,0 +1,28 @@
+// Shared helpers for the lwmpi test suite.
+#pragma once
+
+#include <functional>
+
+#include "core/engine.hpp"
+#include "runtime/world.hpp"
+
+namespace lwmpi::test {
+
+// Default options for functional tests: zero-cost loopback network, 2 ranks
+// per simulated node so both shmmod and netmod paths are exercised.
+inline WorldOptions fast_opts(DeviceKind device = DeviceKind::Ch4) {
+  WorldOptions o;
+  o.ranks_per_node = 2;
+  o.profile = net::loopback();
+  o.device = device;
+  return o;
+}
+
+// Run an SPMD function over `n` ranks with the given options.
+inline void spmd(int n, const std::function<void(Engine&)>& fn,
+                 WorldOptions opts = fast_opts()) {
+  World w(n, std::move(opts));
+  w.run(fn);
+}
+
+}  // namespace lwmpi::test
