@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_mini.dir/md_mini.cpp.o"
+  "CMakeFiles/md_mini.dir/md_mini.cpp.o.d"
+  "md_mini"
+  "md_mini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_mini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_halo.dir/persistent_halo.cpp.o"
+  "CMakeFiles/persistent_halo.dir/persistent_halo.cpp.o.d"
+  "persistent_halo"
+  "persistent_halo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_halo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

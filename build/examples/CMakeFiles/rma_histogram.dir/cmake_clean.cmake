@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rma_histogram.dir/rma_histogram.cpp.o"
+  "CMakeFiles/rma_histogram.dir/rma_histogram.cpp.o.d"
+  "rma_histogram"
+  "rma_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rma_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

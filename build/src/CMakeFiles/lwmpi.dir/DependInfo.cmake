@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/md.cpp" "src/CMakeFiles/lwmpi.dir/apps/md.cpp.o" "gcc" "src/CMakeFiles/lwmpi.dir/apps/md.cpp.o.d"
+  "/root/repo/src/apps/nek.cpp" "src/CMakeFiles/lwmpi.dir/apps/nek.cpp.o" "gcc" "src/CMakeFiles/lwmpi.dir/apps/nek.cpp.o.d"
+  "/root/repo/src/apps/stencil.cpp" "src/CMakeFiles/lwmpi.dir/apps/stencil.cpp.o" "gcc" "src/CMakeFiles/lwmpi.dir/apps/stencil.cpp.o.d"
+  "/root/repo/src/coll/allreduce_large.cpp" "src/CMakeFiles/lwmpi.dir/coll/allreduce_large.cpp.o" "gcc" "src/CMakeFiles/lwmpi.dir/coll/allreduce_large.cpp.o.d"
+  "/root/repo/src/coll/coll.cpp" "src/CMakeFiles/lwmpi.dir/coll/coll.cpp.o" "gcc" "src/CMakeFiles/lwmpi.dir/coll/coll.cpp.o.d"
+  "/root/repo/src/coll/coll_v.cpp" "src/CMakeFiles/lwmpi.dir/coll/coll_v.cpp.o" "gcc" "src/CMakeFiles/lwmpi.dir/coll/coll_v.cpp.o.d"
+  "/root/repo/src/coll/ops.cpp" "src/CMakeFiles/lwmpi.dir/coll/ops.cpp.o" "gcc" "src/CMakeFiles/lwmpi.dir/coll/ops.cpp.o.d"
+  "/root/repo/src/comm/cart.cpp" "src/CMakeFiles/lwmpi.dir/comm/cart.cpp.o" "gcc" "src/CMakeFiles/lwmpi.dir/comm/cart.cpp.o.d"
+  "/root/repo/src/comm/comm_ops.cpp" "src/CMakeFiles/lwmpi.dir/comm/comm_ops.cpp.o" "gcc" "src/CMakeFiles/lwmpi.dir/comm/comm_ops.cpp.o.d"
+  "/root/repo/src/comm/rankmap.cpp" "src/CMakeFiles/lwmpi.dir/comm/rankmap.cpp.o" "gcc" "src/CMakeFiles/lwmpi.dir/comm/rankmap.cpp.o.d"
+  "/root/repo/src/common/types.cpp" "src/CMakeFiles/lwmpi.dir/common/types.cpp.o" "gcc" "src/CMakeFiles/lwmpi.dir/common/types.cpp.o.d"
+  "/root/repo/src/core/ch4_pt2pt.cpp" "src/CMakeFiles/lwmpi.dir/core/ch4_pt2pt.cpp.o" "gcc" "src/CMakeFiles/lwmpi.dir/core/ch4_pt2pt.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/CMakeFiles/lwmpi.dir/core/engine.cpp.o" "gcc" "src/CMakeFiles/lwmpi.dir/core/engine.cpp.o.d"
+  "/root/repo/src/core/persistent.cpp" "src/CMakeFiles/lwmpi.dir/core/persistent.cpp.o" "gcc" "src/CMakeFiles/lwmpi.dir/core/persistent.cpp.o.d"
+  "/root/repo/src/core/progress.cpp" "src/CMakeFiles/lwmpi.dir/core/progress.cpp.o" "gcc" "src/CMakeFiles/lwmpi.dir/core/progress.cpp.o.d"
+  "/root/repo/src/cost/meter.cpp" "src/CMakeFiles/lwmpi.dir/cost/meter.cpp.o" "gcc" "src/CMakeFiles/lwmpi.dir/cost/meter.cpp.o.d"
+  "/root/repo/src/datatype/datatype.cpp" "src/CMakeFiles/lwmpi.dir/datatype/datatype.cpp.o" "gcc" "src/CMakeFiles/lwmpi.dir/datatype/datatype.cpp.o.d"
+  "/root/repo/src/match/match.cpp" "src/CMakeFiles/lwmpi.dir/match/match.cpp.o" "gcc" "src/CMakeFiles/lwmpi.dir/match/match.cpp.o.d"
+  "/root/repo/src/net/fabric.cpp" "src/CMakeFiles/lwmpi.dir/net/fabric.cpp.o" "gcc" "src/CMakeFiles/lwmpi.dir/net/fabric.cpp.o.d"
+  "/root/repo/src/orig/orig_device.cpp" "src/CMakeFiles/lwmpi.dir/orig/orig_device.cpp.o" "gcc" "src/CMakeFiles/lwmpi.dir/orig/orig_device.cpp.o.d"
+  "/root/repo/src/rma/rma.cpp" "src/CMakeFiles/lwmpi.dir/rma/rma.cpp.o" "gcc" "src/CMakeFiles/lwmpi.dir/rma/rma.cpp.o.d"
+  "/root/repo/src/runtime/packet.cpp" "src/CMakeFiles/lwmpi.dir/runtime/packet.cpp.o" "gcc" "src/CMakeFiles/lwmpi.dir/runtime/packet.cpp.o.d"
+  "/root/repo/src/runtime/world.cpp" "src/CMakeFiles/lwmpi.dir/runtime/world.cpp.o" "gcc" "src/CMakeFiles/lwmpi.dir/runtime/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

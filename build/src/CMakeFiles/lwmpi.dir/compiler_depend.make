@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lwmpi.
+# This may be replaced when dependencies are built.

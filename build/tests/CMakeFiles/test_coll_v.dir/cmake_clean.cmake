@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coll_v.dir/test_coll_v.cpp.o"
+  "CMakeFiles/test_coll_v.dir/test_coll_v.cpp.o.d"
+  "test_coll_v"
+  "test_coll_v.pdb"
+  "test_coll_v[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coll_v.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datatype2.dir/test_datatype2.cpp.o"
+  "CMakeFiles/test_datatype2.dir/test_datatype2.cpp.o.d"
+  "test_datatype2"
+  "test_datatype2.pdb"
+  "test_datatype2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datatype2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_persistent.dir/test_persistent.cpp.o"
+  "CMakeFiles/test_persistent.dir/test_persistent.cpp.o.d"
+  "test_persistent"
+  "test_persistent.pdb"
+  "test_persistent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_persistent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

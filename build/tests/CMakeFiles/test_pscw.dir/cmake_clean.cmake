@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pscw.dir/test_pscw.cpp.o"
+  "CMakeFiles/test_pscw.dir/test_pscw.cpp.o.d"
+  "test_pscw"
+  "test_pscw.pdb"
+  "test_pscw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pscw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

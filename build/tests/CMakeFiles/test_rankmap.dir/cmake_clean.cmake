@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rankmap.dir/test_rankmap.cpp.o"
+  "CMakeFiles/test_rankmap.dir/test_rankmap.cpp.o.d"
+  "test_rankmap"
+  "test_rankmap.pdb"
+  "test_rankmap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rankmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

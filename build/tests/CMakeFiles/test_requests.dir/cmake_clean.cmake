@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_requests.dir/test_requests.cpp.o"
+  "CMakeFiles/test_requests.dir/test_requests.cpp.o.d"
+  "test_requests"
+  "test_requests.pdb"
+  "test_requests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_requests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

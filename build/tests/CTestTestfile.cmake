@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_queues[1]_include.cmake")
+include("/root/repo/build/tests/test_fabric[1]_include.cmake")
+include("/root/repo/build/tests/test_datatype[1]_include.cmake")
+include("/root/repo/build/tests/test_rankmap[1]_include.cmake")
+include("/root/repo/build/tests/test_match[1]_include.cmake")
+include("/root/repo/build/tests/test_pt2pt[1]_include.cmake")
+include("/root/repo/build/tests/test_coll[1]_include.cmake")
+include("/root/repo/build/tests/test_comm[1]_include.cmake")
+include("/root/repo/build/tests/test_rma[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_cost[1]_include.cmake")
+include("/root/repo/build/tests/test_errors[1]_include.cmake")
+include("/root/repo/build/tests/test_world[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_coll_v[1]_include.cmake")
+include("/root/repo/build/tests/test_requests[1]_include.cmake")
+include("/root/repo/build/tests/test_persistent[1]_include.cmake")
+include("/root/repo/build/tests/test_cart[1]_include.cmake")
+include("/root/repo/build/tests/test_datatype2[1]_include.cmake")
+include("/root/repo/build/tests/test_hints[1]_include.cmake")
+include("/root/repo/build/tests/test_pscw[1]_include.cmake")
+include("/root/repo/build/tests/test_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
