@@ -5,6 +5,11 @@
 // binomial bcast/reduce, recursive-doubling allreduce (with the usual
 // non-power-of-two pre/post fold), ring allgather, linear gather/scatter,
 // rotated pairwise alltoall, and a linear pipelined scan.
+//
+// VCI routing is automatic: every transfer goes through device_isend /
+// post_recv_common on the parent communicator, and the collective context
+// (ctx + 1) maps to the same channel as the communicator itself, so a
+// collective's whole packet exchange stays on one VCI.
 #include <cstring>
 #include <vector>
 

@@ -39,17 +39,16 @@ Err Engine::comm_dup_predefined(Comm comm, Comm predefined) {
   CommObject* c = comm_obj(comm);
   if (c == nullptr) return Err::Comm;
   if (handle_kind(predefined) != HandleKind::Comm) return Err::Comm;
-  const std::uint32_t idx = handle_payload(predefined);
-  if (idx >= comms_.size() || !comms_[idx].predefined_slot) return Err::Comm;
-  if (comms_[idx].in_use) return Err::Comm;  // must be freed first
+  CommObject* pre = comms_.at(handle_payload(predefined));
+  if (pre == nullptr || !pre->predefined_slot) return Err::Comm;
+  if (pre->in_use.load(std::memory_order_acquire)) return Err::Comm;  // must be freed first
 
   std::uint32_t ctx = 0;
   if (c->rank == 0) ctx = world_.alloc_context_pair();
   if (Err e = bcast(&ctx, 1, kUint32, 0, comm); !ok(e)) return e;
 
-  if (Err e = build_comm(predefined, c->map.to_list(), ctx); !ok(e)) return e;
-  comms_[idx].predefined_slot = true;  // build_comm resets nothing, keep flag
-  return Err::Success;
+  // build_comm keeps predefined_slot set, so the slot stays pinned to its VCI.
+  return build_comm(predefined, c->map.to_list(), ctx);
 }
 
 Err Engine::comm_split(Comm comm, int color, int key, Comm* newcomm) {
@@ -117,7 +116,13 @@ Err Engine::comm_free(Comm* comm) {
   CommObject* c = comm_obj(*comm);
   if (c == nullptr) return Err::Comm;
   if (*comm == kCommWorld || *comm == kCommSelf) return Err::Comm;  // not freeable
-  c->in_use = false;
+  {
+    // Unpublish, and release the dynamic-slot reservation so alloc_comm_slot
+    // can recycle it (predefined slots stay pinned for dup_predefined).
+    std::lock_guard<std::mutex> lk(comm_mu_);
+    c->in_use.store(false, std::memory_order_release);
+    c->reserved = false;
+  }
   *comm = kCommNull;
   return Err::Success;
 }
@@ -132,12 +137,12 @@ Err Engine::comm_set_info(Comm comm, std::string_view key, std::string_view valu
   for (auto& kv : c->info) {
     if (kv.first == key) {
       kv.second = std::string(value);
-      if (key == "lwmpi_arrival_order") c->hint_arrival_order = value == "true";
+      if (key == "lwmpi_arrival_order") c->hint_arrival_order.store(value == "true", std::memory_order_relaxed);
       return Err::Success;
     }
   }
   c->info.emplace_back(std::string(key), std::string(value));
-  if (key == "lwmpi_arrival_order") c->hint_arrival_order = value == "true";
+  if (key == "lwmpi_arrival_order") c->hint_arrival_order.store(value == "true", std::memory_order_relaxed);
   return Err::Success;
 }
 

@@ -1,0 +1,62 @@
+// Chunked object table with stable addresses and lock-free reads.
+//
+// The VCI refactor lets multiple application threads operate on one Engine
+// concurrently, which rules out std::vector for the request/comm/window
+// tables: growth would move elements out from under a reader on another
+// thread. StableTable allocates storage in fixed-size chunks that never move,
+// publishes growth with a release store of the element count, and serves
+// lock-free reads behind an acquire load -- a reader that observes index i
+// in range is guaranteed to see the fully-constructed chunk holding it.
+//
+// Growth is serialized by a mutex; elements are default-constructed and never
+// destroyed until the table itself dies (slots are recycled by the caller,
+// e.g. via a free list or an in_use flag).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+namespace lwmpi::common {
+
+template <typename T, std::size_t ChunkSlots = 64, std::size_t MaxChunks = 1024>
+class StableTable {
+ public:
+  StableTable() = default;
+  StableTable(const StableTable&) = delete;
+  StableTable& operator=(const StableTable&) = delete;
+
+  // Default-construct one more slot; returns its index. Thread-safe.
+  std::uint32_t emplace() {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::uint32_t idx = size_.load(std::memory_order_relaxed);
+    const std::size_t chunk = idx / ChunkSlots;
+    if (chunk >= MaxChunks) std::abort();  // structural cap, far beyond real use
+    if (chunks_[chunk] == nullptr) chunks_[chunk] = std::make_unique<Chunk>();
+    size_.store(idx + 1, std::memory_order_release);
+    return idx;
+  }
+
+  // Lock-free; nullptr when idx is out of range. The acquire pairs with the
+  // release in emplace(), ordering the chunk-pointer write before visibility.
+  T* at(std::uint32_t idx) noexcept {
+    if (idx >= size_.load(std::memory_order_acquire)) return nullptr;
+    return &(*chunks_[idx / ChunkSlots])[idx % ChunkSlots];
+  }
+  const T* at(std::uint32_t idx) const noexcept {
+    return const_cast<StableTable*>(this)->at(idx);
+  }
+
+  std::uint32_t size() const noexcept { return size_.load(std::memory_order_acquire); }
+
+ private:
+  using Chunk = std::array<T, ChunkSlots>;
+  std::mutex mu_;
+  std::atomic<std::uint32_t> size_{0};
+  std::array<std::unique_ptr<Chunk>, MaxChunks> chunks_{};
+};
+
+}  // namespace lwmpi::common

@@ -3,6 +3,10 @@
 // paper's walk-through: MPI layer (function-call overhead, error checking,
 // thread gate) -> ch4 core (locality) -> netmod/shmmod (translation +
 // injection), with every step charging its modeled instruction cost.
+//
+// Thread safety is per VCI: the entry points resolve the communicator's
+// channel and gate on *its* lock (core/vci.hpp), so operations on
+// communicators mapped to different VCIs never serialize against each other.
 #include <cstring>
 
 #include "core/engine.hpp"
@@ -13,29 +17,6 @@
 
 namespace lwmpi {
 
-namespace {
-// Thread gate: models the runtime thread-safety check of a library built with
-// MPI_THREAD_MULTIPLE support. Disabled in "single" builds.
-class ThreadGate {
- public:
-  ThreadGate(std::recursive_mutex& m, bool enabled, std::uint32_t charge) : mu_(m), on_(enabled) {
-    if (on_) {
-      cost::charge(cost::Category::ThreadSafety, charge);
-      mu_.lock();
-    }
-  }
-  ~ThreadGate() {
-    if (on_) mu_.unlock();
-  }
-  ThreadGate(const ThreadGate&) = delete;
-  ThreadGate& operator=(const ThreadGate&) = delete;
-
- private:
-  std::recursive_mutex& mu_;
-  bool on_;
-};
-}  // namespace
-
 // ---------------------------------------------------------------------------
 // Public MPI-layer entry points
 // ---------------------------------------------------------------------------
@@ -45,7 +26,7 @@ Err Engine::isend(const void* buf, int count, Datatype dt, Rank dest, Tag tag, C
   if (!cfg_.ipo) {
     cost::charge(cost::Category::FunctionCall, cost::kCallEntry + cost::kCallPmpiAliasSend);
   }
-  ThreadGate gate(thread_gate_, cfg_.thread_safety, cost::kThreadGatePt2pt);
+  VciGate gate(vci_for(comm), cfg_.thread_safety, cost::kThreadGatePt2pt);
   if (cfg_.error_checking) {
     if (Err e = check_comm(comm); !ok(e)) return e;
     const CommObject* c = comm_obj(comm);
@@ -64,7 +45,7 @@ Err Engine::irecv(void* buf, int count, Datatype dt, Rank src, Tag tag, Comm com
   if (!cfg_.ipo) {
     cost::charge(cost::Category::FunctionCall, cost::kCallEntry + cost::kCallPmpiAliasSend);
   }
-  ThreadGate gate(thread_gate_, cfg_.thread_safety, cost::kThreadGatePt2pt);
+  VciGate gate(vci_for(comm), cfg_.thread_safety, cost::kThreadGatePt2pt);
   if (cfg_.error_checking) {
     if (Err e = check_comm(comm); !ok(e)) return e;
     const CommObject* c = comm_obj(comm);
@@ -86,7 +67,7 @@ Err Engine::isend_global(const void* buf, int count, Datatype dt, Rank world_des
   if (!cfg_.ipo) {
     cost::charge(cost::Category::FunctionCall, cost::kCallEntry + cost::kCallPmpiAliasSend);
   }
-  ThreadGate gate(thread_gate_, cfg_.thread_safety, cost::kThreadGatePt2pt);
+  VciGate gate(vci_for(comm), cfg_.thread_safety, cost::kThreadGatePt2pt);
   if (cfg_.error_checking) {
     if (Err e = check_comm(comm); !ok(e)) return e;
     cost::charge(cost::Category::ErrorChecking, cost::kErrRankRange);
@@ -113,7 +94,7 @@ Err Engine::isend_npn(const void* buf, int count, Datatype dt, Rank dest, Tag ta
   if (!cfg_.ipo) {
     cost::charge(cost::Category::FunctionCall, cost::kCallEntry + cost::kCallPmpiAliasSend);
   }
-  ThreadGate gate(thread_gate_, cfg_.thread_safety, cost::kThreadGatePt2pt);
+  VciGate gate(vci_for(comm), cfg_.thread_safety, cost::kThreadGatePt2pt);
   if (cfg_.error_checking) {
     if (Err e = check_comm(comm); !ok(e)) return e;
     const CommObject* c = comm_obj(comm);
@@ -139,7 +120,7 @@ Err Engine::isend_noreq(const void* buf, int count, Datatype dt, Rank dest, Tag 
   if (!cfg_.ipo) {
     cost::charge(cost::Category::FunctionCall, cost::kCallEntry + cost::kCallPmpiAliasSend);
   }
-  ThreadGate gate(thread_gate_, cfg_.thread_safety, cost::kThreadGatePt2pt);
+  VciGate gate(vci_for(comm), cfg_.thread_safety, cost::kThreadGatePt2pt);
   if (cfg_.error_checking) {
     if (Err e = check_comm(comm); !ok(e)) return e;
     const CommObject* c = comm_obj(comm);
@@ -164,9 +145,9 @@ Err Engine::comm_waitall(Comm comm) {
   if (c == nullptr) return Err::Comm;
   progress();  // flush the device send queue even if nothing is outstanding
   rt::Backoff backoff;
-  while (c->noreq_outstanding != 0) {
+  while (c->noreq_outstanding.load(std::memory_order_acquire) != 0) {
     progress();
-    if (c->noreq_outstanding != 0) backoff.pause();
+    if (c->noreq_outstanding.load(std::memory_order_acquire) != 0) backoff.pause();
   }
   return Err::Success;
 }
@@ -176,7 +157,7 @@ Err Engine::isend_nomatch(const void* buf, int count, Datatype dt, Rank dest, Co
   if (!cfg_.ipo) {
     cost::charge(cost::Category::FunctionCall, cost::kCallEntry + cost::kCallPmpiAliasSend);
   }
-  ThreadGate gate(thread_gate_, cfg_.thread_safety, cost::kThreadGatePt2pt);
+  VciGate gate(vci_for(comm), cfg_.thread_safety, cost::kThreadGatePt2pt);
   if (cfg_.error_checking) {
     if (Err e = check_comm(comm); !ok(e)) return e;
     const CommObject* c = comm_obj(comm);
@@ -210,10 +191,12 @@ Err Engine::irecv_nomatch(void* buf, int count, Datatype dt, Comm comm, Request*
 // predefined handle (its slot index is a compile-time constant in the
 // proposal, making the lookup a global-array load); `world_dest` is a stored
 // MPI_COMM_WORLD rank; there is no PROC_NULL handling, no per-op request, and
-// no source/tag match bits.
+// no source/tag match bits. There is no gate either: the predefined comm owns
+// its channel and the packet rides a wait-free fabric lane, so the minimal
+// path touches no state that needs the VCI lock.
 Err Engine::isend_all_opts(const void* buf, int count, Datatype dt, Rank world_dest,
                            Comm comm) {
-  CommObject& c = comms_[handle_payload(comm)];  // global-array slot load
+  CommObject& c = *comms_.at(handle_payload(comm));  // global-array slot load
   cost::charge(cost::Reason::ObjectDeref, cost::kAllOptsCtxLoad);
   cost::charge(cost::Reason::RankTranslation, cost::kAllOptsAddrLoad);
   cost::charge(cost::Reason::Residual, cost::kAllOptsLocality);
@@ -239,6 +222,7 @@ Err Engine::isend_all_opts(const void* buf, int count, Datatype dt, Rank world_d
   pkt->hdr.kind = rt::PacketKind::Eager;
   pkt->hdr.match_mode = rt::MatchMode::ArrivalOrder;
   pkt->hdr.ctx = c.ctx;
+  pkt->hdr.vci = static_cast<std::uint8_t>(c.vci);
   pkt->hdr.src_comm_rank = c.rank;
   pkt->hdr.src_world = self_;
   pkt->hdr.tag = 0;
@@ -250,7 +234,11 @@ Err Engine::isend_all_opts(const void* buf, int count, Datatype dt, Rank world_d
     dt::pack(types_, buf, count, dt, pkt->payload.data());
   }
   cost::charge(cost::Reason::Residual, cost::kAllOptsInject);
-  ++sends_issued_;
+  sends_issued_.fetch_add(1, std::memory_order_relaxed);
+  vcis_[c.vci]->busy_instr.fetch_add(
+      cost::kAllOptsLocality + cost::kAllOptsCtxLoad + cost::kAllOptsCounter +
+          cost::kAllOptsAddrLoad + cost::kAllOptsInject,
+      std::memory_order_relaxed);
   fabric_.inject(self_, world_dest, pkt);
   return Err::Success;
 }
@@ -276,8 +264,8 @@ Err Engine::ch4_isend(const SendParams& p, Request* req) {
     cost::charge(cost::Reason::ProcNullCheck, cost::kMandProcNull);
     if (p.dest == kProcNull) {
       if (req != nullptr && !p.noreq) {
-        Request r = alloc_request(RequestSlot::Kind::SendEager);
-        req_slot(r)->complete = true;
+        Request r = alloc_request(RequestSlot::Kind::SendEager, c->vci);
+        req_slot(r)->complete.store(true, std::memory_order_release);
         *req = r;
       } else if (req != nullptr) {
         *req = kRequestNull;
@@ -302,8 +290,14 @@ Err Engine::ch4_isend(const SendParams& p, Request* req) {
 
 Err Engine::issue_send(const SendParams& p, const CommObject& c, Rank dst_world,
                        Request* req) {
+  // All matcher / request / queue state below belongs to the communicator's
+  // channel. Gated entry points already hold this lock (recursive); internal
+  // callers (collectives, persistent starts) acquire it here.
+  Vci& v = *vcis_[c.vci];
+  std::lock_guard<std::recursive_mutex> lk(v.mu);
   // Simulated-CPU mode: execute the modeled software path length as time.
   rt::spin_for_ns(sim_send_ns_);
+  v.busy_instr.fetch_add(send_instr_, std::memory_order_relaxed);
   // Datatype resolution: real work either way; the modeled charge is the
   // "redundant runtime check" that link-time inlining folds away for
   // compile-time-constant datatypes.
@@ -317,7 +311,8 @@ Err Engine::issue_send(const SendParams& p, const CommObject& c, Rank dst_world,
   // hint drops source/tag bits like _NOMATCH, but pays the hint-lookup
   // branch the paper's alternative-design discussion predicts.
   rt::MatchMode match_mode = p.match_mode;
-  if (match_mode == rt::MatchMode::Full && c.hint_arrival_order && !p.coll_plane) {
+  if (match_mode == rt::MatchMode::Full &&
+      c.hint_arrival_order.load(std::memory_order_relaxed) && !p.coll_plane) {
     cost::charge(cost::Reason::MatchBits, cost::kMandHintBranch);
     match_mode = rt::MatchMode::ArrivalOrder;
   }
@@ -332,7 +327,8 @@ Err Engine::issue_send(const SendParams& p, const CommObject& c, Rank dst_world,
   RequestSlot* slot = nullptr;
   if (!p.noreq) {
     cost::charge(cost::Reason::RequestManagement, cost::kMandRequestAlloc);
-    r = alloc_request(eager ? RequestSlot::Kind::SendEager : RequestSlot::Kind::SendRdv);
+    r = alloc_request(eager ? RequestSlot::Kind::SendEager : RequestSlot::Kind::SendRdv,
+                      c.vci);
     slot = req_slot(r);
   } else {
     cost::charge(cost::Reason::RequestManagement, cost::kMandCompletionCounter);
@@ -343,6 +339,7 @@ Err Engine::issue_send(const SendParams& p, const CommObject& c, Rank dst_world,
     pkt->hdr.kind = rt::PacketKind::Eager;
     pkt->hdr.match_mode = match_mode;
     pkt->hdr.ctx = ctx;
+    pkt->hdr.vci = static_cast<std::uint8_t>(c.vci);
     pkt->hdr.src_comm_rank = c.rank;
     pkt->hdr.src_world = self_;
     pkt->hdr.tag = p.tag;
@@ -354,18 +351,19 @@ Err Engine::issue_send(const SendParams& p, const CommObject& c, Rank dst_world,
       dt::pack(types_, p.buf, p.count, p.dt, pkt->payload.data());
     }
     cost::charge(cost::Reason::Residual, cost::kMandInjectResidual);
-    inject_or_queue(dst_world, pkt);
+    inject_or_queue(v, dst_world, pkt);
     if (slot != nullptr) {
-      slot->complete = true;  // eager sends complete locally on buffering
+      // Eager sends complete locally on buffering.
+      slot->complete.store(true, std::memory_order_release);
     }
   } else {
     // Rendezvous: we track the origin side with a request even for _NOREQ
     // sends (hidden from the user; completed in bulk by comm_waitall).
     if (slot == nullptr) {
-      r = alloc_request(RequestSlot::Kind::SendRdv);
+      r = alloc_request(RequestSlot::Kind::SendRdv, c.vci);
       slot = req_slot(r);
       slot->noreq = true;
-      comm_obj(p.comm)->noreq_outstanding += 1;
+      comm_obj(p.comm)->noreq_outstanding.fetch_add(1, std::memory_order_release);
     }
     slot->sbuf = p.buf;
     slot->scount = p.count;
@@ -378,25 +376,28 @@ Err Engine::issue_send(const SendParams& p, const CommObject& c, Rank dst_world,
     rts->hdr.kind = rt::PacketKind::Rts;
     rts->hdr.match_mode = match_mode;
     rts->hdr.ctx = ctx;
+    rts->hdr.vci = static_cast<std::uint8_t>(c.vci);
     rts->hdr.src_comm_rank = c.rank;
     rts->hdr.src_world = self_;
     rts->hdr.tag = p.tag;
     rts->hdr.total_bytes = bytes;
     rts->hdr.origin_req = r;
     cost::charge(cost::Reason::Residual, cost::kMandInjectResidual);
-    inject_or_queue(dst_world, rts);
+    inject_or_queue(v, dst_world, rts);
   }
 
-  ++sends_issued_;
+  sends_issued_.fetch_add(1, std::memory_order_relaxed);
   if (req != nullptr) *req = p.noreq ? kRequestNull : r;
   return Err::Success;
 }
 
-void Engine::inject_or_queue(Rank dst_world, rt::Packet* pkt) {
+void Engine::inject_or_queue(Vci& v, Rank dst_world, rt::Packet* pkt) {
   if (device_ == DeviceKind::Orig) {
     // CH3-style software send queue: the operation is staged and issued by
-    // the progress engine, costing an extra queue transit.
-    send_queue_.push_back(QueuedSend{pkt, dst_world});
+    // the progress engine, costing an extra queue transit. Each channel has
+    // its own queue, drained under its own lock (held here).
+    v.send_queue.push_back(QueuedSend{pkt, dst_world});
+    v.send_q_depth.fetch_add(1, std::memory_order_release);
   } else {
     fabric_.inject(self_, dst_world, pkt);
   }
@@ -412,7 +413,11 @@ Err Engine::post_recv_common(void* buf, int count, Datatype dt, Rank src, Tag ta
   if (c == nullptr) return Err::Comm;
   if (req == nullptr) return Err::Request;
 
-  Request r = alloc_request(RequestSlot::Kind::Recv);
+  // The matcher and request slot belong to the communicator's channel.
+  Vci& v = *vcis_[c->vci];
+  std::lock_guard<std::recursive_mutex> lk(v.mu);
+
+  Request r = alloc_request(RequestSlot::Kind::Recv, c->vci);
   RequestSlot* slot = req_slot(r);
   slot->rbuf = buf;
   slot->rcount = count;
@@ -420,10 +425,10 @@ Err Engine::post_recv_common(void* buf, int count, Datatype dt, Rank src, Tag ta
   slot->bytes_expected = dt::packed_size(types_, count, dt);
 
   if (src == kProcNull) {
-    slot->complete = true;
     slot->status.source = kProcNull;
     slot->status.tag = kAnyTag;
     slot->status.byte_count = 0;
+    slot->complete.store(true, std::memory_order_release);
     *req = r;
     return Err::Success;
   }
@@ -438,7 +443,7 @@ Err Engine::post_recv_common(void* buf, int count, Datatype dt, Rank src, Tag ta
   pr.dt = dt;
   pr.req = r;
 
-  if (auto pkt = matcher_.post(pr)) deliver_match(pr, *pkt);
+  if (auto pkt = v.matcher.post(pr)) deliver_match(pr, *pkt);
   *req = r;
   return Err::Success;
 }

@@ -17,10 +17,25 @@ enum class DeviceKind {
   Orig,  // CH3-style layered baseline ("MPICH/Original")
 };
 
+// Upper bound on virtual communication interfaces per rank; request handles
+// reserve 3 payload bits for the VCI id.
+inline constexpr int kMaxVcis = 8;
+
 struct BuildConfig {
   bool error_checking = true;  // argument/object validation
   bool thread_safety = true;   // runtime thread gate
   bool ipo = false;            // link-time inlining of the MPI entry points
+  // Virtual communication interfaces: independent channel/match/progress
+  // state selected per communicator (MPICH's VCI design). 1 reproduces the
+  // monolithic engine; more enable concurrent progress across communicators.
+  int num_vcis = 4;
+
+  // Clamped VCI count used by both World (fabric lanes) and Engine (channels).
+  int vcis() const {
+    if (num_vcis < 1) return 1;
+    if (num_vcis > kMaxVcis) return kMaxVcis;
+    return num_vcis;
+  }
 
   static BuildConfig dflt() { return {}; }
   static BuildConfig no_err() { return {.error_checking = false}; }

@@ -18,24 +18,30 @@ Engine::Engine(World& world, Rank world_rank)
       device_(world.options().device),
       cfg_(world.options().build),
       eager_threshold_(world.options().eager_threshold) {
+  const bool orig = device_ == DeviceKind::Orig;
+  send_instr_ =
+      cost::modeled_isend_total(orig, cfg_.error_checking, cfg_.thread_safety, cfg_.ipo);
+  // Receive-side handling walks a comparable device path (matching, request
+  // completion); approximate it with the send-path total.
+  recv_instr_ = send_instr_;
+  const std::uint32_t put_instr =
+      cost::modeled_put_total(orig, cfg_.error_checking, cfg_.thread_safety, cfg_.ipo);
   const double k = world.options().sim_ns_per_instruction;
   if (k > 0) {
-    const bool orig = device_ == DeviceKind::Orig;
-    const std::uint32_t send_instr = cost::modeled_isend_total(
-        orig, cfg_.error_checking, cfg_.thread_safety, cfg_.ipo);
-    const std::uint32_t put_instr = cost::modeled_put_total(
-        orig, cfg_.error_checking, cfg_.thread_safety, cfg_.ipo);
-    sim_send_ns_ = static_cast<std::uint64_t>(send_instr * k);
-    // Receive-side handling walks a comparable device path (matching,
-    // request completion); approximate it with the send-path total.
-    sim_recv_ns_ = sim_send_ns_;
+    sim_send_ns_ = static_cast<std::uint64_t>(send_instr_ * k);
+    sim_recv_ns_ = static_cast<std::uint64_t>(recv_instr_ * k);
     sim_put_ns_ = static_cast<std::uint64_t>(put_instr * k);
   }
+  const int n = cfg_.vcis();
+  vcis_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) vcis_.push_back(std::make_unique<Vci>());
   init_world_comms();
 }
 
 Engine::~Engine() {
-  for (QueuedSend& q : send_queue_) rt::PacketPool::free(q.pkt);
+  for (auto& v : vcis_) {
+    for (QueuedSend& q : v->send_queue) rt::PacketPool::free(q.pkt);
+  }
 }
 
 int Engine::world_size() const noexcept { return fabric_.nranks(); }
@@ -44,30 +50,51 @@ int Engine::world_size() const noexcept { return fabric_.nranks(); }
 // Communicator table
 // ---------------------------------------------------------------------------
 
+std::uint32_t Engine::assign_vci(std::uint32_t slot_idx, std::uint32_t ctx) const noexcept {
+  const std::uint32_t n = static_cast<std::uint32_t>(vcis_.size());
+  // The predefined fast-path handles kComm1..kComm4 pin to distinct channels
+  // so an application thread per predefined comm never shares a VCI (up to n).
+  const std::uint32_t first = handle_payload(kComm1);
+  if (slot_idx >= first && slot_idx < first + static_cast<std::uint32_t>(kNumPredefinedComms)) {
+    return (slot_idx - first) % n;
+  }
+  // Context ids come in (pt2pt, coll) pairs, so hash the pair index: both
+  // planes of one communicator land on the same channel, and every rank
+  // computes the same mapping from the collectively-agreed context id.
+  return (ctx >> 1) % n;
+}
+
+Vci* Engine::vci_for(Comm comm) noexcept {
+  const CommObject* c = comm_obj(comm);
+  return c == nullptr ? nullptr : vcis_[c->vci].get();
+}
+
 void Engine::init_world_comms() {
-  comms_.resize(kFirstDynamicCommSlot);
-  CommObject& w = comms_[handle_payload(kCommWorld)];
-  w.in_use = true;
+  for (std::uint32_t i = 0; i < kFirstDynamicCommSlot; ++i) comms_.emplace();
+  CommObject& w = *comms_.at(handle_payload(kCommWorld));
   w.ctx = kWorldCtx;
+  w.vci = assign_vci(handle_payload(kCommWorld), kWorldCtx);
   w.rank = self_;
   w.map = comm::RankMap::identity(world_size());
+  w.in_use.store(true, std::memory_order_release);
 
-  CommObject& s = comms_[handle_payload(kCommSelf)];
-  s.in_use = true;
+  CommObject& s = *comms_.at(handle_payload(kCommSelf));
   s.ctx = kSelfCtx;
+  s.vci = assign_vci(handle_payload(kCommSelf), kSelfCtx);
   s.rank = 0;
   s.map = comm::RankMap::offset_map(1, self_);
+  s.in_use.store(true, std::memory_order_release);
 
   for (int i = 0; i < kNumPredefinedComms; ++i) {
-    comms_[handle_payload(kComm1) + static_cast<std::size_t>(i)].predefined_slot = true;
+    comms_.at(handle_payload(kComm1) + static_cast<std::uint32_t>(i))->predefined_slot = true;
   }
 }
 
 Engine::CommObject* Engine::comm_obj(Comm comm) noexcept {
   if (handle_kind(comm) != HandleKind::Comm) return nullptr;
-  const std::uint32_t idx = handle_payload(comm);
-  if (idx >= comms_.size() || !comms_[idx].in_use) return nullptr;
-  return &comms_[idx];
+  CommObject* c = comms_.at(handle_payload(comm));
+  if (c == nullptr || !c->in_use.load(std::memory_order_acquire)) return nullptr;
+  return c;
 }
 
 const Engine::CommObject* Engine::comm_obj(Comm comm) const noexcept {
@@ -75,17 +102,21 @@ const Engine::CommObject* Engine::comm_obj(Comm comm) const noexcept {
 }
 
 Comm Engine::alloc_comm_slot() {
+  std::lock_guard<std::mutex> lk(comm_mu_);
   for (std::uint32_t i = kFirstDynamicCommSlot; i < comms_.size(); ++i) {
-    if (!comms_[i].in_use && !comms_[i].predefined_slot) {
+    CommObject& c = *comms_.at(i);
+    if (!c.in_use.load(std::memory_order_acquire) && !c.reserved && !c.predefined_slot) {
+      c.reserved = true;
       return make_handle(HandleKind::Comm, i);
     }
   }
-  comms_.emplace_back();
-  return make_handle(HandleKind::Comm, static_cast<std::uint32_t>(comms_.size() - 1));
+  const std::uint32_t idx = comms_.emplace();
+  comms_.at(idx)->reserved = true;
+  return make_handle(HandleKind::Comm, idx);
 }
 
 Err Engine::build_comm(Comm slot_handle, std::vector<Rank> world_ranks, std::uint32_t ctx) {
-  CommObject& c = comms_[handle_payload(slot_handle)];
+  CommObject& c = *comms_.at(handle_payload(slot_handle));
   const Rank my = [&] {
     for (std::size_t i = 0; i < world_ranks.size(); ++i) {
       if (world_ranks[i] == self_) return static_cast<Rank>(i);
@@ -93,11 +124,16 @@ Err Engine::build_comm(Comm slot_handle, std::vector<Rank> world_ranks, std::uin
     return kUndefined;
   }();
   if (my == kUndefined) return Err::Internal;
-  c.in_use = true;
   c.ctx = ctx;
+  c.vci = assign_vci(handle_payload(slot_handle), ctx);
   c.rank = my;
   c.map = comm::RankMap::from_list(std::move(world_ranks));
-  c.noreq_outstanding = 0;
+  c.noreq_outstanding.store(0, std::memory_order_relaxed);
+  // Scrub state a previous occupant of this slot may have left behind.
+  c.cart.reset();
+  c.info.clear();
+  c.hint_arrival_order.store(false, std::memory_order_relaxed);
+  c.in_use.store(true, std::memory_order_release);
   return Err::Success;
 }
 
@@ -112,6 +148,43 @@ int Engine::size(Comm comm) const {
 }
 
 bool Engine::comm_valid(Comm comm) const noexcept { return comm_obj(comm) != nullptr; }
+
+int Engine::vci_of(Comm comm) const noexcept {
+  const CommObject* c = comm_obj(comm);
+  return c == nullptr ? -1 : static_cast<int>(c->vci);
+}
+
+std::uint64_t Engine::vci_busy_instr(int vci) const noexcept {
+  return vcis_[static_cast<std::size_t>(vci)]->busy_instr.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Engine::vci_contended(int vci) const noexcept {
+  return vcis_[static_cast<std::size_t>(vci)]->contended.load(std::memory_order_relaxed);
+}
+
+std::size_t Engine::posted_depth(int vci) const noexcept {
+  const Vci& v = *vcis_[static_cast<std::size_t>(vci)];
+  std::lock_guard<std::recursive_mutex> lk(v.mu);
+  return v.matcher.posted_depth();
+}
+
+std::size_t Engine::unexpected_depth(int vci) const noexcept {
+  const Vci& v = *vcis_[static_cast<std::size_t>(vci)];
+  std::lock_guard<std::recursive_mutex> lk(v.mu);
+  return v.matcher.unexpected_depth();
+}
+
+std::size_t Engine::posted_depth() const noexcept {
+  std::size_t n = 0;
+  for (int v = 0; v < num_vcis(); ++v) n += posted_depth(v);
+  return n;
+}
+
+std::size_t Engine::unexpected_depth() const noexcept {
+  std::size_t n = 0;
+  for (int v = 0; v < num_vcis(); ++v) n += unexpected_depth(v);
+  return n;
+}
 
 // ---------------------------------------------------------------------------
 // Validation helpers. Each performs the real check *and* charges its modeled
@@ -159,31 +232,36 @@ Err Engine::check_win(Win win) const noexcept {
 }
 
 // ---------------------------------------------------------------------------
-// Request pool
+// Request pool (one per VCI; handles encode [vci | slot index])
 // ---------------------------------------------------------------------------
 
-Request Engine::alloc_request(RequestSlot::Kind kind) {
+Request Engine::alloc_request(RequestSlot::Kind kind, std::uint32_t vci) {
+  RequestPool& pool = vcis_[vci]->pool;
   std::uint32_t idx;
-  if (!free_requests_.empty()) {
-    idx = free_requests_.back();
-    free_requests_.pop_back();
+  pool.lock();
+  if (!pool.free_list.empty()) {
+    idx = pool.free_list.back();
+    pool.free_list.pop_back();
+    pool.unlock();
   } else {
-    idx = static_cast<std::uint32_t>(requests_.size());
-    requests_.emplace_back();
+    pool.unlock();
+    idx = pool.slots.emplace();
   }
-  RequestSlot& s = requests_[idx];
-  s = RequestSlot{};
+  RequestSlot& s = *pool.slots.at(idx);
+  s.reset();
   s.kind = kind;
-  s.active = true;
-  ++live_requests_;
-  return make_handle(HandleKind::Request, idx);
+  s.active.store(true, std::memory_order_release);
+  live_requests_.fetch_add(1, std::memory_order_relaxed);
+  return make_request_handle(vci, idx);
 }
 
-Engine::RequestSlot* Engine::req_slot(Request r) noexcept {
+RequestSlot* Engine::req_slot(Request r) noexcept {
   if (handle_kind(r) != HandleKind::Request) return nullptr;
-  const std::uint32_t idx = handle_payload(r);
-  if (idx >= requests_.size() || !requests_[idx].active) return nullptr;
-  return &requests_[idx];
+  const std::uint32_t vci = request_vci(r);
+  if (vci >= vcis_.size()) return nullptr;
+  RequestSlot* s = vcis_[vci]->pool.slots.at(request_idx(r));
+  if (s == nullptr || !s->active.load(std::memory_order_acquire)) return nullptr;
+  return s;
 }
 
 bool Engine::slot_ready(const RequestSlot& s) noexcept {
@@ -191,17 +269,25 @@ bool Engine::slot_ready(const RequestSlot& s) noexcept {
       s.kind == RequestSlot::Kind::PersistentRecv) {
     if (s.inner == kRequestNull) return true;
     const RequestSlot* in = req_slot(s.inner);
-    return in == nullptr || in->complete;
+    return in == nullptr || in->complete.load(std::memory_order_acquire);
   }
-  return s.complete;
+  return s.complete.load(std::memory_order_acquire);
 }
 
 void Engine::release_request(Request r) noexcept {
-  const std::uint32_t idx = handle_payload(r);
-  requests_[idx].active = false;
-  requests_[idx].kind = RequestSlot::Kind::None;
-  free_requests_.push_back(idx);
-  --live_requests_;
+  RequestPool& pool = vcis_[request_vci(r)]->pool;
+  const std::uint32_t idx = request_idx(r);
+  RequestSlot& s = *pool.slots.at(idx);
+  // Return staging memory eagerly: an errored (e.g. truncated) rendezvous may
+  // leave the buffer allocated past the completion path.
+  s.stage.clear();
+  s.stage.shrink_to_fit();
+  s.kind = RequestSlot::Kind::None;
+  s.active.store(false, std::memory_order_release);
+  pool.lock();
+  pool.free_list.push_back(idx);
+  pool.unlock();
+  live_requests_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 // ---------------------------------------------------------------------------
@@ -235,9 +321,9 @@ Err Engine::wait(Request* req, Status* st) {
   // queue, and progress is what pushes it onto the fabric.
   progress();
   rt::Backoff backoff;
-  while (!s->complete) {
+  while (!s->complete.load(std::memory_order_acquire)) {
     progress();
-    if (!s->complete) backoff.pause();
+    if (!s->complete.load(std::memory_order_acquire)) backoff.pause();
   }
   const Err op_err = s->op_error;
   if (st != nullptr) *st = s->status;
@@ -265,7 +351,7 @@ Err Engine::test(Request* req, bool* flag, Status* st) {
     return test(&s->inner, flag, st);
   }
   progress();
-  if (!s->complete) {
+  if (!s->complete.load(std::memory_order_acquire)) {
     *flag = false;
     return Err::Success;
   }
@@ -356,12 +442,16 @@ Err Engine::cancel(Request* req) {
   if (req == nullptr || *req == kRequestNull) return Err::Request;
   RequestSlot* s = req_slot(*req);
   if (s == nullptr) return Err::Request;
-  if (s->complete) return Err::Success;  // too late; wait() will reap it
-  if (s->kind == RequestSlot::Kind::Recv && matcher_.cancel(*req)) {
-    s->complete = true;
+  // Serialize against the owning channel: the matcher may be handing this
+  // request a packet right now.
+  Vci& v = *vcis_[request_vci(*req)];
+  std::lock_guard<std::recursive_mutex> lk(v.mu);
+  if (s->complete.load(std::memory_order_acquire)) return Err::Success;  // wait() will reap it
+  if (s->kind == RequestSlot::Kind::Recv && v.matcher.cancel(*req)) {
     s->op_error = Err::Success;
     s->status.source = kUndefined;
     s->status.tag = kUndefined;
+    s->complete.store(true, std::memory_order_release);
     return Err::Success;
   }
   return Err::NotSupported;  // in-flight sends are not cancellable here
@@ -383,7 +473,9 @@ Err Engine::iprobe(Rank src, Tag tag, Comm comm, bool* flag, Status* st) {
     if (Err e = check_tag(tag, true); !ok(e)) return e;
   }
   progress();
-  const rt::PacketHeader* h = matcher_.probe(c->ctx, src, tag);
+  Vci& v = *vcis_[c->vci];
+  std::lock_guard<std::recursive_mutex> lk(v.mu);
+  const rt::PacketHeader* h = v.matcher.probe(c->ctx, src, tag);
   *flag = h != nullptr;
   if (h != nullptr && st != nullptr) {
     st->source = h->src_comm_rank;

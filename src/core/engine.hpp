@@ -2,8 +2,11 @@
 //
 // One Engine exists per simulated MPI process (rank). The public methods are
 // the MPI API surface; internally an engine owns its communicator table,
-// datatype engine, matching engine, request pool, window table, and a
-// progress engine over the shared fabric.
+// datatype engine, window table, and a set of virtual communication
+// interfaces (VCIs). Each VCI bundles an independent matching engine,
+// request pool, orig-device send queue, fabric mailbox lane, and lock;
+// communicators are mapped to a VCI at creation and all traffic they
+// generate stays on that channel. progress() is a poll set over the VCIs.
 //
 // Two devices implement the data movement, selected per World:
 //   * DeviceKind::Ch4  -- the paper's lightweight flow-through device,
@@ -29,8 +32,10 @@
 #include <vector>
 
 #include "comm/rankmap.hpp"
+#include "common/stable_table.hpp"
 #include "common/types.hpp"
 #include "core/config.hpp"
+#include "core/vci.hpp"
 #include "datatype/datatype.hpp"
 #include "match/match.hpp"
 #include "net/fabric.hpp"
@@ -249,15 +254,34 @@ class Engine {
   Err win_target_address(Rank target, std::uint64_t target_disp, Win win, void** addr) const;
 
   // --- progress ---------------------------------------------------------------------
-  // Advance the communication engine: drain the orig-device send queue, poll
-  // the fabric, match/complete messages, service RMA active messages.
+  // Advance the communication engine: sweep the VCI poll set. Each VCI is
+  // acquired with try_lock (a contended channel is already being progressed
+  // by its holder); per channel we drain the orig-device send queue, poll the
+  // channel's fabric lane, match/complete messages, and service RMA active
+  // messages. Ch4 skips channels whose lane is provably empty without
+  // touching the lock.
   void progress();
 
   // Diagnostics for tests/benches.
-  std::size_t live_requests() const noexcept { return live_requests_; }
-  std::size_t posted_depth() const noexcept { return matcher_.posted_depth(); }
-  std::size_t unexpected_depth() const noexcept { return matcher_.unexpected_depth(); }
-  std::uint64_t sends_issued() const noexcept { return sends_issued_; }
+  std::size_t live_requests() const noexcept {
+    return live_requests_.load(std::memory_order_relaxed);
+  }
+  std::size_t posted_depth() const noexcept;      // summed over all VCIs
+  std::size_t unexpected_depth() const noexcept;  // summed over all VCIs
+  std::size_t posted_depth(int vci) const noexcept;
+  std::size_t unexpected_depth(int vci) const noexcept;
+  std::uint64_t sends_issued() const noexcept {
+    return sends_issued_.load(std::memory_order_relaxed);
+  }
+
+  // --- VCI introspection ------------------------------------------------------
+  int num_vcis() const noexcept { return static_cast<int>(vcis_.size()); }
+  // The VCI a communicator's traffic rides on, or -1 for an invalid handle.
+  int vci_of(Comm comm) const noexcept;
+  // Modeled instructions executed on a channel (simulated-clock accounting).
+  std::uint64_t vci_busy_instr(int vci) const noexcept;
+  // Times the channel's gate missed its uncontended fast path.
+  std::uint64_t vci_contended(int vci) const noexcept;
 
  private:
   friend class World;
@@ -269,60 +293,39 @@ class Engine {
   };
 
   struct CommObject {
-    bool in_use = false;
+    // Publishes a fully-built communicator to progress threads (release) and
+    // gates handle lookups (acquire).
+    std::atomic<bool> in_use{false};
+    bool reserved = false;  // slot claimed but not yet built; under comm_mu_
     bool predefined_slot = false;
     std::uint32_t ctx = 0;  // pt2pt context; collectives use ctx + 1
+    std::uint32_t vci = 0;  // owning channel; fixed at creation
     Rank rank = 0;          // my rank within the comm
     comm::RankMap map;
-    std::uint32_t noreq_outstanding = 0;  // _NOREQ bulk-completion counter
+    std::atomic<std::uint32_t> noreq_outstanding{0};  // _NOREQ bulk-completion counter
     std::optional<CartTopo> cart;         // set for Cartesian communicators
     std::vector<std::pair<std::string, std::string>> info;  // info hints
-    bool hint_arrival_order = false;  // cached "lwmpi_arrival_order" hint
+    std::atomic<bool> hint_arrival_order{false};  // cached "lwmpi_arrival_order" hint
   };
 
-  struct RequestSlot {
-    enum class Kind : std::uint8_t {
-      None,
-      SendEager,
-      SendRdv,
-      Recv,
-      RecvRdv,
-      PersistentSend,
-      PersistentRecv,
-    };
-    Kind kind = Kind::None;
-    bool active = false;
-    bool complete = false;
-    Err op_error = Err::Success;
-    Status status;
-    // send state (rendezvous)
-    const void* sbuf = nullptr;
-    int scount = 0;
-    Datatype sdt = kDatatypeNull;
-    Rank dst_world = 0;
-    Comm comm = kCommNull;  // for _NOREQ accounting on rdv completion
-    bool noreq = false;
-    // recv state
-    void* rbuf = nullptr;
-    int rcount = 0;
-    Datatype rdt = kDatatypeNull;
-    std::uint64_t bytes_expected = 0;
-    std::uint64_t bytes_received = 0;
-    std::vector<std::byte> stage;  // rendezvous staging for noncontiguous recv
-    bool stage_used = false;
-    // persistent-request state: bound arguments + the in-flight inner request
-    Rank bound_peer = kProcNull;
-    Tag bound_tag = 0;
-    Request inner = kRequestNull;
-  };
+  using RequestSlot = lwmpi::RequestSlot;  // defined in core/vci.hpp
 
   struct WindowLocal {
-    bool in_use = false;
+    std::atomic<bool> in_use{false};
+    bool reserved = false;  // slot claimed but not yet built; under win_mu_
+    // Copy of global->id readable without dereferencing `global`: handle_am
+    // scans the whole table (including windows owned by other channels) and
+    // must not race a concurrent create/free of an unrelated slot.
+    std::atomic<std::uint32_t> win_id{0};
     std::shared_ptr<rma::WindowGlobal> global;
     Comm comm = kCommNull;
+    std::uint32_t vci = 0;  // inherited from the creating communicator
     enum class Epoch : std::uint8_t { None, Fence, Lock, LockAll, Pscw } epoch = Epoch::None;
-    std::vector<std::uint8_t> lock_held;  // per target comm rank
-    std::uint32_t outstanding_acks = 0;   // AM ops awaiting remote completion
+    // Per-target passive lock state; written by the AM handler under the VCI
+    // lock while win_lock/unlock spin on it outside, hence atomic elements.
+    std::unique_ptr<std::atomic<std::uint8_t>[]> lock_held;
+    int lock_targets = 0;
+    std::atomic<std::uint32_t> outstanding_acks{0};  // AM ops awaiting remote completion
     // Orig device: operations deferred until synchronization.
     struct PendingOp {
       enum class Kind : std::uint8_t { Put, Get, Acc, GetAcc } kind = Kind::Put;
@@ -346,16 +349,16 @@ class Engine {
     };
     std::deque<LockWaiter> lock_waiters;
     // PSCW state: monotone token counters plus the current epoch's groups.
-    std::uint32_t pscw_posts_seen = 0;      // AmPscwPost tokens received
-    std::uint32_t pscw_completes_seen = 0;  // AmPscwComplete tokens received
+    // The counters are bumped by the AM handler and spun on by win_start /
+    // win_wait without the channel lock.
+    std::atomic<std::uint32_t> pscw_posts_seen{0};      // AmPscwPost tokens received
+    std::atomic<std::uint32_t> pscw_completes_seen{0};  // AmPscwComplete tokens received
     std::vector<Rank> pscw_access_group;    // targets of my access epoch
     std::vector<Rank> pscw_exposure_group;  // origins of my exposure epoch
-  };
 
-  // Orig-device software send queue entry.
-  struct QueuedSend {
-    rt::Packet* pkt = nullptr;
-    Rank dst_world = 0;
+    // Return a recycled slot to its freshly-constructed state (except
+    // `in_use`, which the caller manages as the publication flag).
+    void reset();
   };
 
   // ---- validation helpers (error-checking build feature) ----
@@ -373,9 +376,14 @@ class Engine {
   Comm alloc_comm_slot();
   void init_world_comms();
   Err build_comm(Comm slot_handle, std::vector<Rank> world_ranks, std::uint32_t ctx);
+  // Deterministic comm -> VCI mapping: the predefined handles kComm1..kComm4
+  // pin to distinct channels; dynamic communicators hash their context id.
+  std::uint32_t assign_vci(std::uint32_t slot_idx, std::uint32_t ctx) const noexcept;
+  // The channel owning a communicator's traffic (nullptr for a bad handle).
+  Vci* vci_for(Comm comm) noexcept;
 
-  // ---- request pool ----
-  Request alloc_request(RequestSlot::Kind kind);
+  // ---- request pool (per VCI) ----
+  Request alloc_request(RequestSlot::Kind kind, std::uint32_t vci);
   RequestSlot* req_slot(Request r) noexcept;
   void release_request(Request r) noexcept;
   // Completion check that sees through persistent handles to their inner
@@ -403,19 +411,19 @@ class Engine {
                        rt::MatchMode mode, bool coll_plane, Request* req);
 
   // Build and transmit an eager packet / rendezvous RTS for `p`; shared by
-  // both devices (orig queues, ch4 injects inline).
+  // both devices (orig queues, ch4 injects inline). Locks the owning VCI.
   Err issue_send(const SendParams& p, const CommObject& c, Rank dst_world, Request* req);
-  void inject_or_queue(Rank dst_world, rt::Packet* pkt);
+  void inject_or_queue(Vci& v, Rank dst_world, rt::Packet* pkt);
 
   // Deliver a matched first packet (eager payload or RTS handshake).
   void deliver_match(const match::PostedRecv& r, rt::Packet* pkt);
 
-  // ---- progress internals (progress.cpp) ----
-  void handle_packet(rt::Packet* pkt);
+  // ---- progress internals (progress.cpp); all run under the VCI's lock ----
+  void handle_packet(Vci& v, rt::Packet* pkt);
   void handle_rdv_cts(rt::Packet* pkt);
   void handle_rdv_data(rt::Packet* pkt);
   void handle_am(rt::Packet* pkt);
-  void drain_send_queue();
+  void drain_send_queue(Vci& v);
   void complete_recv_from_eager(RequestSlot& slot, rt::Packet* pkt);
   void start_rendezvous_recv(RequestSlot& slot, Request req_handle, rt::Packet* rts);
 
@@ -429,7 +437,8 @@ class Engine {
   Err rma_wait_acks(WindowLocal& w, std::uint32_t until);
   Err orig_flush_pending(WindowLocal& w, Win win, Rank target /* -1 = all */);
   Err rma_check_epoch(const WindowLocal& w, Rank target) const noexcept;
-  void send_am_ack(Rank origin_world, std::uint32_t origin_req, std::uint32_t win_id);
+  void send_am_ack(Rank origin_world, std::uint32_t origin_req, std::uint32_t win_id,
+                   std::uint8_t vci);
 
   // ---- collective internals (coll.cpp) ----
   // Rabenseifner large-message allreduce (allreduce_large.cpp); requires
@@ -449,24 +458,27 @@ class Engine {
   const DeviceKind device_;
   const BuildConfig cfg_;
   const std::size_t eager_threshold_;
+  // Modeled instruction totals for the configured build; feed both the
+  // simulated-time spins and the per-VCI busy-instruction accounting.
+  std::uint32_t send_instr_ = 0;
+  std::uint32_t recv_instr_ = 0;
   // Simulated software time per operation (modeled instructions x the
   // world's ns-per-instruction knob); zero disables the spins.
   std::uint64_t sim_send_ns_ = 0;
   std::uint64_t sim_recv_ns_ = 0;
   std::uint64_t sim_put_ns_ = 0;
 
-  mutable std::recursive_mutex thread_gate_;
-
   dt::TypeEngine types_;
-  match::MatchEngine matcher_;
-  std::vector<CommObject> comms_;
+  // The VCI channels; sized once in the constructor and never resized, so
+  // vcis_[i].get() is stable for the engine's lifetime.
+  std::vector<std::unique_ptr<Vci>> vcis_;
+  common::StableTable<CommObject> comms_;
+  std::mutex comm_mu_;  // serializes comm-slot allocation / free
   std::vector<std::optional<std::vector<Rank>>> groups_;
-  std::vector<RequestSlot> requests_;
-  std::vector<std::uint32_t> free_requests_;
-  std::size_t live_requests_ = 0;
-  std::vector<WindowLocal> windows_;          // indexed by local win slot
-  std::deque<QueuedSend> send_queue_;         // orig device
-  std::uint64_t sends_issued_ = 0;
+  std::atomic<std::size_t> live_requests_{0};
+  common::StableTable<WindowLocal> windows_;  // indexed by local win slot
+  std::mutex win_mu_;   // serializes window-slot allocation
+  std::atomic<std::uint64_t> sends_issued_{0};
 };
 
 }  // namespace lwmpi

@@ -23,8 +23,9 @@ Err Engine::send_init(const void* buf, int count, Datatype dt, Rank dest, Tag ta
     if (Err e = check_buffer(buf, count); !ok(e)) return e;
     if (Err e = check_datatype(dt); !ok(e)) return e;
   }
-  if (comm_obj(comm) == nullptr) return Err::Comm;
-  const Request r = alloc_request(RequestSlot::Kind::PersistentSend);
+  const CommObject* c = comm_obj(comm);
+  if (c == nullptr) return Err::Comm;
+  const Request r = alloc_request(RequestSlot::Kind::PersistentSend, c->vci);
   RequestSlot* s = req_slot(r);
   s->sbuf = buf;
   s->scount = count;
@@ -48,8 +49,9 @@ Err Engine::recv_init(void* buf, int count, Datatype dt, Rank src, Tag tag, Comm
     if (Err e = check_buffer(buf, count); !ok(e)) return e;
     if (Err e = check_datatype(dt); !ok(e)) return e;
   }
-  if (comm_obj(comm) == nullptr) return Err::Comm;
-  const Request r = alloc_request(RequestSlot::Kind::PersistentRecv);
+  const CommObject* c = comm_obj(comm);
+  if (c == nullptr) return Err::Comm;
+  const Request r = alloc_request(RequestSlot::Kind::PersistentRecv, c->vci);
   RequestSlot* s = req_slot(r);
   s->rbuf = buf;
   s->rcount = count;
@@ -86,9 +88,8 @@ Err Engine::start(Request* req) {
                          rt::MatchMode::Full, false, &inner);
   }
   if (!ok(e)) return e;
-  // Re-fetch: issuing the inner operation may grow the request pool and move
-  // the slot storage.
-  s = req_slot(*req);
+  // Request slots live in stable chunked storage, so `s` survives the pool
+  // growth the inner allocation may have caused.
   s->inner = inner;
   return Err::Success;
 }
@@ -112,7 +113,6 @@ Err Engine::request_free(Request* req) {
     // Reap the in-flight operation first (MPI permits freeing active
     // requests; we complete it to keep buffer lifetimes obvious).
     if (Err e = wait(&s->inner, nullptr); !ok(e)) return e;
-    s = req_slot(*req);
     s->inner = kRequestNull;
   }
   release_request(*req);

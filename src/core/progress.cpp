@@ -1,5 +1,6 @@
-// Progress engine: drains the device send queue, polls the fabric, routes
-// packets through matching, and runs the rendezvous protocol state machine.
+// Progress engine: sweeps the VCI poll set. Each channel independently drains
+// its device send queue, polls its fabric lane, routes packets through its
+// matching engine, and runs the rendezvous protocol state machine.
 #include <algorithm>
 #include <cstring>
 
@@ -17,18 +18,46 @@ constexpr std::size_t kRdvSegmentBytes = 256 * 1024;
 }  // namespace
 
 void Engine::progress() {
-  drain_send_queue();
-  while (rt::Packet* pkt = fabric_.poll(self_)) handle_packet(pkt);
-  drain_send_queue();  // flush replies generated while handling packets
+  const int n = static_cast<int>(vcis_.size());
+  // Whole-rank idle fast path: when no channel has queued sends and no lane
+  // has undelivered traffic, a progress call is a handful of atomic loads.
+  // This keeps the single-threaded wait spin as cheap as the pre-VCI engine
+  // regardless of how many channels are configured.
+  bool queued = false;
+  for (int v = 0; v < n; ++v) {
+    if (vcis_[static_cast<std::size_t>(v)]->send_q_depth.load(
+            std::memory_order_relaxed) != 0) {
+      queued = true;
+      break;
+    }
+  }
+  if (!queued && fabric_.pending_any(self_) == 0) return;
+  for (int v = 0; v < n; ++v) {
+    Vci& vc = *vcis_[static_cast<std::size_t>(v)];
+    // Per-lane fast skip: two lock-free loads decide "nothing can be waiting
+    // on this channel" -- no queued device sends, no pending fabric traffic.
+    if (vc.send_q_depth.load(std::memory_order_relaxed) == 0 &&
+        fabric_.pending(self_, v) == 0) {
+      continue;
+    }
+    // A contended channel is already being progressed by its lock holder;
+    // skipping it is what keeps the sweep non-blocking.
+    std::unique_lock<std::recursive_mutex> lk(vc.mu, std::try_to_lock);
+    if (!lk.owns_lock()) continue;
+    drain_send_queue(vc);
+    while (rt::Packet* pkt = fabric_.poll(self_, v)) handle_packet(vc, pkt);
+    drain_send_queue(vc);  // flush replies generated while handling packets
+  }
 }
 
-void Engine::handle_packet(rt::Packet* pkt) {
+void Engine::handle_packet(Vci& v, rt::Packet* pkt) {
   switch (pkt->hdr.kind) {
     case rt::PacketKind::Eager:
     case rt::PacketKind::Rts:
       // Simulated-CPU mode: receive-side device path length as time.
       rt::spin_for_ns(sim_recv_ns_);
-      if (auto pr = matcher_.arrive(pkt)) {
+      v.busy_instr.fetch_add(recv_instr_, std::memory_order_relaxed);
+      if (auto pr = v.matcher.arrive(pkt)) {
         deliver_match(*pr, pkt);
       }
       // else: retained on the unexpected queue; ownership transferred.
@@ -73,7 +102,7 @@ void Engine::complete_recv_from_eager(RequestSlot& slot, rt::Packet* pkt) {
   slot.status.tag = pkt->hdr.tag;
   slot.status.byte_count = take;
   slot.status.error = slot.op_error;
-  slot.complete = true;
+  slot.complete.store(true, std::memory_order_release);
   rt::PacketPool::free(pkt);
 }
 
@@ -93,6 +122,7 @@ void Engine::start_rendezvous_recv(RequestSlot& slot, Request req_handle, rt::Pa
 
   rt::Packet* cts = rt::PacketPool::alloc();
   cts->hdr.kind = rt::PacketKind::Cts;
+  cts->hdr.vci = rts->hdr.vci;  // replies stay on the initiator's channel
   cts->hdr.src_world = self_;
   cts->hdr.origin_req = rts->hdr.origin_req;
   cts->hdr.target_req = req_handle;
@@ -127,6 +157,7 @@ void Engine::handle_rdv_cts(rt::Packet* pkt) {
     const std::uint64_t n = std::min<std::uint64_t>(kRdvSegmentBytes, total - offset);
     rt::Packet* d = rt::PacketPool::alloc();
     d->hdr.kind = rt::PacketKind::RdvData;
+    d->hdr.vci = pkt->hdr.vci;  // data segments follow the handshake's channel
     d->hdr.src_world = self_;
     d->hdr.target_req = target_req;
     d->hdr.offset = offset;
@@ -139,11 +170,16 @@ void Engine::handle_rdv_cts(rt::Packet* pkt) {
   // Origin-side completion: the data is out of the user buffer.
   if (slot->noreq) {
     if (CommObject* c = comm_obj(slot->comm)) {
-      c->noreq_outstanding -= 1;
+      c->noreq_outstanding.fetch_sub(1, std::memory_order_release);
     }
     release_request(pkt->hdr.origin_req);
   } else {
-    slot->complete = true;
+    // Populate the status like every other completion path does: waitall /
+    // testall surface per-request statuses, and a send that completed via the
+    // CTS handshake must not leave error/byte_count stale.
+    slot->status.error = slot->op_error;
+    slot->status.byte_count = total;
+    slot->complete.store(true, std::memory_order_release);
   }
   rt::PacketPool::free(pkt);
 }
@@ -168,11 +204,13 @@ void Engine::handle_rdv_data(rt::Packet* pkt) {
     if (slot->stage_used && take != 0) {
       dt::unpack(types_, slot->stage.data(), take, slot->rbuf, slot->rcount, slot->rdt);
     }
+    // Free the staging buffer on the error (truncation) path too, not just
+    // the clean one: the request may sit unreaped for a while.
     slot->stage.clear();
     slot->stage.shrink_to_fit();
     slot->status.byte_count = take;
     slot->status.error = slot->op_error;
-    slot->complete = true;
+    slot->complete.store(true, std::memory_order_release);
   }
   rt::PacketPool::free(pkt);
 }

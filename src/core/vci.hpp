@@ -1,0 +1,194 @@
+// Virtual communication interface (VCI): one independent channel of the
+// per-rank communication engine.
+//
+// The paper's central finding is that MPI overhead concentrates in shared
+// fast-path state; MPICH's follow-on VCI work removes the sharing by giving
+// each channel its own matching engine, send queue, and lock, selected per
+// communicator. We mirror that design: an Engine owns BuildConfig::vcis()
+// of these, communicators map to one at creation, and progress() sweeps them
+// as a poll set. Traffic on different VCIs never touches the same mutex,
+// match list, request pool, or fabric lane.
+//
+// Locking discipline:
+//   * Every state field of a Vci (matcher, send_queue, and all request-slot
+//     contents other than the completion flags) is guarded by `mu`.
+//   * `mu` is recursive so the device path may be entered both from a gated
+//     MPI entry point (lock already held) and from internal callers
+//     (collectives, persistent starts) that lock on demand.
+//   * progress() acquires via try_lock: a contended lane is being progressed
+//     by its holder already, so skipping it is both safe and what makes the
+//     sweep non-blocking.
+//   * Request completion crosses threads without the lock: `complete` is an
+//     atomic released by the progress side and acquired by wait/test.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/stable_table.hpp"
+#include "common/types.hpp"
+#include "core/config.hpp"
+#include "cost/meter.hpp"
+#include "cost/model.hpp"
+#include "match/match.hpp"
+#include "runtime/packet.hpp"
+
+namespace lwmpi {
+
+// Request handle payload layout: [ vci:3 | slot:25 ] inside the 28 handle
+// payload bits.
+inline constexpr std::uint32_t kRequestVciShift = 25;
+inline constexpr std::uint32_t kRequestIdxMask = (1u << kRequestVciShift) - 1;
+
+inline constexpr Request make_request_handle(std::uint32_t vci, std::uint32_t idx) {
+  return make_handle(HandleKind::Request, (vci << kRequestVciShift) | idx);
+}
+inline constexpr std::uint32_t request_vci(Request r) {
+  return handle_payload(r) >> kRequestVciShift;
+}
+inline constexpr std::uint32_t request_idx(Request r) {
+  return handle_payload(r) & kRequestIdxMask;
+}
+
+// Per-operation request state. Lives in a VCI's pool; storage is stable (the
+// pool never moves slots), so pointers remain valid across pool growth.
+struct RequestSlot {
+  enum class Kind : std::uint8_t {
+    None,
+    SendEager,
+    SendRdv,
+    Recv,
+    RecvRdv,
+    PersistentSend,
+    PersistentRecv,
+  };
+  Kind kind = Kind::None;
+  // Cross-thread lifecycle flags. `active` publishes allocation (release) and
+  // gates handle lookups (acquire); `complete` publishes the status fields
+  // written by the progress side to the waiting side.
+  std::atomic<bool> active{false};
+  std::atomic<bool> complete{false};
+  Err op_error = Err::Success;
+  Status status;
+  // send state (rendezvous)
+  const void* sbuf = nullptr;
+  int scount = 0;
+  Datatype sdt = kDatatypeNull;
+  Rank dst_world = 0;
+  Comm comm = kCommNull;  // for _NOREQ accounting on rdv completion
+  bool noreq = false;
+  // recv state
+  void* rbuf = nullptr;
+  int rcount = 0;
+  Datatype rdt = kDatatypeNull;
+  std::uint64_t bytes_expected = 0;
+  std::uint64_t bytes_received = 0;
+  std::vector<std::byte> stage;  // rendezvous staging for noncontiguous recv
+  bool stage_used = false;
+  // persistent-request state: bound arguments + the in-flight inner request
+  Rank bound_peer = kProcNull;
+  Tag bound_tag = 0;
+  Request inner = kRequestNull;
+
+  // Reset a recycled slot to its freshly-constructed state (the atomics are
+  // managed by alloc/release, not here).
+  void reset() {
+    kind = Kind::None;
+    complete.store(false, std::memory_order_relaxed);
+    op_error = Err::Success;
+    status = Status{};
+    sbuf = nullptr;
+    scount = 0;
+    sdt = kDatatypeNull;
+    dst_world = 0;
+    comm = kCommNull;
+    noreq = false;
+    rbuf = nullptr;
+    rcount = 0;
+    rdt = kDatatypeNull;
+    bytes_expected = 0;
+    bytes_received = 0;
+    stage.clear();
+    stage_used = false;
+    bound_peer = kProcNull;
+    bound_tag = 0;
+    inner = kRequestNull;
+  }
+};
+
+// Orig-device software send queue entry.
+struct QueuedSend {
+  rt::Packet* pkt = nullptr;
+  Rank dst_world = 0;
+};
+
+// Per-VCI request pool: stable slot storage plus a spinlocked free list. The
+// spinlock (not the VCI mutex) guards the free list so wait/test can release
+// a completed request without serializing against the channel.
+struct RequestPool {
+  common::StableTable<RequestSlot> slots;
+  std::vector<std::uint32_t> free_list;
+  std::atomic_flag free_lock = ATOMIC_FLAG_INIT;
+
+  void lock() noexcept {
+    while (free_lock.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void unlock() noexcept { free_lock.clear(std::memory_order_release); }
+};
+
+struct Vci {
+  // Guards matcher, send_queue, and request-slot bodies on this channel.
+  mutable std::recursive_mutex mu;
+  match::MatchEngine matcher;
+  std::deque<QueuedSend> send_queue;  // orig device
+  // Lock-free mirror of send_queue.size(): lets the progress sweep skip an
+  // idle channel (no queued sends, no pending fabric traffic) without taking
+  // `mu`. Written under the lock, read without it; a stale read only delays
+  // the drain by one sweep.
+  std::atomic<std::uint32_t> send_q_depth{0};
+  RequestPool pool;
+  // Simulated-clock accounting: modeled instructions executed on this channel
+  // (software path lengths + contention penalties). The VCI scaling benchmark
+  // derives its aggregate message rate from the busiest lane's total, the
+  // same way the paper converts Table-1 instruction counts into rates.
+  std::atomic<std::uint64_t> busy_instr{0};
+  // Diagnostics: how often the gate missed its uncontended fast path.
+  std::atomic<std::uint64_t> contended{0};
+};
+
+// Per-operation thread gate, scoped to one VCI. Replaces the engine-global
+// recursive mutex: operations on different VCIs proceed concurrently. The
+// base charge (kThreadGatePt2pt / kThreadGateRma) models the uncontended
+// runtime thread-safety check and is paid whenever thread_safety is built in,
+// exactly as before; the *contended* surcharge is paid only when try_lock
+// misses, so the cost meter charges the slow acquisition only on contended
+// VCIs.
+class VciGate {
+ public:
+  VciGate(Vci* v, bool enabled, std::uint32_t charge) : v_(v), on_(enabled) {
+    if (!on_) return;
+    cost::charge(cost::Category::ThreadSafety, charge);
+    if (v_ == nullptr) return;  // invalid handle: checks below will reject
+    if (!v_->mu.try_lock()) {
+      cost::charge(cost::Category::ThreadSafety, cost::kThreadGateContended);
+      v_->contended.fetch_add(1, std::memory_order_relaxed);
+      v_->busy_instr.fetch_add(cost::kThreadGateContended, std::memory_order_relaxed);
+      v_->mu.lock();
+    }
+  }
+  ~VciGate() {
+    if (on_ && v_ != nullptr) v_->mu.unlock();
+  }
+  VciGate(const VciGate&) = delete;
+  VciGate& operator=(const VciGate&) = delete;
+
+ private:
+  Vci* v_;
+  bool on_;
+};
+
+}  // namespace lwmpi

@@ -38,6 +38,12 @@ inline constexpr std::uint32_t kErrOpValid = 6;
 // ---- Thread-safety gate -----------------------------------------------------
 inline constexpr std::uint32_t kThreadGatePt2pt = 6;
 inline constexpr std::uint32_t kThreadGateRma = 14;
+// Extra charge when a VCI gate is *contended*: the acquiring thread leaves the
+// uncontended fast path (the 6-instruction check above) and takes the slow
+// futex-style acquisition. Charged on top of the base gate cost, only when
+// try_lock fails -- an uncontended single-threaded path never pays it, which
+// keeps the Table-1 closed forms below unchanged.
+inline constexpr std::uint32_t kThreadGateContended = 24;
 
 // ---- Function-call overhead -------------------------------------------------
 // "Each MPI function call can take around 16-18 instructions just to load the

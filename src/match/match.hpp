@@ -5,6 +5,12 @@
 // compatible posted receive, and a posted receive matches the oldest
 // compatible unexpected message. The paper's _NOMATCH proposal (Section 3.6)
 // is supported via arrival-order entries that match on context alone.
+//
+// One MatchEngine is instantiated per VCI (core/vci.hpp), not per engine:
+// each channel matches independently under its own lock, so traffic on
+// different channels never contends on (or reorders through) a shared queue
+// pair. Cross-VCI isolation is structural -- a context id hashes to exactly
+// one channel, so a message can never find a receive posted on another VCI.
 #pragma once
 
 #include <cstdint>

@@ -1,4 +1,4 @@
-// The simulated fabric: per-rank mailboxes plus the locality map.
+// The simulated fabric: per-(rank, vci) mailboxes plus the locality map.
 //
 // This is the reproduction's stand-in for the cluster interconnect. Ranks are
 // grouped into simulated nodes; intra-node traffic takes the shmmod cost
@@ -6,6 +6,11 @@
 // busy-waits the profile's per-message cost (modeling NIC occupancy) and
 // stamps a maturation time (modeling wire latency); the receiving rank's
 // progress engine only sees a packet once it has matured.
+//
+// Each rank owns `lanes_per_rank` independent mailbox lanes -- one per
+// virtual communication interface (VCI). A packet's lane is selected by its
+// header's vci field, so traffic on different VCIs never contends on a shared
+// queue, mirroring MPICH's per-VCI netmod contexts.
 #pragma once
 
 #include <atomic>
@@ -23,7 +28,7 @@ namespace lwmpi::net {
 
 class Fabric {
  public:
-  Fabric(int nranks, int ranks_per_node, Profile profile);
+  Fabric(int nranks, int ranks_per_node, Profile profile, int lanes_per_rank = 1);
   ~Fabric();  // reclaims undelivered packets
 
   Fabric(const Fabric&) = delete;
@@ -31,11 +36,13 @@ class Fabric {
 
   int nranks() const noexcept { return nranks_; }
   int ranks_per_node() const noexcept { return ranks_per_node_; }
+  int lanes_per_rank() const noexcept { return lanes_; }
   int node_of(Rank r) const noexcept { return static_cast<int>(r) / ranks_per_node_; }
   bool same_node(Rank a, Rank b) const noexcept { return node_of(a) == node_of(b); }
   const Profile& profile() const noexcept { return profile_; }
 
-  // Send `p` to rank `dst`. Takes ownership. Busy-waits the injection cost,
+  // Send `p` to rank `dst`, on the lane named by p->hdr.vci (out-of-range vci
+  // falls back to lane 0). Takes ownership. Busy-waits the injection cost,
   // stamps latency, and enqueues into the destination mailbox. In blackhole
   // mode the packet is dropped at this boundary (Figure 5/6 methodology).
   void inject(Rank src, Rank dst, rt::Packet* p) noexcept;
@@ -45,18 +52,45 @@ class Fabric {
   // descriptor slot per operation even though no software-visible packet flows.
   void charge_injection(Rank src, Rank dst) noexcept;
 
-  // Consume one matured packet destined for `self`, or nullptr. Must only be
-  // called from the thread owning rank `self`.
-  rt::Packet* poll(Rank self) noexcept;
+  // Consume one matured packet from `self`'s lane `vci`, or nullptr. Must
+  // only be called while holding the consuming side of that lane (the Engine
+  // serializes on the owning VCI's lock).
+  rt::Packet* poll(Rank self, int vci = 0) noexcept;
 
-  // True if no packet is currently visible for `self` (matured or not).
+  // Injected-minus-delivered count for one lane: a cheap lock-free test for
+  // "is there possibly work on this lane" used by the progress poll set.
+  std::uint64_t pending(Rank self, int vci) const noexcept {
+    const Mailbox& box = *boxes_[index(self, vci)];
+    return box.injected.load(std::memory_order_acquire) -
+           box.delivered.load(std::memory_order_relaxed);
+  }
+
+  // Aggregate of pending() over all of `self`'s lanes, maintained as a
+  // dedicated per-rank counter pair so an idle progress call costs two atomic
+  // loads total instead of two per lane.
+  std::uint64_t pending_any(Rank self) const noexcept {
+    const RankMeter& m = meters_[static_cast<std::size_t>(self)];
+    return m.injected.load(std::memory_order_acquire) -
+           m.delivered.load(std::memory_order_relaxed);
+  }
+
+  // True if no packet is currently visible for `self` on any lane.
   bool idle(Rank self) noexcept;
 
+  // Aggregate counters over all of a rank's lanes.
   std::uint64_t injected(Rank r) const noexcept {
-    return boxes_[static_cast<std::size_t>(r)]->injected.load(std::memory_order_relaxed);
+    std::uint64_t n = 0;
+    for (int v = 0; v < lanes_; ++v) {
+      n += boxes_[index(r, v)]->injected.load(std::memory_order_relaxed);
+    }
+    return n;
   }
   std::uint64_t delivered(Rank r) const noexcept {
-    return boxes_[static_cast<std::size_t>(r)]->delivered;
+    std::uint64_t n = 0;
+    for (int v = 0; v < lanes_; ++v) {
+      n += boxes_[index(r, v)]->delivered.load(std::memory_order_relaxed);
+    }
+    return n;
   }
   std::uint64_t dropped() const noexcept { return dropped_.load(std::memory_order_relaxed); }
 
@@ -65,14 +99,28 @@ class Fabric {
     rt::MpscQueue<rt::Packet> queue;
     // Consumer-owned staging area for packets popped but not yet matured.
     std::deque<rt::Packet*> staged;
-    std::atomic<std::uint64_t> injected{0};  // packets sent *to* this rank
-    std::uint64_t delivered = 0;             // consumer-owned
+    std::atomic<std::uint64_t> injected{0};  // packets sent *to* this lane
+    std::atomic<std::uint64_t> delivered{0};
   };
+
+  // Whole-rank counters backing pending_any(). Cache-line separated so two
+  // ranks' meters never false-share.
+  struct RankMeter {
+    alignas(64) std::atomic<std::uint64_t> injected{0};
+    std::atomic<std::uint64_t> delivered{0};
+  };
+
+  std::size_t index(Rank r, int vci) const noexcept {
+    return static_cast<std::size_t>(r) * static_cast<std::size_t>(lanes_) +
+           static_cast<std::size_t>(vci);
+  }
 
   const int nranks_;
   const int ranks_per_node_;
+  const int lanes_;
   const Profile profile_;
-  std::vector<std::unique_ptr<Mailbox>> boxes_;
+  std::vector<std::unique_ptr<Mailbox>> boxes_;  // nranks x lanes, row-major
+  std::unique_ptr<RankMeter[]> meters_;          // one per rank
   std::atomic<std::uint64_t> dropped_{0};
 };
 

@@ -23,10 +23,13 @@ Err Engine::orig_isend(const SendParams& p, Request* req) {
   return ch4_isend(p, req);
 }
 
-void Engine::drain_send_queue() {
-  while (!send_queue_.empty()) {
-    QueuedSend q = send_queue_.front();
-    send_queue_.pop_front();
+// Drain one channel's software send queue onto the fabric. Caller holds the
+// VCI's lock (the progress sweep, or an entry point that queued the packet).
+void Engine::drain_send_queue(Vci& v) {
+  while (!v.send_queue.empty()) {
+    QueuedSend q = v.send_queue.front();
+    v.send_queue.pop_front();
+    v.send_q_depth.fetch_sub(1, std::memory_order_release);
     fabric_.inject(self_, q.dst_world, q.pkt);
   }
 }

@@ -9,8 +9,14 @@
 //   3. orig (CH3-style) path -- *every* operation is recorded in a deferred
 //      operation list and issued as active messages at synchronization,
 //      which is exactly what makes MPI_PUT cost ~1342 instructions there.
+//
+// VCI routing: a window inherits its creating communicator's channel. Every
+// origin-side AM is stamped with the window's vci and every target-side reply
+// echoes the incoming packet's vci, so a window's whole AM conversation stays
+// on one lane and handle_am always runs under that channel's lock.
 #include <algorithm>
 #include <cstring>
+#include <mutex>
 
 #include "coll/ops.hpp"
 #include "core/engine.hpp"
@@ -28,36 +34,36 @@ constexpr std::uint8_t kLockShared = 1;
 constexpr std::uint8_t kLockExclusive = 2;
 constexpr std::uint8_t kLockPendingGrant = 3;
 constexpr std::uint8_t kLockPendingUnlock = 4;
-
-class RmaGate {
- public:
-  RmaGate(std::recursive_mutex& m, bool enabled) : mu_(m), on_(enabled) {
-    if (on_) {
-      cost::charge(cost::Category::ThreadSafety, cost::kThreadGateRma);
-      mu_.lock();
-    }
-  }
-  ~RmaGate() {
-    if (on_) mu_.unlock();
-  }
-  RmaGate(const RmaGate&) = delete;
-  RmaGate& operator=(const RmaGate&) = delete;
-
- private:
-  std::recursive_mutex& mu_;
-  bool on_;
-};
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // Window lifecycle
 // ---------------------------------------------------------------------------
 
+void Engine::WindowLocal::reset() {
+  win_id.store(0, std::memory_order_relaxed);
+  global.reset();
+  comm = kCommNull;
+  vci = 0;
+  epoch = Epoch::None;
+  lock_held.reset();
+  lock_targets = 0;
+  outstanding_acks.store(0, std::memory_order_relaxed);
+  pending.clear();
+  excl_held = false;
+  shared_count = 0;
+  lock_waiters.clear();
+  pscw_posts_seen.store(0, std::memory_order_relaxed);
+  pscw_completes_seen.store(0, std::memory_order_relaxed);
+  pscw_access_group.clear();
+  pscw_exposure_group.clear();
+}
+
 Engine::WindowLocal* Engine::win_obj(Win win) noexcept {
   if (handle_kind(win) != HandleKind::Win) return nullptr;
-  const std::uint32_t idx = handle_payload(win);
-  if (idx >= windows_.size() || !windows_[idx].in_use) return nullptr;
-  return &windows_[idx];
+  WindowLocal* w = windows_.at(handle_payload(win));
+  if (w == nullptr || !w->in_use.load(std::memory_order_acquire)) return nullptr;
+  return w;
 }
 
 const Engine::WindowLocal* Engine::win_obj(Win win) const noexcept {
@@ -95,21 +101,34 @@ Err Engine::win_create(void* base, std::size_t bytes, int disp_unit, Comm comm, 
   g->peers[static_cast<std::size_t>(c->rank)] =
       rma::WindowGlobal::Peer{static_cast<std::byte*>(base), bytes, disp_unit};
 
-  // The local slot must exist BEFORE the creation barrier completes: a fast
-  // peer may exit the barrier and immediately send this window an active
+  // Reserve a slot, build it, then publish with a release store on in_use.
+  // The local slot must be visible BEFORE the creation barrier completes: a
+  // fast peer may exit the barrier and immediately send this window an active
   // message (e.g. a PSCW post token), which our progress engine routes by
   // window id while we are still inside the barrier.
   std::uint32_t slot = 0;
-  for (; slot < windows_.size(); ++slot) {
-    if (!windows_[slot].in_use) break;
+  {
+    std::lock_guard<std::mutex> lk(win_mu_);
+    for (; slot < windows_.size(); ++slot) {
+      WindowLocal* cand = windows_.at(slot);
+      if (cand != nullptr && !cand->in_use.load(std::memory_order_acquire) &&
+          !cand->reserved) {
+        break;
+      }
+    }
+    if (slot == windows_.size()) slot = windows_.emplace();
+    windows_.at(slot)->reserved = true;
   }
-  if (slot == windows_.size()) windows_.emplace_back();
-  WindowLocal& w = windows_[slot];
-  w = WindowLocal{};
-  w.in_use = true;
+  WindowLocal& w = *windows_.at(slot);
+  w.reset();
   w.global = g;
   w.comm = comm;
-  w.lock_held.assign(static_cast<std::size_t>(p), kLockNone);
+  w.vci = c->vci;  // the window's AM traffic rides its communicator's channel
+  // Value-initialized array: all entries start at kLockNone (0).
+  w.lock_held = std::make_unique<std::atomic<std::uint8_t>[]>(static_cast<std::size_t>(p));
+  w.lock_targets = p;
+  w.win_id.store(g->id, std::memory_order_relaxed);
+  w.in_use.store(true, std::memory_order_release);
 
   if (Err e = barrier(comm); !ok(e)) return e;
   *win = make_handle(HandleKind::Win, slot);
@@ -123,8 +142,19 @@ Err Engine::win_free(Win* win) {
   if (Err e = win_flush_all(*win); !ok(e)) return e;
   if (Err e = barrier(w->comm); !ok(e)) return e;
   if (comm_obj(w->comm)->rank == 0) world_.unregister_window(w->global->id);
-  w->in_use = false;
-  w->global.reset();
+  {
+    // Tear down under the owning channel's lock: handle_am dispatches to this
+    // window only while holding the same lock, so nothing is mid-flight here.
+    Vci& v = *vcis_[w->vci];
+    std::lock_guard<std::recursive_mutex> lk(v.mu);
+    w->in_use.store(false, std::memory_order_release);
+    w->win_id.store(0, std::memory_order_relaxed);
+    w->global.reset();
+  }
+  {
+    std::lock_guard<std::mutex> lk(win_mu_);
+    w->reserved = false;
+  }
   *win = kWinNull;
   return Err::Success;
 }
@@ -150,10 +180,10 @@ Err Engine::rma_check_epoch(const WindowLocal& w, Rank target) const noexcept {
       w.epoch == WindowLocal::Epoch::Pscw) {
     return Err::Success;
   }
-  if (target >= 0 && static_cast<std::size_t>(target) < w.lock_held.size() &&
-      (w.lock_held[static_cast<std::size_t>(target)] == kLockShared ||
-       w.lock_held[static_cast<std::size_t>(target)] == kLockExclusive)) {
-    return Err::Success;
+  if (target >= 0 && target < w.lock_targets) {
+    const std::uint8_t h = w.lock_held[static_cast<std::size_t>(target)].load(
+        std::memory_order_acquire);
+    if (h == kLockShared || h == kLockExclusive) return Err::Success;
   }
   return Err::RmaSync;
 }
@@ -167,8 +197,9 @@ Err Engine::put(const void* origin, int origin_count, Datatype origin_dt, Rank t
   if (!cfg_.ipo) {
     cost::charge(cost::Category::FunctionCall, cost::kCallEntry + cost::kCallPmpiAliasRma);
   }
-  RmaGate gate(thread_gate_, cfg_.thread_safety);
   WindowLocal* w = win_obj(win);
+  VciGate gate(w == nullptr ? nullptr : vcis_[w->vci].get(), cfg_.thread_safety,
+               cost::kThreadGateRma);
   if (cfg_.error_checking) {
     if (Err e = check_win(win); !ok(e)) return e;
     cost::charge(cost::Category::ErrorChecking, cost::kErrRankRange);
@@ -256,6 +287,7 @@ Err Engine::rma_am_put(WindowLocal& w, Win /*win*/, const void* origin, int ocou
   const auto& peer = w.global->peers[static_cast<std::size_t>(target)];
   rt::Packet* pkt = rt::PacketPool::alloc();
   pkt->hdr.kind = rt::PacketKind::AmPut;
+  pkt->hdr.vci = static_cast<std::uint8_t>(w.vci);
   pkt->hdr.src_world = self_;
   pkt->hdr.win_id = w.global->id;
   pkt->hdr.offset = target_disp * static_cast<std::uint64_t>(peer.disp_unit);
@@ -276,7 +308,7 @@ Err Engine::rma_am_put(WindowLocal& w, Win /*win*/, const void* origin, int ocou
   }
   pkt->hdr.total_bytes = data_bytes;
 
-  w.outstanding_acks += 1;
+  w.outstanding_acks.fetch_add(1, std::memory_order_release);
   const Rank dst_world = w.global->world_ranks[static_cast<std::size_t>(target)];
   fabric_.inject(self_, dst_world, pkt);
   return Err::Success;
@@ -287,8 +319,9 @@ Err Engine::put_va(const void* origin, int origin_count, Datatype origin_dt, Ran
   if (!cfg_.ipo) {
     cost::charge(cost::Category::FunctionCall, cost::kCallEntry + cost::kCallPmpiAliasRma);
   }
-  RmaGate gate(thread_gate_, cfg_.thread_safety);
   WindowLocal* w = win_obj(win);
+  VciGate gate(w == nullptr ? nullptr : vcis_[w->vci].get(), cfg_.thread_safety,
+               cost::kThreadGateRma);
   if (cfg_.error_checking) {
     if (Err e = check_win(win); !ok(e)) return e;
     cost::charge(cost::Category::ErrorChecking, cost::kErrRankRange);
@@ -325,8 +358,9 @@ Err Engine::get(void* origin, int origin_count, Datatype origin_dt, Rank target,
   if (!cfg_.ipo) {
     cost::charge(cost::Category::FunctionCall, cost::kCallEntry + cost::kCallPmpiAliasRma);
   }
-  RmaGate gate(thread_gate_, cfg_.thread_safety);
   WindowLocal* w = win_obj(win);
+  VciGate gate(w == nullptr ? nullptr : vcis_[w->vci].get(), cfg_.thread_safety,
+               cost::kThreadGateRma);
   if (cfg_.error_checking) {
     if (Err e = check_win(win); !ok(e)) return e;
     cost::charge(cost::Category::ErrorChecking, cost::kErrRankRange);
@@ -378,7 +412,7 @@ Err Engine::get(void* origin, int origin_count, Datatype origin_dt, Rank target,
   }
 
   // AM fallback: request the target to pack and reply.
-  Request r = alloc_request(RequestSlot::Kind::Recv);
+  Request r = alloc_request(RequestSlot::Kind::Recv, w->vci);
   RequestSlot* slot = req_slot(r);
   slot->rbuf = origin;
   slot->rcount = origin_count;
@@ -386,6 +420,7 @@ Err Engine::get(void* origin, int origin_count, Datatype origin_dt, Rank target,
 
   rt::Packet* pkt = rt::PacketPool::alloc();
   pkt->hdr.kind = rt::PacketKind::AmGetReq;
+  pkt->hdr.vci = static_cast<std::uint8_t>(w->vci);
   pkt->hdr.src_world = self_;
   pkt->hdr.win_id = w->global->id;
   pkt->hdr.offset = target_disp * static_cast<std::uint64_t>(peer.disp_unit);
@@ -397,7 +432,7 @@ Err Engine::get(void* origin, int origin_count, Datatype origin_dt, Rank target,
     pkt->hdr.dt = kDatatypeNull;
     pkt->payload = dt::serialize_info(*types_.info(target_dt));
   }
-  w->outstanding_acks += 1;
+  w->outstanding_acks.fetch_add(1, std::memory_order_release);
   const Rank dst_world = w->global->world_ranks[static_cast<std::size_t>(target)];
   fabric_.inject(self_, dst_world, pkt);
   return Err::Success;
@@ -408,8 +443,9 @@ Err Engine::accumulate(const void* origin, int count, Datatype dt_, Rank target,
   if (!cfg_.ipo) {
     cost::charge(cost::Category::FunctionCall, cost::kCallEntry + cost::kCallPmpiAliasRma);
   }
-  RmaGate gate(thread_gate_, cfg_.thread_safety);
   WindowLocal* w = win_obj(win);
+  VciGate gate(w == nullptr ? nullptr : vcis_[w->vci].get(), cfg_.thread_safety,
+               cost::kThreadGateRma);
   if (w == nullptr) return Err::Win;
   if (cfg_.error_checking) {
     if (Err e = check_win(win); !ok(e)) return e;
@@ -423,7 +459,6 @@ Err Engine::accumulate(const void* origin, int count, Datatype dt_, Rank target,
       if (Err e = rma_check_epoch(*w, target); !ok(e)) return e;
     }
   }
-  if (w == nullptr) return Err::Win;
   if (!is_builtin(dt_)) return Err::Datatype;  // predefined ops, basic types
   cost::charge(cost::Reason::ProcNullCheck, cost::kMandProcNull);
   if (target == kProcNull) return Err::Success;
@@ -458,8 +493,9 @@ Err Engine::accumulate(const void* origin, int count, Datatype dt_, Rank target,
 
 Err Engine::get_accumulate(const void* origin, int count, Datatype dt_, void* result,
                            Rank target, std::uint64_t target_disp, ReduceOp op, Win win) {
-  RmaGate gate(thread_gate_, cfg_.thread_safety);
   WindowLocal* w = win_obj(win);
+  VciGate gate(w == nullptr ? nullptr : vcis_[w->vci].get(), cfg_.thread_safety,
+               cost::kThreadGateRma);
   if (w == nullptr) return Err::Win;
   if (!is_builtin(dt_)) return Err::Datatype;
   if (cfg_.error_checking) {
@@ -507,19 +543,24 @@ Err Engine::rma_wait_acks(WindowLocal& w, std::uint32_t until) {
   if (fabric_.profile().blackhole) {
     // Infinitely-fast-network methodology: every issued operation is treated
     // as instantaneously remote-complete (nothing was transmitted).
-    w.outstanding_acks = 0;
+    w.outstanding_acks.store(0, std::memory_order_relaxed);
     return Err::Success;
   }
   rt::Backoff backoff;
-  while (w.outstanding_acks > until) {
+  while (w.outstanding_acks.load(std::memory_order_acquire) > until) {
     progress();
-    if (w.outstanding_acks > until) backoff.pause();
+    if (w.outstanding_acks.load(std::memory_order_acquire) > until) backoff.pause();
   }
   return Err::Success;
 }
 
 Err Engine::orig_flush_pending(WindowLocal& w, Win win, Rank target) {
   if (device_ != DeviceKind::Orig) return Err::Success;
+  // The deferred-op list is guarded by the window's channel lock (the data
+  // movement entry points append under their VciGate). Recursive, so taking
+  // it again under an already-gated caller is fine.
+  Vci& v = *vcis_[w.vci];
+  std::lock_guard<std::recursive_mutex> lk(v.mu);
   std::vector<WindowLocal::PendingOp> keep;
   for (WindowLocal::PendingOp& op : w.pending) {
     if (target >= 0 && op.target != target) {
@@ -529,6 +570,7 @@ Err Engine::orig_flush_pending(WindowLocal& w, Win win, Rank target) {
     const auto& peer = w.global->peers[static_cast<std::size_t>(op.target)];
     const Rank dst_world = w.global->world_ranks[static_cast<std::size_t>(op.target)];
     rt::Packet* pkt = rt::PacketPool::alloc();
+    pkt->hdr.vci = static_cast<std::uint8_t>(w.vci);
     pkt->hdr.src_world = self_;
     pkt->hdr.win_id = w.global->id;
     pkt->hdr.offset = op.disp * static_cast<std::uint64_t>(peer.disp_unit);
@@ -559,7 +601,7 @@ Err Engine::orig_flush_pending(WindowLocal& w, Win win, Rank target) {
       }
       case WindowLocal::PendingOp::Kind::Get: {
         pkt->hdr.kind = rt::PacketKind::AmGetReq;
-        Request r = alloc_request(RequestSlot::Kind::Recv);
+        Request r = alloc_request(RequestSlot::Kind::Recv, w.vci);
         RequestSlot* slot = req_slot(r);
         slot->rbuf = op.result;
         slot->rcount = op.result_count;
@@ -575,7 +617,7 @@ Err Engine::orig_flush_pending(WindowLocal& w, Win win, Rank target) {
       }
       case WindowLocal::PendingOp::Kind::GetAcc: {
         pkt->hdr.kind = rt::PacketKind::AmGetAccReq;
-        Request r = alloc_request(RequestSlot::Kind::Recv);
+        Request r = alloc_request(RequestSlot::Kind::Recv, w.vci);
         RequestSlot* slot = req_slot(r);
         slot->rbuf = op.result;
         slot->rcount = op.result_count;
@@ -586,7 +628,7 @@ Err Engine::orig_flush_pending(WindowLocal& w, Win win, Rank target) {
         break;
       }
     }
-    w.outstanding_acks += 1;
+    w.outstanding_acks.fetch_add(1, std::memory_order_release);
     fabric_.inject(self_, dst_world, pkt);
   }
   w.pending = std::move(keep);
@@ -624,10 +666,11 @@ Err Engine::win_lock(LockType type, Rank target, Win win) {
   WindowLocal* w = win_obj(win);
   if (w == nullptr) return Err::Win;
   if (target < 0 || target >= w->global->nranks) return Err::Rank;
+  std::atomic<std::uint8_t>& held = w->lock_held[static_cast<std::size_t>(target)];
   if (cfg_.error_checking) {
     cost::charge(cost::Category::ErrorChecking, cost::kErrRankRange);
     if (type != LockType::Exclusive && type != LockType::Shared) return Err::LockType;
-    if (w->lock_held[static_cast<std::size_t>(target)] != kLockNone) return Err::RmaSync;
+    if (held.load(std::memory_order_acquire) != kLockNone) return Err::RmaSync;
   }
 
   if (device_ == DeviceKind::Ch4) {
@@ -645,21 +688,22 @@ Err Engine::win_lock(LockType type, Rank target, Win win) {
         backoff.pause();
       }
     }
-    w->lock_held[static_cast<std::size_t>(target)] =
-        type == LockType::Exclusive ? kLockExclusive : kLockShared;
+    held.store(type == LockType::Exclusive ? kLockExclusive : kLockShared,
+               std::memory_order_release);
     return Err::Success;
   }
 
-  // Orig: lock request AM; wait for the grant.
-  w->lock_held[static_cast<std::size_t>(target)] = kLockPendingGrant;
+  // Orig: lock request AM; wait for the grant (recorded by the AM handler).
+  held.store(kLockPendingGrant, std::memory_order_release);
   rt::Packet* pkt = rt::PacketPool::alloc();
   pkt->hdr.kind = rt::PacketKind::AmLockReq;
+  pkt->hdr.vci = static_cast<std::uint8_t>(w->vci);
   pkt->hdr.src_world = self_;
   pkt->hdr.win_id = w->global->id;
   pkt->hdr.lock_type = static_cast<std::uint32_t>(type);
   fabric_.inject(self_, w->global->world_ranks[static_cast<std::size_t>(target)], pkt);
   rt::Backoff backoff;
-  while (w->lock_held[static_cast<std::size_t>(target)] == kLockPendingGrant) {
+  while (held.load(std::memory_order_acquire) == kLockPendingGrant) {
     progress();
     backoff.pause();
   }
@@ -670,7 +714,8 @@ Err Engine::win_unlock(Rank target, Win win) {
   WindowLocal* w = win_obj(win);
   if (w == nullptr) return Err::Win;
   if (target < 0 || target >= w->global->nranks) return Err::Rank;
-  const std::uint8_t held = w->lock_held[static_cast<std::size_t>(target)];
+  std::atomic<std::uint8_t>& state = w->lock_held[static_cast<std::size_t>(target)];
+  const std::uint8_t held = state.load(std::memory_order_acquire);
   if (held != kLockShared && held != kLockExclusive) return Err::RmaSync;
 
   // Complete all operations to the target before releasing.
@@ -684,20 +729,21 @@ Err Engine::win_unlock(Rank target, Win win) {
     } else {
       mtx.unlock_shared();
     }
-    w->lock_held[static_cast<std::size_t>(target)] = kLockNone;
+    state.store(kLockNone, std::memory_order_release);
     return Err::Success;
   }
 
-  w->lock_held[static_cast<std::size_t>(target)] = kLockPendingUnlock;
+  state.store(kLockPendingUnlock, std::memory_order_release);
   rt::Packet* pkt = rt::PacketPool::alloc();
   pkt->hdr.kind = rt::PacketKind::AmUnlock;
+  pkt->hdr.vci = static_cast<std::uint8_t>(w->vci);
   pkt->hdr.src_world = self_;
   pkt->hdr.win_id = w->global->id;
   pkt->hdr.lock_type =
       static_cast<std::uint32_t>(held == kLockExclusive ? LockType::Exclusive : LockType::Shared);
   fabric_.inject(self_, w->global->world_ranks[static_cast<std::size_t>(target)], pkt);
   rt::Backoff backoff;
-  while (w->lock_held[static_cast<std::size_t>(target)] == kLockPendingUnlock) {
+  while (state.load(std::memory_order_acquire) == kLockPendingUnlock) {
     progress();
     backoff.pause();
   }
@@ -766,6 +812,7 @@ Err Engine::win_post(Group group, Win win) {
   for (Rank origin : origins) {
     rt::Packet* pkt = rt::PacketPool::alloc();
     pkt->hdr.kind = rt::PacketKind::AmPscwPost;
+    pkt->hdr.vci = static_cast<std::uint8_t>(w->vci);
     pkt->hdr.src_world = self_;
     pkt->hdr.win_id = w->global->id;
     fabric_.inject(self_, origin, pkt);
@@ -779,12 +826,13 @@ Err Engine::win_start(Group group, Win win) {
   const std::vector<Rank> targets = group_world_ranks(*this, group);
   w->pscw_access_group = targets;
   // Wait for a post token from every target.
+  const auto need = static_cast<std::uint32_t>(targets.size());
   rt::Backoff backoff;
-  while (w->pscw_posts_seen < targets.size()) {
+  while (w->pscw_posts_seen.load(std::memory_order_acquire) < need) {
     progress();
-    if (w->pscw_posts_seen < targets.size()) backoff.pause();
+    if (w->pscw_posts_seen.load(std::memory_order_acquire) < need) backoff.pause();
   }
-  w->pscw_posts_seen -= static_cast<std::uint32_t>(targets.size());
+  w->pscw_posts_seen.fetch_sub(need, std::memory_order_relaxed);
   w->epoch = WindowLocal::Epoch::Pscw;
   return Err::Success;
 }
@@ -798,6 +846,7 @@ Err Engine::win_complete(Win win) {
   for (Rank target : w->pscw_access_group) {
     rt::Packet* pkt = rt::PacketPool::alloc();
     pkt->hdr.kind = rt::PacketKind::AmPscwComplete;
+    pkt->hdr.vci = static_cast<std::uint8_t>(w->vci);
     pkt->hdr.src_world = self_;
     pkt->hdr.win_id = w->global->id;
     fabric_.inject(self_, target, pkt);
@@ -812,11 +861,11 @@ Err Engine::win_wait(Win win) {
   if (w == nullptr) return Err::Win;
   const auto expected = static_cast<std::uint32_t>(w->pscw_exposure_group.size());
   rt::Backoff backoff;
-  while (w->pscw_completes_seen < expected) {
+  while (w->pscw_completes_seen.load(std::memory_order_acquire) < expected) {
     progress();
-    if (w->pscw_completes_seen < expected) backoff.pause();
+    if (w->pscw_completes_seen.load(std::memory_order_acquire) < expected) backoff.pause();
   }
-  w->pscw_completes_seen -= expected;
+  w->pscw_completes_seen.fetch_sub(expected, std::memory_order_relaxed);
   w->pscw_exposure_group.clear();
   return Err::Success;
 }
@@ -825,9 +874,11 @@ Err Engine::win_wait(Win win) {
 // Target-side active-message servicing
 // ---------------------------------------------------------------------------
 
-void Engine::send_am_ack(Rank origin_world, std::uint32_t origin_req, std::uint32_t win_id) {
+void Engine::send_am_ack(Rank origin_world, std::uint32_t origin_req, std::uint32_t win_id,
+                         std::uint8_t vci) {
   rt::Packet* ack = rt::PacketPool::alloc();
   ack->hdr.kind = rt::PacketKind::AmAck;
+  ack->hdr.vci = vci;  // stay on the originating operation's channel
   ack->hdr.src_world = self_;
   ack->hdr.win_id = win_id;
   ack->hdr.origin_req = origin_req;
@@ -835,11 +886,17 @@ void Engine::send_am_ack(Rank origin_world, std::uint32_t origin_req, std::uint3
 }
 
 void Engine::handle_am(rt::Packet* pkt) {
-  // Locate the local window attached to this global id.
+  // Locate the local window attached to this global id. The scan reads only
+  // the per-slot atomics (in_use, win_id) so it can safely walk windows owned
+  // by other channels; once matched, the window's own channel lock -- which
+  // the caller holds, because AM traffic for a window always arrives on that
+  // window's lane -- serializes us against win_free.
   WindowLocal* w = nullptr;
-  for (WindowLocal& cand : windows_) {
-    if (cand.in_use && cand.global != nullptr && cand.global->id == pkt->hdr.win_id) {
-      w = &cand;
+  for (std::uint32_t i = 0; i < windows_.size(); ++i) {
+    WindowLocal* cand = windows_.at(i);
+    if (cand != nullptr && cand->in_use.load(std::memory_order_acquire) &&
+        cand->win_id.load(std::memory_order_relaxed) == pkt->hdr.win_id) {
+      w = cand;
       break;
     }
   }
@@ -867,19 +924,20 @@ void Engine::handle_am(rt::Packet* pkt) {
         dt::unpack_info(parsed->first, body.data() + parsed->second, pkt->hdr.total_bytes,
                         base + pkt->hdr.offset, static_cast<int>(pkt->hdr.dt_count));
       }
-      send_am_ack(pkt->hdr.src_world, pkt->hdr.origin_req, pkt->hdr.win_id);
+      send_am_ack(pkt->hdr.src_world, pkt->hdr.origin_req, pkt->hdr.win_id, pkt->hdr.vci);
       break;
     }
     case rt::PacketKind::AmAcc: {
       std::lock_guard<std::mutex> lk(*w->global->acc_locks[me]);
       coll::apply_op(static_cast<ReduceOp>(pkt->hdr.op), pkt->hdr.dt, base + pkt->hdr.offset,
                      pkt->payload.data(), pkt->hdr.dt_count);
-      send_am_ack(pkt->hdr.src_world, pkt->hdr.origin_req, pkt->hdr.win_id);
+      send_am_ack(pkt->hdr.src_world, pkt->hdr.origin_req, pkt->hdr.win_id, pkt->hdr.vci);
       break;
     }
     case rt::PacketKind::AmGetReq: {
       rt::Packet* reply = rt::PacketPool::alloc();
       reply->hdr.kind = rt::PacketKind::AmGetReply;
+      reply->hdr.vci = pkt->hdr.vci;
       reply->hdr.src_world = self_;
       reply->hdr.win_id = pkt->hdr.win_id;
       reply->hdr.origin_req = pkt->hdr.origin_req;
@@ -899,6 +957,7 @@ void Engine::handle_am(rt::Packet* pkt) {
     case rt::PacketKind::AmGetAccReq: {
       rt::Packet* reply = rt::PacketPool::alloc();
       reply->hdr.kind = rt::PacketKind::AmGetAccReply;
+      reply->hdr.vci = pkt->hdr.vci;
       reply->hdr.src_world = self_;
       reply->hdr.win_id = pkt->hdr.win_id;
       reply->hdr.origin_req = pkt->hdr.origin_req;
@@ -921,11 +980,15 @@ void Engine::handle_am(rt::Packet* pkt) {
                    slot->rdt);
         release_request(pkt->hdr.origin_req);
       }
-      if (w->outstanding_acks > 0) w->outstanding_acks -= 1;
+      if (w->outstanding_acks.load(std::memory_order_relaxed) > 0) {
+        w->outstanding_acks.fetch_sub(1, std::memory_order_release);
+      }
       break;
     }
     case rt::PacketKind::AmAck: {
-      if (w->outstanding_acks > 0) w->outstanding_acks -= 1;
+      if (w->outstanding_acks.load(std::memory_order_relaxed) > 0) {
+        w->outstanding_acks.fetch_sub(1, std::memory_order_release);
+      }
       break;
     }
     case rt::PacketKind::AmLockReq: {
@@ -940,6 +1003,7 @@ void Engine::handle_am(rt::Packet* pkt) {
         }
         rt::Packet* grant = rt::PacketPool::alloc();
         grant->hdr.kind = rt::PacketKind::AmLockGrant;
+        grant->hdr.vci = pkt->hdr.vci;
         grant->hdr.src_world = self_;
         grant->hdr.win_id = pkt->hdr.win_id;
         grant->hdr.lock_type = pkt->hdr.lock_type;
@@ -954,9 +1018,11 @@ void Engine::handle_am(rt::Packet* pkt) {
       const auto& wr = w->global->world_ranks;
       for (std::size_t i = 0; i < wr.size(); ++i) {
         if (wr[i] == pkt->hdr.src_world) {
-          w->lock_held[i] = static_cast<LockType>(pkt->hdr.lock_type) == LockType::Exclusive
-                                ? kLockExclusive
-                                : kLockShared;
+          w->lock_held[i].store(
+              static_cast<LockType>(pkt->hdr.lock_type) == LockType::Exclusive
+                  ? kLockExclusive
+                  : kLockShared,
+              std::memory_order_release);
           break;
         }
       }
@@ -968,7 +1034,9 @@ void Engine::handle_am(rt::Packet* pkt) {
       } else if (w->shared_count > 0) {
         w->shared_count -= 1;
       }
-      // Grant as many queued waiters as the new state allows.
+      // Grant as many queued waiters as the new state allows. Waiters' grants
+      // stay on the same channel as the unlock that released them (one window
+      // -> one lane, so the vcis coincide).
       while (!w->lock_waiters.empty()) {
         const WindowLocal::LockWaiter next = w->lock_waiters.front();
         const bool grantable = next.type == LockType::Exclusive
@@ -983,6 +1051,7 @@ void Engine::handle_am(rt::Packet* pkt) {
         }
         rt::Packet* grant = rt::PacketPool::alloc();
         grant->hdr.kind = rt::PacketKind::AmLockGrant;
+        grant->hdr.vci = pkt->hdr.vci;
         grant->hdr.src_world = self_;
         grant->hdr.win_id = pkt->hdr.win_id;
         grant->hdr.lock_type = static_cast<std::uint32_t>(next.type);
@@ -990,24 +1059,25 @@ void Engine::handle_am(rt::Packet* pkt) {
       }
       rt::Packet* ack = rt::PacketPool::alloc();
       ack->hdr.kind = rt::PacketKind::AmUnlockAck;
+      ack->hdr.vci = pkt->hdr.vci;
       ack->hdr.src_world = self_;
       ack->hdr.win_id = pkt->hdr.win_id;
       fabric_.inject(self_, pkt->hdr.src_world, ack);
       break;
     }
     case rt::PacketKind::AmPscwPost: {
-      w->pscw_posts_seen += 1;
+      w->pscw_posts_seen.fetch_add(1, std::memory_order_release);
       break;
     }
     case rt::PacketKind::AmPscwComplete: {
-      w->pscw_completes_seen += 1;
+      w->pscw_completes_seen.fetch_add(1, std::memory_order_release);
       break;
     }
     case rt::PacketKind::AmUnlockAck: {
       const auto& wr = w->global->world_ranks;
       for (std::size_t i = 0; i < wr.size(); ++i) {
         if (wr[i] == pkt->hdr.src_world) {
-          w->lock_held[i] = kLockNone;
+          w->lock_held[i].store(kLockNone, std::memory_order_release);
           break;
         }
       }

@@ -48,6 +48,7 @@ enum class MatchMode : std::uint8_t {
 struct PacketHeader {
   PacketKind kind = PacketKind::Eager;
   MatchMode match_mode = MatchMode::Full;
+  std::uint8_t vci = 0;             // fabric lane / channel (VCI) id
   std::uint16_t op = 0;             // ReduceOp for accumulate AMs
   std::uint32_t ctx = 0;            // communicator context id
   Rank src_comm_rank = 0;           // sender rank within the communicator

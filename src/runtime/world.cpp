@@ -10,7 +10,7 @@ namespace lwmpi {
 World::World(int nranks, WorldOptions opts)
     : nranks_(nranks),
       opts_(std::move(opts)),
-      fabric_(nranks, opts_.ranks_per_node, opts_.profile),
+      fabric_(nranks, opts_.ranks_per_node, opts_.profile, opts_.build.vcis()),
       next_ctx_(kFirstDynamicCtx) {
   engines_.reserve(static_cast<std::size_t>(nranks_));
   for (int r = 0; r < nranks_; ++r) {

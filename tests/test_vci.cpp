@@ -1,0 +1,181 @@
+// Virtual communication interface tests: comm->channel mapping, cross-VCI
+// isolation, and multithreaded correctness with independent communicators
+// driven simultaneously (the concurrency suite runs these under TSan).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util.hpp"
+
+using namespace lwmpi;
+
+namespace {
+
+constexpr int kNumThreads = 4;
+const Comm kPredefined[kNumThreads] = {kComm1, kComm2, kComm3, kComm4};
+
+// Collectively populate the four predefined communicator slots.
+void dup_predefined(Engine& e) {
+  for (Comm c : kPredefined) {
+    ASSERT_EQ(e.comm_dup_predefined(kCommWorld, c), Err::Success);
+  }
+}
+
+}  // namespace
+
+TEST(Vci, PredefinedCommsPinToDistinctChannels) {
+  test::spmd(2, [](Engine& e) {
+    ASSERT_EQ(e.num_vcis(), 4);  // BuildConfig default
+    EXPECT_EQ(e.vci_of(kCommWorld), 0);
+    EXPECT_EQ(e.vci_of(kCommNull), -1);
+    dup_predefined(e);
+    std::vector<bool> seen(static_cast<std::size_t>(e.num_vcis()), false);
+    for (Comm c : kPredefined) {
+      const int v = e.vci_of(c);
+      ASSERT_GE(v, 0);
+      ASSERT_LT(v, e.num_vcis());
+      EXPECT_FALSE(seen[static_cast<std::size_t>(v)])
+          << "two predefined comms share channel " << v;
+      seen[static_cast<std::size_t>(v)] = true;
+    }
+    e.barrier(kCommWorld);
+  });
+}
+
+TEST(Vci, SingleChannelBuildStillWorks) {
+  WorldOptions o = test::fast_opts();
+  o.build.num_vcis = 1;
+  test::spmd(
+      2,
+      [](Engine& e) {
+        ASSERT_EQ(e.num_vcis(), 1);
+        dup_predefined(e);
+        for (Comm c : kPredefined) EXPECT_EQ(e.vci_of(c), 0);
+        int v = e.world_rank();
+        int sum = 0;
+        ASSERT_EQ(e.allreduce(&v, &sum, 1, kInt, ReduceOp::Sum, kComm3), Err::Success);
+        EXPECT_EQ(sum, 1);
+      },
+      o);
+}
+
+// A message sent on one communicator must never satisfy a receive posted on a
+// communicator living on a different channel -- matching state is per-VCI.
+TEST(Vci, NoCrossChannelMatching) {
+  test::spmd(2, [](Engine& e) {
+    dup_predefined(e);
+    ASSERT_NE(e.vci_of(kComm1), e.vci_of(kComm2));
+    if (e.world_rank() == 0) {
+      int payload = 42;
+      ASSERT_EQ(e.send(&payload, 1, kInt, 1, 7, kComm1), Err::Success);
+      e.barrier(kCommWorld);
+    } else {
+      int sink = 0;
+      Request wrong = kRequestNull;
+      // Wildcard receive on kComm2: compatible in (src, tag) but on the wrong
+      // channel; it must stay posted.
+      ASSERT_EQ(e.irecv(&sink, 1, kInt, kAnySource, kAnyTag, kComm2, &wrong),
+                Err::Success);
+      // Let the sender's packet arrive and sit in kComm1's unexpected queue.
+      bool flag = false;
+      Status st;
+      while (!flag) {
+        ASSERT_EQ(e.iprobe(kAnySource, kAnyTag, kComm1, &flag, &st), Err::Success);
+      }
+      EXPECT_EQ(st.tag, 7);
+      bool wrong_flag = true;
+      ASSERT_EQ(e.iprobe(kAnySource, kAnyTag, kComm2, &wrong_flag, nullptr), Err::Success);
+      EXPECT_FALSE(wrong_flag);
+      EXPECT_EQ(sink, 0);  // nothing was delivered to the kComm2 receive
+
+      int got = 0;
+      ASSERT_EQ(e.recv(&got, 1, kInt, 0, 7, kComm1, nullptr), Err::Success);
+      EXPECT_EQ(got, 42);
+      ASSERT_EQ(e.cancel(&wrong), Err::Success);
+      ASSERT_EQ(e.wait(&wrong, nullptr), Err::Success);
+      e.barrier(kCommWorld);
+      // Every queue on every channel drained.
+      for (int v = 0; v < e.num_vcis(); ++v) {
+        EXPECT_EQ(e.posted_depth(v), 0u) << "vci " << v;
+        EXPECT_EQ(e.unexpected_depth(v), 0u) << "vci " << v;
+      }
+    }
+  });
+}
+
+// N threads per rank drive N independent communicators simultaneously: eager
+// and rendezvous traffic, payload verification, then a clean drain.
+TEST(Vci, MultithreadedIndependentComms) {
+  constexpr int kRounds = 24;
+  constexpr int kEagerInts = 256;                // 1 KiB: eager protocol
+  constexpr int kRdvInts = 12 * 1024;            // 48 KiB: rendezvous protocol
+  test::spmd(2, [](Engine& e) {
+    dup_predefined(e);
+    const int me = e.world_rank();
+    std::vector<std::thread> threads;
+    threads.reserve(kNumThreads);
+    for (int t = 0; t < kNumThreads; ++t) {
+      threads.emplace_back([&e, me, t] {
+        const Comm c = kPredefined[t];
+        std::vector<std::int32_t> eager(kEagerInts);
+        std::vector<std::int32_t> rdv(kRdvInts);
+        for (int round = 0; round < kRounds; ++round) {
+          const std::int32_t stamp = t * 1000 + round;
+          if (me == 0) {
+            for (auto& x : eager) x = stamp;
+            for (auto& x : rdv) x = stamp + 1;
+            Request r[2] = {kRequestNull, kRequestNull};
+            ASSERT_EQ(e.isend(eager.data(), kEagerInts, kInt, 1, round, c, &r[0]),
+                      Err::Success);
+            ASSERT_EQ(e.isend(rdv.data(), kRdvInts, kInt, 1, round, c, &r[1]),
+                      Err::Success);
+            ASSERT_EQ(e.waitall(r, {}), Err::Success);
+          } else {
+            Status st;
+            ASSERT_EQ(e.recv(eager.data(), kEagerInts, kInt, 0, round, c, &st),
+                      Err::Success);
+            ASSERT_EQ(st.byte_count, kEagerInts * sizeof(std::int32_t));
+            ASSERT_EQ(e.recv(rdv.data(), kRdvInts, kInt, 0, round, c, nullptr),
+                      Err::Success);
+            for (const auto& x : eager) ASSERT_EQ(x, stamp);
+            for (const auto& x : rdv) ASSERT_EQ(x, stamp + 1);
+          }
+        }
+        // Four concurrent barriers, one per channel.
+        ASSERT_EQ(e.barrier(c), Err::Success);
+      });
+    }
+    for (std::thread& th : threads) th.join();
+    e.barrier(kCommWorld);
+    for (int v = 0; v < e.num_vcis(); ++v) {
+      EXPECT_EQ(e.posted_depth(v), 0u) << "vci " << v;
+      EXPECT_EQ(e.unexpected_depth(v), 0u) << "vci " << v;
+    }
+    EXPECT_EQ(e.live_requests(), 0u);
+  });
+}
+
+// The no-request extension tracks outstanding sends per communicator; the
+// counter must drain through the owning channel.
+TEST(Vci, NoreqSendsDrainPerChannel) {
+  test::spmd(2, [](Engine& e) {
+    dup_predefined(e);
+    if (e.world_rank() == 0) {
+      int v = 9;
+      for (int i = 0; i < 32; ++i) {
+        ASSERT_EQ(e.isend_noreq(&v, 1, kInt, 1, i, kComm2), Err::Success);
+      }
+      ASSERT_EQ(e.comm_waitall(kComm2), Err::Success);
+    } else {
+      int got = 0;
+      for (int i = 0; i < 32; ++i) {
+        ASSERT_EQ(e.recv(&got, 1, kInt, 0, i, kComm2, nullptr), Err::Success);
+        EXPECT_EQ(got, 9);
+      }
+    }
+    e.barrier(kCommWorld);
+    EXPECT_EQ(e.live_requests(), 0u);
+  });
+}
