@@ -125,6 +125,34 @@ double st_latency_us() {
   return usec;
 }
 
+// Deterministic observability-overhead check: the always-on counters must not
+// perturb the *modeled* instruction stream. Run one fixed single-threaded
+// workload with counters on and off and compare the busy_instr totals -- the
+// simulated clock is deterministic, so any difference means a counter hook
+// leaked a cost::charge onto the fast path.
+std::uint64_t busy_total(bool counters) {
+  WorldOptions o;
+  o.profile = net::loopback();
+  o.device = DeviceKind::Ch4;
+  o.ranks_per_node = 1;
+  o.build.counters = counters;
+  World w(2, o);
+  Engine& e0 = w.engine(0);
+  Engine& e1 = w.engine(1);
+  char byte = 1;
+  for (int i = 0; i < 1000; ++i) {
+    Request r = kRequestNull;
+    e0.isend(&byte, 1, kChar, 1, i, kCommWorld, &r);
+    e0.wait(&r, nullptr);
+    char got = 0;
+    e1.recv(&got, 1, kChar, 0, i, kCommWorld, nullptr);
+  }
+  std::uint64_t total = 0;
+  for (int v = 0; v < e0.num_vcis(); ++v) total += e0.vci_busy_instr(v);
+  for (int v = 0; v < e1.num_vcis(); ++v) total += e1.vci_busy_instr(v);
+  return total;
+}
+
 }  // namespace
 
 int main() {
@@ -157,5 +185,12 @@ int main() {
 
   const double lat = st_latency_us();
   std::printf("single-threaded ping-pong latency (psm2, world comm): %.2f us\n", lat);
-  return speedup >= 2.0 ? 0 : 1;
+
+  const std::uint64_t busy_on = busy_total(true);
+  const std::uint64_t busy_off = busy_total(false);
+  std::printf("modeled busy_instr, counters on/off: %llu / %llu  [acceptance: equal]\n",
+              static_cast<unsigned long long>(busy_on),
+              static_cast<unsigned long long>(busy_off));
+
+  return speedup >= 2.0 && busy_on == busy_off ? 0 : 1;
 }

@@ -189,6 +189,70 @@ inline cost::Meter metered_put(DeviceKind device, BuildConfig build) {
   return out;
 }
 
+// --- JSON result emission -----------------------------------------------------
+// Minimal machine-readable bench output: each benchmark accumulates labeled
+// scalar results (plus optional pre-serialized blobs like a stats_report) and
+// writes them to BENCH_<name>.json in the working directory, so runs can be
+// diffed or plotted without scraping stdout.
+class JsonResult {
+ public:
+  explicit JsonResult(std::string name) : name_(std::move(name)) {}
+
+  void add(const std::string& label, double value, const std::string& unit) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    entries_.push_back("{\"label\":\"" + escape(label) + "\",\"value\":" + buf +
+                       ",\"unit\":\"" + escape(unit) + "\"}");
+  }
+  // Attach an already-serialized JSON value (e.g. World::stats_report(true)).
+  void add_raw(const std::string& key, const std::string& json) {
+    raw_.push_back("\"" + escape(key) + "\":" + json);
+  }
+
+  std::string str() const {
+    std::string out = "{\"bench\":\"" + escape(name_) + "\",\"results\":[";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      out += (i == 0 ? "" : ",");
+      out += entries_[i];
+    }
+    out += "]";
+    for (const std::string& r : raw_) out += "," + r;
+    out += "}";
+    return out;
+  }
+
+  // Write BENCH_<name>.json; returns false (and prints a warning) on failure.
+  bool write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    const std::string body = str();
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::string> entries_;
+  std::vector<std::string> raw_;
+};
+
 // --- Output helpers ------------------------------------------------------------
 inline void print_header(const char* title) {
   std::printf("\n=== %s ===\n", title);

@@ -235,6 +235,18 @@ Err Engine::isend_all_opts(const void* buf, int count, Datatype dt, Rank world_d
   }
   cost::charge(cost::Reason::Residual, cost::kAllOptsInject);
   sends_issued_.fetch_add(1, std::memory_order_relaxed);
+  vcis_[c.vci]->counters.inc(obs::VciCtr::SendEager);
+  vcis_[c.vci]->counters.inc(obs::VciCtr::SendNoreq);
+  if (cfg_.trace) {
+    const std::uint64_t seq = obs::trace::next_seq();
+    pkt->hdr.seq = seq;
+    const auto vci8 = static_cast<std::uint8_t>(c.vci);
+    trace_msg(obs::trace::Ev::SendPost, seq, vci8, world_dest, 0, bytes);
+    trace_msg(obs::trace::Ev::Inject, seq, vci8, world_dest, 0, bytes);
+    // _ALL_OPTS sends are counter-completed at injection; there is no later
+    // per-request completion site to record.
+    trace_msg(obs::trace::Ev::Complete, seq, vci8, world_dest, 0, bytes);
+  }
   vcis_[c.vci]->busy_instr.fetch_add(
       cost::kAllOptsLocality + cost::kAllOptsCtxLoad + cost::kAllOptsCounter +
           cost::kAllOptsAddrLoad + cost::kAllOptsInject,
@@ -323,6 +335,15 @@ Err Engine::issue_send(const SendParams& p, const CommObject& c, Rank dst_world,
   const std::uint32_t ctx = c.ctx + (p.coll_plane ? 1u : 0u);
   const bool eager = bytes <= eager_threshold_;
 
+  v.counters.inc(eager ? obs::VciCtr::SendEager : obs::VciCtr::SendRdv);
+  if (p.noreq) v.counters.inc(obs::VciCtr::SendNoreq);
+  const auto vci8 = static_cast<std::uint8_t>(c.vci);
+  std::uint64_t tseq = 0;
+  if (cfg_.trace) {
+    tseq = obs::trace::next_seq();
+    trace_msg(obs::trace::Ev::SendPost, tseq, vci8, dst_world, p.tag, bytes);
+  }
+
   Request r = kRequestNull;
   RequestSlot* slot = nullptr;
   if (!p.noreq) {
@@ -350,11 +371,15 @@ Err Engine::issue_send(const SendParams& p, const CommObject& c, Rank dst_world,
       pkt->payload.resize(bytes);
       dt::pack(types_, p.buf, p.count, p.dt, pkt->payload.data());
     }
+    pkt->hdr.seq = tseq;
     cost::charge(cost::Reason::Residual, cost::kMandInjectResidual);
     inject_or_queue(v, dst_world, pkt);
     if (slot != nullptr) {
       // Eager sends complete locally on buffering.
       slot->complete.store(true, std::memory_order_release);
+    }
+    if (tseq != 0) {
+      trace_msg(obs::trace::Ev::Complete, tseq, vci8, dst_world, p.tag, bytes);
     }
   } else {
     // Rendezvous: we track the origin side with a request even for _NOREQ
@@ -371,6 +396,7 @@ Err Engine::issue_send(const SendParams& p, const CommObject& c, Rank dst_world,
     slot->dst_world = dst_world;
     slot->comm = p.comm;
     slot->bytes_expected = bytes;
+    slot->trace_seq = tseq;
 
     rt::Packet* rts = rt::PacketPool::alloc();
     rts->hdr.kind = rt::PacketKind::Rts;
@@ -382,6 +408,7 @@ Err Engine::issue_send(const SendParams& p, const CommObject& c, Rank dst_world,
     rts->hdr.tag = p.tag;
     rts->hdr.total_bytes = bytes;
     rts->hdr.origin_req = r;
+    rts->hdr.seq = tseq;
     cost::charge(cost::Reason::Residual, cost::kMandInjectResidual);
     inject_or_queue(v, dst_world, rts);
   }
@@ -395,10 +422,16 @@ void Engine::inject_or_queue(Vci& v, Rank dst_world, rt::Packet* pkt) {
   if (device_ == DeviceKind::Orig) {
     // CH3-style software send queue: the operation is staged and issued by
     // the progress engine, costing an extra queue transit. Each channel has
-    // its own queue, drained under its own lock (held here).
+    // its own queue, drained under its own lock (held here). The Inject trace
+    // event is recorded when drain_send_queue pushes it onto the fabric.
+    v.counters.inc(obs::VciCtr::SendQueued);
     v.send_queue.push_back(QueuedSend{pkt, dst_world});
     v.send_q_depth.fetch_add(1, std::memory_order_release);
   } else {
+    if (cfg_.trace && pkt->hdr.seq != 0) {
+      trace_msg(obs::trace::Ev::Inject, pkt->hdr.seq, pkt->hdr.vci, dst_world,
+                pkt->hdr.tag, pkt->hdr.total_bytes);
+    }
     fabric_.inject(self_, dst_world, pkt);
   }
 }
@@ -443,7 +476,20 @@ Err Engine::post_recv_common(void* buf, int count, Datatype dt, Rank src, Tag ta
   pr.dt = dt;
   pr.req = r;
 
-  if (auto pkt = v.matcher.post(pr)) deliver_match(pr, *pkt);
+  v.counters.inc(obs::VciCtr::RecvPosted);
+  if (cfg_.trace) {
+    trace_msg(obs::trace::Ev::RecvPost, 0, static_cast<std::uint8_t>(c->vci), src, tag,
+              slot->bytes_expected);
+  }
+  if (auto pkt = v.matcher.post(pr)) {
+    // Late receive: the message was already waiting on the unexpected queue.
+    v.counters.dec(obs::VciCtr::UnexpectedDepth);
+    if (cfg_.trace && (*pkt)->hdr.seq != 0) {
+      trace_msg(obs::trace::Ev::Match, (*pkt)->hdr.seq, (*pkt)->hdr.vci,
+                (*pkt)->hdr.src_world, (*pkt)->hdr.tag, (*pkt)->hdr.total_bytes);
+    }
+    deliver_match(pr, *pkt);
+  }
   *req = r;
   return Err::Success;
 }

@@ -29,6 +29,13 @@ struct BuildConfig {
   // state selected per communicator (MPICH's VCI design). 1 reproduces the
   // monolithic engine; more enable concurrent progress across communicators.
   int num_vcis = 4;
+  // Observability tiers (src/obs/). `counters` keeps the always-on pvar
+  // counter updates (a branch + relaxed fetch_add per site; bench_obs_overhead
+  // bounds the cost at <3% of 1-byte ping-pong latency). `trace` additionally
+  // records message-lifecycle events into per-thread rings for Chrome-trace
+  // export; it is compiled in but off by default.
+  bool counters = true;
+  bool trace = false;
 
   // Clamped VCI count used by both World (fabric lanes) and Engine (channels).
   int vcis() const {

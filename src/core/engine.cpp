@@ -34,7 +34,11 @@ Engine::Engine(World& world, Rank world_rank)
   }
   const int n = cfg_.vcis();
   vcis_.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) vcis_.push_back(std::make_unique<Vci>());
+  for (int i = 0; i < n; ++i) {
+    vcis_.push_back(std::make_unique<Vci>());
+    vcis_.back()->counters.enabled = cfg_.counters;
+  }
+  eng_counters_.enabled = cfg_.counters;
   init_world_comms();
 }
 

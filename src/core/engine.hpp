@@ -39,6 +39,9 @@
 #include "datatype/datatype.hpp"
 #include "match/match.hpp"
 #include "net/fabric.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+#include "runtime/backoff.hpp"
 #include "runtime/packet.hpp"
 
 namespace lwmpi {
@@ -262,6 +265,14 @@ class Engine {
   // touching the lock.
   void progress();
 
+  // --- observability ----------------------------------------------------------
+  // Raw counter blocks backing the MPI_T-style pvar registry (obs/pvar.hpp).
+  // Tools should go through LWMPI_T_pvar_* rather than these accessors.
+  const obs::VciCounters& vci_counters(int vci) const noexcept {
+    return vcis_[static_cast<std::size_t>(vci)]->counters;
+  }
+  const obs::EngineCounters& engine_counters() const noexcept { return eng_counters_; }
+
   // Diagnostics for tests/benches.
   std::size_t live_requests() const noexcept {
     return live_requests_.load(std::memory_order_relaxed);
@@ -427,6 +438,21 @@ class Engine {
   void complete_recv_from_eager(RequestSlot& slot, rt::Packet* pkt);
   void start_rendezvous_recv(RequestSlot& slot, Request req_handle, rt::Packet* rts);
 
+  // ---- observability internals ----
+  // Record one message-lifecycle trace event on this rank. Callers gate on
+  // cfg_.trace so the disabled path costs a single predictable branch.
+  void trace_msg(obs::trace::Ev kind, std::uint64_t seq, std::uint8_t vci, Rank peer,
+                 Tag tag, std::uint64_t bytes) noexcept {
+    obs::trace::record(obs::trace::Event{.ts_ns = rt::now_ns(),
+                                         .seq = seq,
+                                         .bytes = bytes,
+                                         .rank = self_,
+                                         .peer = peer,
+                                         .tag = tag,
+                                         .vci = vci,
+                                         .kind = kind});
+  }
+
   // ---- RMA internals (rma.cpp) ----
   WindowLocal* win_obj(Win win) noexcept;
   const WindowLocal* win_obj(Win win) const noexcept;
@@ -479,6 +505,8 @@ class Engine {
   common::StableTable<WindowLocal> windows_;  // indexed by local win slot
   std::mutex win_mu_;   // serializes window-slot allocation
   std::atomic<std::uint64_t> sends_issued_{0};
+  // Whole-rank observability counters (progress-path statistics).
+  obs::EngineCounters eng_counters_;
 };
 
 }  // namespace lwmpi

@@ -31,7 +31,11 @@ void Engine::progress() {
       break;
     }
   }
-  if (!queued && fabric_.pending_any(self_) == 0) return;
+  if (!queued && fabric_.pending_any(self_) == 0) {
+    eng_counters_.inc(obs::EngCtr::ProgressIdle);
+    return;
+  }
+  eng_counters_.inc(obs::EngCtr::ProgressSwept);
   for (int v = 0; v < n; ++v) {
     Vci& vc = *vcis_[static_cast<std::size_t>(v)];
     // Per-lane fast skip: two lock-free loads decide "nothing can be waiting
@@ -51,6 +55,10 @@ void Engine::progress() {
 }
 
 void Engine::handle_packet(Vci& v, rt::Packet* pkt) {
+  if (cfg_.trace && pkt->hdr.seq != 0) {
+    trace_msg(obs::trace::Ev::Deliver, pkt->hdr.seq, pkt->hdr.vci, pkt->hdr.src_world,
+              pkt->hdr.tag, pkt->hdr.total_bytes);
+  }
   switch (pkt->hdr.kind) {
     case rt::PacketKind::Eager:
     case rt::PacketKind::Rts:
@@ -58,9 +66,19 @@ void Engine::handle_packet(Vci& v, rt::Packet* pkt) {
       rt::spin_for_ns(sim_recv_ns_);
       v.busy_instr.fetch_add(recv_instr_, std::memory_order_relaxed);
       if (auto pr = v.matcher.arrive(pkt)) {
+        v.counters.inc(obs::VciCtr::PostedMatch);
+        if (cfg_.trace && pkt->hdr.seq != 0) {
+          trace_msg(obs::trace::Ev::Match, pkt->hdr.seq, pkt->hdr.vci,
+                    pkt->hdr.src_world, pkt->hdr.tag, pkt->hdr.total_bytes);
+        }
         deliver_match(*pr, pkt);
+      } else {
+        // Retained on the unexpected queue; ownership transferred. Track the
+        // gauge + high-water under the channel lock (single writer).
+        v.counters.inc(obs::VciCtr::PostedMiss);
+        v.counters.inc(obs::VciCtr::UnexpectedDepth);
+        v.counters.high_water(obs::VciCtr::UnexpectedHwm, v.matcher.unexpected_depth());
       }
-      // else: retained on the unexpected queue; ownership transferred.
       return;
     case rt::PacketKind::Cts:
       handle_rdv_cts(pkt);
@@ -103,6 +121,10 @@ void Engine::complete_recv_from_eager(RequestSlot& slot, rt::Packet* pkt) {
   slot.status.byte_count = take;
   slot.status.error = slot.op_error;
   slot.complete.store(true, std::memory_order_release);
+  if (cfg_.trace && pkt->hdr.seq != 0) {
+    trace_msg(obs::trace::Ev::Complete, pkt->hdr.seq, pkt->hdr.vci, pkt->hdr.src_world,
+              pkt->hdr.tag, take);
+  }
   rt::PacketPool::free(pkt);
 }
 
@@ -119,9 +141,11 @@ void Engine::start_rendezvous_recv(RequestSlot& slot, Request req_handle, rt::Pa
   if (slot.stage_used) slot.stage.resize(total);
   slot.bytes_expected = total;
   slot.bytes_received = 0;
+  slot.trace_seq = rts->hdr.seq;
 
   rt::Packet* cts = rt::PacketPool::alloc();
   cts->hdr.kind = rt::PacketKind::Cts;
+  cts->hdr.seq = rts->hdr.seq;  // keep the handshake on the message's chain
   cts->hdr.vci = rts->hdr.vci;  // replies stay on the initiator's channel
   cts->hdr.src_world = self_;
   cts->hdr.origin_req = rts->hdr.origin_req;
@@ -157,17 +181,24 @@ void Engine::handle_rdv_cts(rt::Packet* pkt) {
     const std::uint64_t n = std::min<std::uint64_t>(kRdvSegmentBytes, total - offset);
     rt::Packet* d = rt::PacketPool::alloc();
     d->hdr.kind = rt::PacketKind::RdvData;
+    d->hdr.seq = slot->trace_seq;
     d->hdr.vci = pkt->hdr.vci;  // data segments follow the handshake's channel
     d->hdr.src_world = self_;
     d->hdr.target_req = target_req;
     d->hdr.offset = offset;
     d->hdr.total_bytes = total;
     d->set_payload(src + offset, n);
+    if (cfg_.trace && slot->trace_seq != 0) {
+      trace_msg(obs::trace::Ev::Inject, slot->trace_seq, d->hdr.vci, dst, 0, n);
+    }
     fabric_.inject(self_, dst, d);
     offset += n;
   } while (offset < total);
 
   // Origin-side completion: the data is out of the user buffer.
+  if (cfg_.trace && slot->trace_seq != 0) {
+    trace_msg(obs::trace::Ev::Complete, slot->trace_seq, pkt->hdr.vci, dst, 0, total);
+  }
   if (slot->noreq) {
     if (CommObject* c = comm_obj(slot->comm)) {
       c->noreq_outstanding.fetch_sub(1, std::memory_order_release);
@@ -211,6 +242,10 @@ void Engine::handle_rdv_data(rt::Packet* pkt) {
     slot->status.byte_count = take;
     slot->status.error = slot->op_error;
     slot->complete.store(true, std::memory_order_release);
+    if (cfg_.trace && slot->trace_seq != 0) {
+      trace_msg(obs::trace::Ev::Complete, slot->trace_seq, pkt->hdr.vci,
+                pkt->hdr.src_world, 0, take);
+    }
   }
   rt::PacketPool::free(pkt);
 }

@@ -34,6 +34,7 @@
 #include "cost/meter.hpp"
 #include "cost/model.hpp"
 #include "match/match.hpp"
+#include "obs/counters.hpp"
 #include "runtime/packet.hpp"
 
 namespace lwmpi {
@@ -92,6 +93,10 @@ struct RequestSlot {
   Rank bound_peer = kProcNull;
   Tag bound_tag = 0;
   Request inner = kRequestNull;
+  // Lifecycle-trace message id (0 when tracing is off): lets the rendezvous
+  // completion sites, which run long after the initiating call, attribute
+  // their events to the originating message chain.
+  std::uint64_t trace_seq = 0;
 
   // Reset a recycled slot to its freshly-constructed state (the atomics are
   // managed by alloc/release, not here).
@@ -116,6 +121,7 @@ struct RequestSlot {
     bound_peer = kProcNull;
     bound_tag = 0;
     inner = kRequestNull;
+    trace_seq = 0;
   }
 };
 
@@ -158,6 +164,10 @@ struct Vci {
   std::atomic<std::uint64_t> busy_instr{0};
   // Diagnostics: how often the gate missed its uncontended fast path.
   std::atomic<std::uint64_t> contended{0};
+  // Always-on observability counters for this channel, exposed through the
+  // MPI_T-style pvar registry (obs/pvar.hpp). The block is cache-line padded
+  // so two channels' counters never false-share.
+  obs::VciCounters counters;
 };
 
 // Per-operation thread gate, scoped to one VCI. Replaces the engine-global
@@ -176,6 +186,7 @@ class VciGate {
     if (!v_->mu.try_lock()) {
       cost::charge(cost::Category::ThreadSafety, cost::kThreadGateContended);
       v_->contended.fetch_add(1, std::memory_order_relaxed);
+      v_->counters.inc(obs::VciCtr::GateContended);
       v_->busy_instr.fetch_add(cost::kThreadGateContended, std::memory_order_relaxed);
       v_->mu.lock();
     }

@@ -69,6 +69,38 @@ class Meter {
     total_ = 0;
   }
 
+  // Merge another meter's accumulation into this one. Lets per-thread or
+  // per-phase meters be combined into a whole-run breakdown (SPMD harnesses
+  // arm one meter per rank thread, then fold them into one report).
+  Meter& operator+=(const Meter& other) noexcept {
+    for (std::size_t i = 0; i < kNumCategories; ++i) by_category_[i] += other.by_category_[i];
+    for (std::size_t i = 0; i < kNumReasons; ++i) by_reason_[i] += other.by_reason_[i];
+    total_ += other.total_;
+    return *this;
+  }
+
+  // Value-type copy of the current tallies, decoupled from the live meter:
+  // safe to stash, diff, or ship across threads after the meter keeps ticking.
+  struct Snapshot {
+    std::array<std::uint64_t, kNumCategories> by_category{};
+    std::array<std::uint64_t, kNumReasons> by_reason{};
+    std::uint64_t total = 0;
+
+    std::uint64_t category(Category c) const noexcept {
+      return by_category[static_cast<std::size_t>(c)];
+    }
+    std::uint64_t reason(Reason r) const noexcept {
+      return by_reason[static_cast<std::size_t>(r)];
+    }
+  };
+  Snapshot snapshot() const noexcept {
+    Snapshot s;
+    s.by_category = by_category_;
+    s.by_reason = by_reason_;
+    s.total = total_;
+    return s;
+  }
+
  private:
   std::array<std::uint64_t, kNumCategories> by_category_{};
   std::array<std::uint64_t, kNumReasons> by_reason_{};

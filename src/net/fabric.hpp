@@ -92,6 +92,13 @@ class Fabric {
     }
     return n;
   }
+  // Per-lane counters (observability / pvar export).
+  std::uint64_t injected(Rank r, int vci) const noexcept {
+    return boxes_[index(r, vci)]->injected.load(std::memory_order_relaxed);
+  }
+  std::uint64_t delivered(Rank r, int vci) const noexcept {
+    return boxes_[index(r, vci)]->delivered.load(std::memory_order_relaxed);
+  }
   std::uint64_t dropped() const noexcept { return dropped_.load(std::memory_order_relaxed); }
 
  private:

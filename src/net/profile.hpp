@@ -28,7 +28,14 @@ struct Profile {
   bool blackhole = false;
 
   std::uint64_t serialization_ns(std::uint64_t bytes) const noexcept {
-    return bytes_per_us == 0 ? 0 : (bytes * 1000) / bytes_per_us;
+    if (bytes_per_us == 0) return 0;
+    // Divide before multiplying: `bytes * 1000` wraps for payloads past
+    // ~18.4 PB/1000, and a wrapped product silently under-charges large
+    // transfers. Split into whole microseconds plus a sub-us remainder; the
+    // remainder product is < bytes_per_us * 1000 so it cannot overflow.
+    const std::uint64_t whole_us = bytes / bytes_per_us;
+    const std::uint64_t rem = bytes % bytes_per_us;
+    return whole_us * 1000 + (rem * 1000) / bytes_per_us;
   }
 };
 

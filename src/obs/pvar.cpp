@@ -1,0 +1,164 @@
+#include "obs/pvar.hpp"
+
+#include <span>
+
+#include "core/engine.hpp"
+#include "net/fabric.hpp"
+#include "obs/counters.hpp"
+#include "runtime/world.hpp"
+
+namespace lwmpi::obs {
+
+const char* to_string(PvarClass c) noexcept {
+  switch (c) {
+    case PvarClass::Counter: return "counter";
+    case PvarClass::Level: return "level";
+    case PvarClass::Highwatermark: return "highwatermark";
+  }
+  return "?";
+}
+
+namespace {
+
+using ReadFn = std::uint64_t (*)(Engine&, int vci);
+
+struct Entry {
+  PvarInfo info;
+  ReadFn read;  // one channel for Vci-bound entries; vci ignored otherwise
+};
+
+template <VciCtr C>
+std::uint64_t read_vci_ctr(Engine& e, int vci) {
+  return e.vci_counters(vci).get(C);
+}
+template <EngCtr C>
+std::uint64_t read_eng_ctr(Engine& e, int) {
+  return e.engine_counters().get(C);
+}
+
+constexpr PvarInfo vci_counter(std::string_view name, std::string_view desc) {
+  return {name, desc, PvarClass::Counter, PvarBind::Vci};
+}
+
+const Entry kRegistry[] = {
+    {vci_counter("vci_sends_eager", "sends issued on the eager path"),
+     &read_vci_ctr<VciCtr::SendEager>},
+    {vci_counter("vci_sends_rdv", "sends issued on the rendezvous path"),
+     &read_vci_ctr<VciCtr::SendRdv>},
+    {vci_counter("vci_sends_noreq", "_NOREQ sends (counter-completed)"),
+     &read_vci_ctr<VciCtr::SendNoreq>},
+    {vci_counter("vci_sends_queued", "packets staged in the orig-device send queue"),
+     &read_vci_ctr<VciCtr::SendQueued>},
+    {vci_counter("vci_recvs_posted", "receives posted to the matcher"),
+     &read_vci_ctr<VciCtr::RecvPosted>},
+    {{"vci_unexpected_depth", "current unexpected-queue depth", PvarClass::Level,
+      PvarBind::Vci},
+     &read_vci_ctr<VciCtr::UnexpectedDepth>},
+    {{"vci_unexpected_hwm", "unexpected-queue high-water mark", PvarClass::Highwatermark,
+      PvarBind::Vci},
+     &read_vci_ctr<VciCtr::UnexpectedHwm>},
+    {vci_counter("vci_posted_matches", "arrivals that matched a posted receive"),
+     &read_vci_ctr<VciCtr::PostedMatch>},
+    {vci_counter("vci_posted_misses", "arrivals retained on the unexpected queue"),
+     &read_vci_ctr<VciCtr::PostedMiss>},
+    {vci_counter("vci_gate_contended", "VciGate acquisitions that missed try_lock"),
+     &read_vci_ctr<VciCtr::GateContended>},
+    {vci_counter("vci_busy_instr", "modeled instructions executed on the channel"),
+     +[](Engine& e, int vci) { return e.vci_busy_instr(vci); }},
+    {vci_counter("rma_ops", "RMA data operations issued on the channel"),
+     &read_vci_ctr<VciCtr::RmaOp>},
+    {vci_counter("rma_flushes", "RMA flush/fence synchronizations on the channel"),
+     &read_vci_ctr<VciCtr::RmaFlush>},
+    {{"progress_calls_idle", "progress() calls resolved by the lock-free idle path",
+      PvarClass::Counter, PvarBind::Engine},
+     &read_eng_ctr<EngCtr::ProgressIdle>},
+    {{"progress_calls_swept", "progress() calls that swept the VCI poll set",
+      PvarClass::Counter, PvarBind::Engine},
+     &read_eng_ctr<EngCtr::ProgressSwept>},
+    {vci_counter("fabric_injected", "packets injected into this rank's fabric lane"),
+     +[](Engine& e, int vci) { return e.world().fabric().injected(e.world_rank(), vci); }},
+    {vci_counter("fabric_delivered", "packets delivered from this rank's fabric lane"),
+     +[](Engine& e, int vci) { return e.world().fabric().delivered(e.world_rank(), vci); }},
+    {{"requests_live", "request-pool slots currently allocated", PvarClass::Level,
+      PvarBind::Engine},
+     +[](Engine& e, int) { return static_cast<std::uint64_t>(e.live_requests()); }},
+    {{"sends_issued", "total sends issued by this rank", PvarClass::Counter,
+      PvarBind::Engine},
+     +[](Engine& e, int) { return e.sends_issued(); }},
+};
+
+constexpr int kNumPvars = static_cast<int>(std::size(kRegistry));
+
+// Absolute (pre-baseline) value, summed over channels for Vci-bound entries.
+std::uint64_t raw_read(Engine& e, int index, int vci) {
+  const Entry& ent = kRegistry[index];
+  if (ent.info.bind == PvarBind::Engine) return ent.read(e, 0);
+  if (vci >= 0) return ent.read(e, vci);
+  std::uint64_t sum = 0;
+  for (int v = 0; v < e.num_vcis(); ++v) sum += ent.read(e, v);
+  return sum;
+}
+
+bool bad_index(int index) noexcept { return index < 0 || index >= kNumPvars; }
+
+}  // namespace
+
+int LWMPI_T_pvar_num() noexcept { return kNumPvars; }
+
+Err LWMPI_T_pvar_get_info(int index, PvarInfo* info) noexcept {
+  if (info == nullptr) return Err::Arg;
+  if (bad_index(index)) return Err::Arg;
+  *info = kRegistry[index].info;
+  return Err::Success;
+}
+
+int LWMPI_T_pvar_index(std::string_view name) noexcept {
+  for (int i = 0; i < kNumPvars; ++i) {
+    if (kRegistry[i].info.name == name) return i;
+  }
+  return -1;
+}
+
+Err LWMPI_T_pvar_session_create(Engine& e, PvarSession* s) {
+  if (s == nullptr) return Err::Arg;
+  s->engine_ = &e;
+  s->baseline_.assign(static_cast<std::size_t>(kNumPvars), 0);
+  return Err::Success;
+}
+
+Err LWMPI_T_pvar_session_free(PvarSession* s) {
+  if (s == nullptr || s->engine_ == nullptr) return Err::Arg;
+  s->engine_ = nullptr;
+  s->baseline_.clear();
+  return Err::Success;
+}
+
+Err LWMPI_T_pvar_start(PvarSession& s, int index) {
+  if (!s.valid() || bad_index(index)) return Err::Arg;
+  if (kRegistry[index].info.klass == PvarClass::Counter) {
+    s.baseline_[static_cast<std::size_t>(index)] = raw_read(*s.engine_, index, -1);
+  }
+  return Err::Success;
+}
+
+Err LWMPI_T_pvar_read(PvarSession& s, int index, std::uint64_t* value) {
+  if (value == nullptr || !s.valid() || bad_index(index)) return Err::Arg;
+  std::uint64_t v = raw_read(*s.engine_, index, -1);
+  if (kRegistry[index].info.klass == PvarClass::Counter) {
+    v -= s.baseline_[static_cast<std::size_t>(index)];
+  }
+  *value = v;
+  return Err::Success;
+}
+
+Err LWMPI_T_pvar_read_vci(PvarSession& s, int index, int vci, std::uint64_t* value) {
+  if (value == nullptr || !s.valid() || bad_index(index)) return Err::Arg;
+  if (vci >= s.engine_->num_vcis()) return Err::Arg;
+  if (vci < 0) return LWMPI_T_pvar_read(s, index, value);
+  *value = raw_read(*s.engine_, index, vci);
+  return Err::Success;
+}
+
+Err LWMPI_T_pvar_reset(PvarSession& s, int index) { return LWMPI_T_pvar_start(s, index); }
+
+}  // namespace lwmpi::obs

@@ -1,0 +1,100 @@
+// MPI_T-style performance-variable (pvar) interface: the introspection tier
+// of the observability subsystem.
+//
+// MPI-3.1 section 14 defines the tool information interface: performance
+// variables are enumerated at runtime, described by (name, class, binding)
+// metadata, and read through sessions so concurrent tools do not disturb each
+// other. We mirror that shape on the lwmpi engine: LWMPI_T_pvar_num /
+// get_info enumerate the registry, a PvarSession binds to one Engine, and
+// start/read/reset operate per variable. Tests and benches address counters
+// by *name*, never by reaching into engine internals, so the counter set can
+// grow without breaking its consumers.
+//
+// Variables bound to a channel (PvarBind::Vci) can be read per VCI or summed
+// across the poll set; engine- and fabric-bound variables ignore the vci
+// argument. Counter-class variables are session-relative: start()/reset()
+// capture a baseline and read() returns the delta, so a bench measures its
+// own traffic even on a long-lived world. Level and high-watermark variables
+// are absolute.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lwmpi {
+class Engine;
+}
+
+namespace lwmpi::obs {
+
+enum class PvarClass : std::uint8_t {
+  Counter,        // monotonically increasing; session-relative reads
+  Level,          // instantaneous value (queue depth, live requests)
+  Highwatermark,  // maximum level observed
+};
+
+enum class PvarBind : std::uint8_t {
+  Engine,  // one value per rank
+  Vci,     // one value per channel; read(vci = -1) sums the poll set
+};
+
+struct PvarInfo {
+  std::string_view name;
+  std::string_view desc;
+  PvarClass klass = PvarClass::Counter;
+  PvarBind bind = PvarBind::Engine;
+};
+
+const char* to_string(PvarClass c) noexcept;
+
+// --- registry enumeration ---------------------------------------------------
+int LWMPI_T_pvar_num() noexcept;
+Err LWMPI_T_pvar_get_info(int index, PvarInfo* info) noexcept;
+// Name -> index, or -1 when unknown (MPI_T_PVAR_GET_INDEX analog).
+int LWMPI_T_pvar_index(std::string_view name) noexcept;
+
+// --- sessions ---------------------------------------------------------------
+class PvarSession {
+ public:
+  PvarSession() = default;
+
+  Engine* engine() const noexcept { return engine_; }
+  bool valid() const noexcept { return engine_ != nullptr; }
+
+ private:
+  friend Err LWMPI_T_pvar_session_create(Engine& e, PvarSession* s);
+  friend Err LWMPI_T_pvar_session_free(PvarSession* s);
+  friend Err LWMPI_T_pvar_start(PvarSession& s, int index);
+  friend Err LWMPI_T_pvar_read(PvarSession& s, int index, std::uint64_t* value);
+  friend Err LWMPI_T_pvar_read_vci(PvarSession& s, int index, int vci,
+                                   std::uint64_t* value);
+  friend Err LWMPI_T_pvar_reset(PvarSession& s, int index);
+
+  Engine* engine_ = nullptr;
+  std::vector<std::uint64_t> baseline_;  // per pvar, summed-over-VCIs space
+};
+
+Err LWMPI_T_pvar_session_create(Engine& e, PvarSession* s);
+Err LWMPI_T_pvar_session_free(PvarSession* s);
+
+// Capture the session baseline for a counter-class variable (subsequent reads
+// are deltas). Level/high-watermark variables have no baseline; starting them
+// succeeds and is a no-op, as for continuous MPI_T variables.
+Err LWMPI_T_pvar_start(PvarSession& s, int index);
+
+// Read a variable summed over the engine's channels (or its single engine- or
+// rank-level value), minus the session baseline for counters.
+Err LWMPI_T_pvar_read(PvarSession& s, int index, std::uint64_t* value);
+
+// Read one channel of a Vci-bound variable (no baseline subtraction; the
+// session baseline is kept in summed space). vci = -1 sums like pvar_read.
+Err LWMPI_T_pvar_read_vci(PvarSession& s, int index, int vci, std::uint64_t* value);
+
+// Re-zero a counter from this session's point of view (MPI_T reset analog:
+// the underlying counter is not disturbed, other sessions are unaffected).
+Err LWMPI_T_pvar_reset(PvarSession& s, int index);
+
+}  // namespace lwmpi::obs

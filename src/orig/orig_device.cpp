@@ -30,6 +30,10 @@ void Engine::drain_send_queue(Vci& v) {
     QueuedSend q = v.send_queue.front();
     v.send_queue.pop_front();
     v.send_q_depth.fetch_sub(1, std::memory_order_release);
+    if (cfg_.trace && q.pkt->hdr.seq != 0) {
+      trace_msg(obs::trace::Ev::Inject, q.pkt->hdr.seq, q.pkt->hdr.vci, q.dst_world,
+                q.pkt->hdr.tag, q.pkt->hdr.total_bytes);
+    }
     fabric_.inject(self_, q.dst_world, q.pkt);
   }
 }

@@ -222,6 +222,7 @@ Err Engine::put(const void* origin, int origin_count, Datatype origin_dt, Rank t
 
   cost::charge(cost::Reason::ProcNullCheck, cost::kMandProcNull);
   if (target == kProcNull) return Err::Success;
+  vcis_[w->vci]->counters.inc(obs::VciCtr::RmaOp);
   rt::spin_for_ns(sim_put_ns_);  // simulated-CPU mode
 
   if (device_ == DeviceKind::Orig) {
@@ -333,6 +334,7 @@ Err Engine::put_va(const void* origin, int origin_count, Datatype origin_dt, Ran
   }
   if (w == nullptr) return Err::Win;
   if (device_ != DeviceKind::Ch4) return Err::NotSupported;
+  vcis_[w->vci]->counters.inc(obs::VciCtr::RmaOp);
 
   // The proposal's payoff: no window-kind check, no offset->VA translation.
   cost::charge(cost::Reason::ObjectDeref, cost::kMandObjectDeref);
@@ -377,6 +379,7 @@ Err Engine::get(void* origin, int origin_count, Datatype origin_dt, Rank target,
   if (w == nullptr) return Err::Win;
   cost::charge(cost::Reason::ProcNullCheck, cost::kMandProcNull);
   if (target == kProcNull) return Err::Success;
+  vcis_[w->vci]->counters.inc(obs::VciCtr::RmaOp);
 
   if (device_ == DeviceKind::Orig) {
     WindowLocal::PendingOp op;
@@ -462,6 +465,7 @@ Err Engine::accumulate(const void* origin, int count, Datatype dt_, Rank target,
   if (!is_builtin(dt_)) return Err::Datatype;  // predefined ops, basic types
   cost::charge(cost::Reason::ProcNullCheck, cost::kMandProcNull);
   if (target == kProcNull) return Err::Success;
+  vcis_[w->vci]->counters.inc(obs::VciCtr::RmaOp);
 
   if (device_ == DeviceKind::Orig) {
     WindowLocal::PendingOp pop;
@@ -506,6 +510,7 @@ Err Engine::get_accumulate(const void* origin, int count, Datatype dt_, void* re
     }
   }
   if (target == kProcNull) return Err::Success;
+  vcis_[w->vci]->counters.inc(obs::VciCtr::RmaOp);
   const std::size_t bytes = static_cast<std::size_t>(count) * builtin_size(dt_);
 
   if (device_ == DeviceKind::Orig) {
@@ -639,6 +644,7 @@ Err Engine::orig_flush_pending(WindowLocal& w, Win win, Rank target) {
 Err Engine::win_fence(Win win) {
   WindowLocal* w = win_obj(win);
   if (w == nullptr) return Err::Win;
+  vcis_[w->vci]->counters.inc(obs::VciCtr::RmaFlush);
   if (Err e = orig_flush_pending(*w, win, -1); !ok(e)) return e;
   if (Err e = rma_wait_acks(*w, 0); !ok(e)) return e;
   if (Err e = barrier(w->comm); !ok(e)) return e;
@@ -649,6 +655,7 @@ Err Engine::win_fence(Win win) {
 Err Engine::win_flush(Rank target, Win win) {
   WindowLocal* w = win_obj(win);
   if (w == nullptr) return Err::Win;
+  vcis_[w->vci]->counters.inc(obs::VciCtr::RmaFlush);
   if (Err e = orig_flush_pending(*w, win, target); !ok(e)) return e;
   // Per-target ack tracking is aggregate here; waiting for zero is a
   // (correct) over-approximation of flushing one target.
@@ -658,6 +665,7 @@ Err Engine::win_flush(Rank target, Win win) {
 Err Engine::win_flush_all(Win win) {
   WindowLocal* w = win_obj(win);
   if (w == nullptr) return Err::Win;
+  vcis_[w->vci]->counters.inc(obs::VciCtr::RmaFlush);
   if (Err e = orig_flush_pending(*w, win, -1); !ok(e)) return e;
   return rma_wait_acks(*w, 0);
 }

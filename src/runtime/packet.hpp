@@ -62,6 +62,7 @@ struct PacketHeader {
   Datatype dt = kDatatypeNull;      // target-side datatype for AM ops
   std::uint32_t dt_count = 0;       // target-side element count
   std::uint32_t lock_type = 0;      // LockType for lock messages
+  std::uint64_t seq = 0;            // trace message id (0 = tracing off)
 };
 
 struct Packet : MpscNode {

@@ -1,9 +1,11 @@
 #include "runtime/world.hpp"
 
 #include <exception>
+#include <sstream>
 #include <thread>
 
 #include "core/engine.hpp"
+#include "obs/pvar.hpp"
 
 namespace lwmpi {
 
@@ -43,6 +45,67 @@ void World::run(const std::function<void(Engine&)>& fn) {
   for (auto& e : errors) {
     if (e) std::rethrow_exception(e);
   }
+}
+
+std::string World::stats_report(bool as_json) {
+  const int npvars = obs::LWMPI_T_pvar_num();
+  const int nvcis = opts_.build.vcis();
+  std::ostringstream out;
+  if (as_json) {
+    out << "{\"nranks\":" << nranks_ << ",\"num_vcis\":" << nvcis << ",\"ranks\":[";
+  } else {
+    out << "=== lwmpi stats: " << nranks_ << " rank(s) x " << nvcis << " vci(s) ===\n";
+  }
+  for (int r = 0; r < nranks_; ++r) {
+    Engine& e = *engines_[static_cast<std::size_t>(r)];
+    obs::PvarSession s;
+    obs::LWMPI_T_pvar_session_create(e, &s);
+    if (as_json) {
+      out << (r == 0 ? "" : ",") << "{\"rank\":" << r << ",\"pvars\":{";
+    } else {
+      out << "rank " << r << ":\n";
+    }
+    bool first = true;
+    for (int i = 0; i < npvars; ++i) {
+      obs::PvarInfo info;
+      obs::LWMPI_T_pvar_get_info(i, &info);
+      std::uint64_t total = 0;
+      obs::LWMPI_T_pvar_read(s, i, &total);
+      if (as_json) {
+        out << (first ? "" : ",") << '"' << info.name << "\":";
+        if (info.bind == obs::PvarBind::Vci && nvcis > 1) {
+          out << "{\"total\":" << total << ",\"per_vci\":[";
+          for (int v = 0; v < nvcis; ++v) {
+            std::uint64_t pv = 0;
+            obs::LWMPI_T_pvar_read_vci(s, i, v, &pv);
+            out << (v == 0 ? "" : ",") << pv;
+          }
+          out << "]}";
+        } else {
+          out << total;
+        }
+        first = false;
+      } else if (total != 0) {
+        out << "  " << info.name;
+        for (std::size_t pad = info.name.size(); pad < 26; ++pad) out << ' ';
+        out << ' ' << to_string(info.klass) << " = " << total;
+        if (info.bind == obs::PvarBind::Vci && nvcis > 1) {
+          out << "  [";
+          for (int v = 0; v < nvcis; ++v) {
+            std::uint64_t pv = 0;
+            obs::LWMPI_T_pvar_read_vci(s, i, v, &pv);
+            out << (v == 0 ? "" : " ") << pv;
+          }
+          out << ']';
+        }
+        out << '\n';
+      }
+    }
+    if (as_json) out << "}}";
+    obs::LWMPI_T_pvar_session_free(&s);
+  }
+  if (as_json) out << "]}";
+  return out.str();
 }
 
 std::shared_ptr<rma::WindowGlobal> World::register_window(

@@ -12,6 +12,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -55,6 +56,12 @@ class World {
   // SPMD execution: one thread per rank. Exceptions thrown by any rank are
   // captured and the first one rethrown after all threads join.
   void run(const std::function<void(Engine&)>& fn);
+
+  // Dump every rank's pvar registry (obs/pvar.hpp): human-readable text, or a
+  // JSON object for the bench harness. Reads are relaxed-atomic, so this is
+  // safe to call while ranks run, but call it after run() returns for a
+  // consistent end-of-job picture.
+  std::string stats_report(bool as_json = false);
 
   // Global id allocators. Context ids are handed out in pairs: (ctx) for
   // pt2pt and (ctx + 1) for the collective plane of the same communicator.

@@ -319,6 +319,78 @@ TEST(Meter, NestedScopesRestore) {
   EXPECT_EQ(inner.total(), 2u);
 }
 
+TEST(Meter, DeeplyNestedScopesReArmEachPrevious) {
+  // Three levels: every scope exit must re-arm the meter that was armed when
+  // the scope opened, not simply disarm.
+  cost::Meter a, b, c;
+  {
+    cost::ScopedMeter sa(a);
+    cost::charge(C::FunctionCall, 1);
+    {
+      cost::ScopedMeter sb(b);
+      cost::charge(C::FunctionCall, 2);
+      {
+        cost::ScopedMeter sc(c);
+        cost::charge(C::FunctionCall, 4);
+      }
+      cost::charge(C::FunctionCall, 8);  // back to b
+    }
+    cost::charge(C::FunctionCall, 16);  // back to a
+  }
+  cost::charge(C::FunctionCall, 32);  // disarmed
+  EXPECT_EQ(a.total(), 17u);
+  EXPECT_EQ(b.total(), 10u);
+  EXPECT_EQ(c.total(), 4u);
+}
+
+TEST(Meter, MergeAccumulatesAllBreakdowns) {
+  cost::Meter a, b;
+  {
+    cost::ScopedMeter arm(a);
+    cost::charge(C::ErrorChecking, 3);
+    cost::charge(R::MatchBits, 5);
+  }
+  {
+    cost::ScopedMeter arm(b);
+    cost::charge(C::ErrorChecking, 7);
+    cost::charge(R::Residual, 11);
+  }
+  a += b;
+  EXPECT_EQ(a.total(), 26u);
+  EXPECT_EQ(a.category(C::ErrorChecking), 10u);
+  EXPECT_EQ(a.category(C::Mandatory), 16u);
+  EXPECT_EQ(a.reason(R::MatchBits), 5u);
+  EXPECT_EQ(a.reason(R::Residual), 11u);
+  // The right-hand side is untouched.
+  EXPECT_EQ(b.total(), 18u);
+}
+
+TEST(Meter, SnapshotIsDecoupledFromLiveMeter) {
+  cost::Meter m;
+  {
+    cost::ScopedMeter arm(m);
+    cost::charge(C::ThreadSafety, 6);
+    cost::charge(R::ObjectDeref, 2);
+  }
+  const cost::Meter::Snapshot s = m.snapshot();
+  EXPECT_EQ(s.total, 8u);
+  EXPECT_EQ(s.category(C::ThreadSafety), 6u);
+  EXPECT_EQ(s.category(C::Mandatory), 2u);
+  EXPECT_EQ(s.reason(R::ObjectDeref), 2u);
+
+  // Further charges move the meter but not the snapshot.
+  {
+    cost::ScopedMeter arm(m);
+    cost::charge(C::ThreadSafety, 100);
+  }
+  EXPECT_EQ(m.total(), 108u);
+  EXPECT_EQ(s.total, 8u);
+  // reset() clears the meter; the snapshot still holds the old tallies.
+  m.reset();
+  EXPECT_EQ(m.total(), 0u);
+  EXPECT_EQ(s.category(C::ThreadSafety), 6u);
+}
+
 TEST(Meter, ReasonChargesCountAsMandatory) {
   cost::Meter m;
   {

@@ -26,6 +26,32 @@ TEST(Profile, SerializationTime) {
   EXPECT_EQ(inf.serialization_ns(1 << 20), 0u);  // infinite bandwidth
 }
 
+TEST(Profile, SerializationTimeLargePayloadsDoNotOverflow) {
+  Profile p;
+  p.bytes_per_us = 12'000;  // the psm2/ucx profile bandwidth
+
+  // The naive `bytes * 1000 / bytes_per_us` wraps once bytes exceeds
+  // 2^64 / 1000 (~18.4 PB): with this bandwidth the wrapped result for 2^54
+  // bytes came out ~5 orders of magnitude too small. Check against the exact
+  // value computed without the intermediate product.
+  const std::uint64_t big = std::uint64_t{1} << 54;  // 16 PiB: bytes*1000 wraps
+  const std::uint64_t whole_us = big / p.bytes_per_us;
+  const std::uint64_t rem = big % p.bytes_per_us;
+  const std::uint64_t exact = whole_us * 1000 + rem * 1000 / p.bytes_per_us;
+  EXPECT_EQ(p.serialization_ns(big), exact);
+  EXPECT_GT(p.serialization_ns(big), p.serialization_ns(big / 2));
+
+  // Sub-microsecond remainders keep nanosecond resolution.
+  p.bytes_per_us = 1000;
+  EXPECT_EQ(p.serialization_ns(1), 1u);
+  EXPECT_EQ(p.serialization_ns(999), 999u);
+  EXPECT_EQ(p.serialization_ns(1001), 1001u);
+  // Boundary: exactly one whole microsecond per division step.
+  p.bytes_per_us = 3;
+  EXPECT_EQ(p.serialization_ns(3), 1000u);
+  EXPECT_EQ(p.serialization_ns(4), 1333u);  // 1000 + floor(1*1000/3)
+}
+
 TEST(Profile, NamedProfilesAreSane) {
   EXPECT_GT(psm2().inject_cost_ns, 0u);
   EXPECT_GT(ucx_edr().inject_cost_ns, psm2().inject_cost_ns);

@@ -1,0 +1,503 @@
+// Observability subsystem: pvar registry enumeration, per-VCI counters,
+// MPI_T-style sessions, the trace ring, and the Chrome-trace exporter.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "obs/pvar.hpp"
+#include "obs/trace.hpp"
+#include "util.hpp"
+
+namespace lwmpi {
+namespace {
+
+// --- minimal JSON well-formedness checker -----------------------------------
+// Recursive-descent validator: enough JSON to assert the exporter and
+// stats_report emit parseable documents without pulling in a library.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : p_(s.data()), end_(s.data() + s.size()) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return p_ == end_;
+  }
+
+ private:
+  void skip_ws() {
+    while (p_ < end_ && std::isspace(static_cast<unsigned char>(*p_))) ++p_;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (p_ < end_ && *p_ == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+  bool string() {
+    if (!consume('"')) return false;
+    while (p_ < end_ && *p_ != '"') {
+      if (*p_ == '\\') ++p_;
+      ++p_;
+    }
+    return consume('"');
+  }
+  bool number() {
+    const char* start = p_;
+    if (p_ < end_ && (*p_ == '-' || *p_ == '+')) ++p_;
+    while (p_ < end_ && (std::isdigit(static_cast<unsigned char>(*p_)) || *p_ == '.' ||
+                         *p_ == 'e' || *p_ == 'E' || *p_ == '-' || *p_ == '+')) {
+      ++p_;
+    }
+    return p_ != start;
+  }
+  bool literal(const char* word) {
+    for (const char* w = word; *w != '\0'; ++w, ++p_) {
+      if (p_ >= end_ || *p_ != *w) return false;
+    }
+    return true;
+  }
+  bool value() {
+    skip_ws();
+    if (p_ >= end_) return false;
+    switch (*p_) {
+      case '{': {
+        ++p_;
+        if (consume('}')) return true;
+        do {
+          if (!string()) return false;
+          if (!consume(':')) return false;
+          if (!value()) return false;
+        } while (consume(','));
+        return consume('}');
+      }
+      case '[': {
+        ++p_;
+        if (consume(']')) return true;
+        do {
+          if (!value()) return false;
+        } while (consume(','));
+        return consume(']');
+      }
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+std::uint64_t read_pvar(Engine& e, const char* name) {
+  obs::PvarSession s;
+  EXPECT_EQ(obs::LWMPI_T_pvar_session_create(e, &s), Err::Success);
+  const int idx = obs::LWMPI_T_pvar_index(name);
+  EXPECT_GE(idx, 0) << "unknown pvar " << name;
+  std::uint64_t v = 0;
+  EXPECT_EQ(obs::LWMPI_T_pvar_read(s, idx, &v), Err::Success);
+  obs::LWMPI_T_pvar_session_free(&s);
+  return v;
+}
+
+// --- registry ----------------------------------------------------------------
+
+TEST(PvarRegistry, EnumeratesAtLeastTwelveUniqueNames) {
+  const int n = obs::LWMPI_T_pvar_num();
+  ASSERT_GE(n, 12);
+  std::set<std::string> names;
+  for (int i = 0; i < n; ++i) {
+    obs::PvarInfo info;
+    ASSERT_EQ(obs::LWMPI_T_pvar_get_info(i, &info), Err::Success);
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_FALSE(info.desc.empty());
+    EXPECT_TRUE(names.insert(std::string(info.name)).second)
+        << "duplicate pvar name " << info.name;
+    // Name -> index is the inverse of enumeration.
+    EXPECT_EQ(obs::LWMPI_T_pvar_index(info.name), i);
+  }
+}
+
+TEST(PvarRegistry, RejectsBadArguments) {
+  obs::PvarInfo info;
+  EXPECT_EQ(obs::LWMPI_T_pvar_get_info(-1, &info), Err::Arg);
+  EXPECT_EQ(obs::LWMPI_T_pvar_get_info(obs::LWMPI_T_pvar_num(), &info), Err::Arg);
+  EXPECT_EQ(obs::LWMPI_T_pvar_get_info(0, nullptr), Err::Arg);
+  EXPECT_EQ(obs::LWMPI_T_pvar_index("no_such_pvar"), -1);
+
+  obs::PvarSession s;  // never bound to an engine
+  std::uint64_t v = 0;
+  EXPECT_FALSE(s.valid());
+  EXPECT_EQ(obs::LWMPI_T_pvar_read(s, 0, &v), Err::Arg);
+  EXPECT_EQ(obs::LWMPI_T_pvar_session_free(&s), Err::Arg);
+}
+
+// --- counters ----------------------------------------------------------------
+
+TEST(Counters, EagerRdvSplitAtThreshold) {
+  WorldOptions o = test::fast_opts();
+  o.eager_threshold = 64;
+  World w(2, o);
+  const int kSmall = 3, kBig = 2;
+  std::vector<char> big(256, 'x');
+  w.run([&](Engine& e) {
+    if (e.world_rank() == 0) {
+      char c = 1;
+      for (int i = 0; i < kSmall; ++i) e.send(&c, 1, kChar, 1, i, kCommWorld);
+      for (int i = 0; i < kBig; ++i) {
+        e.send(big.data(), static_cast<int>(big.size()), kChar, 1, 100 + i, kCommWorld);
+      }
+    } else {
+      char c = 0;
+      std::vector<char> rbuf(256);
+      for (int i = 0; i < kSmall; ++i) e.recv(&c, 1, kChar, 0, i, kCommWorld, nullptr);
+      for (int i = 0; i < kBig; ++i) {
+        e.recv(rbuf.data(), static_cast<int>(rbuf.size()), kChar, 0, 100 + i, kCommWorld,
+               nullptr);
+      }
+    }
+  });
+  Engine& sender = w.engine(0);
+  EXPECT_EQ(read_pvar(sender, "vci_sends_eager"), static_cast<std::uint64_t>(kSmall));
+  EXPECT_EQ(read_pvar(sender, "vci_sends_rdv"), static_cast<std::uint64_t>(kBig));
+  Engine& receiver = w.engine(1);
+  EXPECT_EQ(read_pvar(receiver, "vci_recvs_posted"),
+            static_cast<std::uint64_t>(kSmall + kBig));
+  EXPECT_EQ(read_pvar(receiver, "vci_posted_matches") +
+                read_pvar(receiver, "vci_posted_misses"),
+            static_cast<std::uint64_t>(kSmall + kBig));
+}
+
+TEST(Counters, SessionReadsAreBaselineRelative) {
+  WorldOptions o = test::fast_opts();
+  World w(2, o);
+  auto exchange = [&] {
+    w.run([&](Engine& e) {
+      int v = 7;
+      if (e.world_rank() == 0) {
+        e.send(&v, 1, kInt, 1, 0, kCommWorld);
+      } else {
+        e.recv(&v, 1, kInt, 0, 0, kCommWorld, nullptr);
+      }
+    });
+  };
+  exchange();
+
+  Engine& sender = w.engine(0);
+  obs::PvarSession s;
+  ASSERT_EQ(obs::LWMPI_T_pvar_session_create(sender, &s), Err::Success);
+  const int idx = obs::LWMPI_T_pvar_index("vci_sends_eager");
+  ASSERT_GE(idx, 0);
+
+  std::uint64_t v = 0;
+  ASSERT_EQ(obs::LWMPI_T_pvar_read(s, idx, &v), Err::Success);
+  EXPECT_EQ(v, 1u);  // fresh session: baseline zero, absolute value visible
+
+  // start() captures the baseline: the first exchange disappears from view.
+  ASSERT_EQ(obs::LWMPI_T_pvar_start(s, idx), Err::Success);
+  ASSERT_EQ(obs::LWMPI_T_pvar_read(s, idx, &v), Err::Success);
+  EXPECT_EQ(v, 0u);
+
+  exchange();
+  ASSERT_EQ(obs::LWMPI_T_pvar_read(s, idx, &v), Err::Success);
+  EXPECT_EQ(v, 1u);  // only the traffic since start()
+
+  // reset() re-zeros from this session's point of view.
+  ASSERT_EQ(obs::LWMPI_T_pvar_reset(s, idx), Err::Success);
+  ASSERT_EQ(obs::LWMPI_T_pvar_read(s, idx, &v), Err::Success);
+  EXPECT_EQ(v, 0u);
+  obs::LWMPI_T_pvar_session_free(&s);
+}
+
+TEST(Counters, UnexpectedQueueDepthAndHighWater) {
+  // Single-thread drive: the receiver's progress runs only when we call it,
+  // so every eager arrival lands on the unexpected queue first.
+  WorldOptions o = test::fast_opts();
+  World w(2, o);
+  Engine& e0 = w.engine(0);
+  Engine& e1 = w.engine(1);
+
+  const int kMsgs = 5;
+  char c = 'a';
+  std::vector<Request> reqs(kMsgs, kRequestNull);
+  for (int i = 0; i < kMsgs; ++i) {
+    ASSERT_EQ(e0.isend(&c, 1, kChar, 1, i, kCommWorld, &reqs[static_cast<std::size_t>(i)]),
+              Err::Success);
+  }
+  e0.waitall(reqs, {});  // eager: complete at inject
+  e1.progress();         // all five arrive unmatched
+
+  EXPECT_EQ(read_pvar(e1, "vci_unexpected_depth"), static_cast<std::uint64_t>(kMsgs));
+  EXPECT_EQ(read_pvar(e1, "vci_unexpected_hwm"), static_cast<std::uint64_t>(kMsgs));
+  EXPECT_EQ(read_pvar(e1, "vci_posted_misses"), static_cast<std::uint64_t>(kMsgs));
+  EXPECT_EQ(read_pvar(e1, "vci_posted_matches"), 0u);
+
+  // Draining the queue lowers the level; the high-water mark stays.
+  for (int i = 0; i < kMsgs; ++i) {
+    char got = 0;
+    ASSERT_EQ(e1.recv(&got, 1, kChar, 0, i, kCommWorld, nullptr), Err::Success);
+    EXPECT_EQ(got, 'a');
+  }
+  EXPECT_EQ(read_pvar(e1, "vci_unexpected_depth"), 0u);
+  EXPECT_EQ(read_pvar(e1, "vci_unexpected_hwm"), static_cast<std::uint64_t>(kMsgs));
+}
+
+TEST(Counters, ProgressIdleVsSwept) {
+  WorldOptions o = test::fast_opts();
+  World w(2, o);
+  Engine& e1 = w.engine(1);
+
+  // Nothing in flight: the call resolves on the lock-free idle path.
+  e1.progress();
+  EXPECT_EQ(read_pvar(e1, "progress_calls_idle"), 1u);
+  EXPECT_EQ(read_pvar(e1, "progress_calls_swept"), 0u);
+
+  char c = 'z';
+  Request r = kRequestNull;
+  ASSERT_EQ(w.engine(0).isend(&c, 1, kChar, 1, 0, kCommWorld, &r), Err::Success);
+  w.engine(0).wait(&r, nullptr);
+  e1.progress();  // pending fabric traffic forces a sweep
+  EXPECT_EQ(read_pvar(e1, "progress_calls_swept"), 1u);
+}
+
+TEST(Counters, DisabledBuildKeepsCountersAtZero) {
+  WorldOptions o = test::fast_opts();
+  o.build.counters = false;
+  World w(2, o);
+  w.run([&](Engine& e) {
+    int v = 3;
+    if (e.world_rank() == 0) {
+      e.send(&v, 1, kInt, 1, 0, kCommWorld);
+    } else {
+      e.recv(&v, 1, kInt, 0, 0, kCommWorld, nullptr);
+    }
+  });
+  EXPECT_EQ(read_pvar(w.engine(0), "vci_sends_eager"), 0u);
+  EXPECT_EQ(read_pvar(w.engine(1), "vci_recvs_posted"), 0u);
+  EXPECT_EQ(read_pvar(w.engine(1), "progress_calls_swept"), 0u);
+}
+
+TEST(Counters, RmaOpsAndFlushes) {
+  WorldOptions o = test::fast_opts();
+  World w(2, o);
+  w.run([&](Engine& e) {
+    std::vector<int> mem(8, 0);
+    Win win = kWinNull;
+    ASSERT_EQ(e.win_create(mem.data(), mem.size() * sizeof(int), sizeof(int), kCommWorld,
+                           &win),
+              Err::Success);
+    e.win_fence(win);
+    if (e.world_rank() == 0) {
+      const int v = 5;
+      ASSERT_EQ(e.put(&v, 1, kInt, 1, 0, 1, kInt, win), Err::Success);
+      ASSERT_EQ(e.win_flush_all(win), Err::Success);
+    }
+    e.win_fence(win);
+    e.win_free(&win);
+  });
+  EXPECT_EQ(read_pvar(w.engine(0), "rma_ops"), 1u);
+  // Two fences, one explicit flush_all, plus the implicit flush in win_free.
+  EXPECT_EQ(read_pvar(w.engine(0), "rma_flushes"), 4u);
+}
+
+// --- trace ring --------------------------------------------------------------
+
+TEST(TraceRing, OverwritesOldestWithoutBlocking) {
+  obs::trace::Ring ring(8);
+  ASSERT_EQ(ring.capacity(), 8u);
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    obs::trace::Event e;
+    e.seq = i;
+    e.ts_ns = i;
+    ring.push(e);
+  }
+  EXPECT_EQ(ring.recorded(), 20u);
+  EXPECT_EQ(ring.dropped(), 12u);
+  std::vector<obs::trace::Event> got = ring.collect();
+  ASSERT_EQ(got.size(), 8u);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].seq, 13 + i);  // oldest survivor first
+  }
+  ring.clear();
+  EXPECT_EQ(ring.recorded(), 0u);
+  EXPECT_TRUE(ring.collect().empty());
+}
+
+TEST(TraceRing, RoundsCapacityToPowerOfTwo) {
+  obs::trace::Ring ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+}
+
+// --- end-to-end tracing ------------------------------------------------------
+
+// Group collected events by message id.
+std::map<std::uint64_t, std::vector<obs::trace::Event>> by_seq(
+    const std::vector<obs::trace::Event>& events) {
+  std::map<std::uint64_t, std::vector<obs::trace::Event>> out;
+  for (const auto& e : events) {
+    if (e.seq != 0) out[e.seq].push_back(e);
+  }
+  return out;
+}
+
+bool has_kind(const std::vector<obs::trace::Event>& chain, obs::trace::Ev k) {
+  for (const auto& e : chain) {
+    if (e.kind == k) return true;
+  }
+  return false;
+}
+
+TEST(Trace, FourRankRingExchangeExportsWellFormedChains) {
+  obs::trace::reset_all();
+  WorldOptions o = test::fast_opts();
+  o.build.trace = true;
+  const int n = 4;
+  World w(n, o);
+  w.run([&](Engine& e) {
+    const Rank me = e.world_rank();
+    const Rank next = (me + 1) % n;
+    const Rank prev = (me + n - 1) % n;
+    int out = 1000 + me, in = -1;
+    Request r = kRequestNull;
+    ASSERT_EQ(e.isend(&out, 1, kInt, next, 9, kCommWorld, &r), Err::Success);
+    ASSERT_EQ(e.recv(&in, 1, kInt, prev, 9, kCommWorld, nullptr), Err::Success);
+    ASSERT_EQ(e.wait(&r, nullptr), Err::Success);
+    EXPECT_EQ(in, 1000 + prev);
+  });
+
+  const std::vector<obs::trace::Event> events = obs::trace::collect_all();
+  const auto chains = by_seq(events);
+  ASSERT_EQ(chains.size(), static_cast<std::size_t>(n));  // one chain per send
+  for (const auto& [seq, chain] : chains) {
+    EXPECT_TRUE(has_kind(chain, obs::trace::Ev::SendPost)) << "seq " << seq;
+    EXPECT_TRUE(has_kind(chain, obs::trace::Ev::Inject)) << "seq " << seq;
+    EXPECT_TRUE(has_kind(chain, obs::trace::Ev::Deliver)) << "seq " << seq;
+    EXPECT_TRUE(has_kind(chain, obs::trace::Ev::Match)) << "seq " << seq;
+    EXPECT_TRUE(has_kind(chain, obs::trace::Ev::Complete)) << "seq " << seq;
+    // The chain spans both sides of the wire.
+    std::set<std::int32_t> ranks;
+    for (const auto& e : chain) ranks.insert(e.rank);
+    EXPECT_GE(ranks.size(), 2u) << "seq " << seq;
+  }
+
+  std::ostringstream os;
+  obs::trace::export_chrome_json(os, events);
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+
+  // The instant-event stream is sorted: ts values are non-decreasing.
+  double prev_ts = -1.0;
+  std::size_t instants = 0;
+  for (std::size_t pos = json.find("\"ph\":\"i\""); pos != std::string::npos;
+       pos = json.find("\"ph\":\"i\"", pos + 1)) {
+    const std::size_t t = json.find("\"ts\":", pos);
+    ASSERT_NE(t, std::string::npos);
+    const double ts = std::strtod(json.c_str() + t + 5, nullptr);
+    EXPECT_GE(ts, prev_ts);
+    prev_ts = ts;
+    ++instants;
+  }
+  EXPECT_EQ(instants, events.size());
+
+  // One async begin/end pair per message id.
+  std::size_t begins = 0, ends = 0;
+  for (std::size_t pos = json.find("\"ph\":\"b\""); pos != std::string::npos;
+       pos = json.find("\"ph\":\"b\"", pos + 1)) {
+    ++begins;
+  }
+  for (std::size_t pos = json.find("\"ph\":\"e\""); pos != std::string::npos;
+       pos = json.find("\"ph\":\"e\"", pos + 1)) {
+    ++ends;
+  }
+  EXPECT_EQ(begins, chains.size());
+  EXPECT_EQ(ends, chains.size());
+}
+
+TEST(Trace, RendezvousChainCarriesSeqAcrossHandshake) {
+  obs::trace::reset_all();
+  WorldOptions o = test::fast_opts();
+  o.build.trace = true;
+  o.eager_threshold = 64;
+  World w(2, o);
+  std::vector<char> big(4096, 'r');
+  w.run([&](Engine& e) {
+    if (e.world_rank() == 0) {
+      e.send(big.data(), static_cast<int>(big.size()), kChar, 1, 0, kCommWorld);
+    } else {
+      std::vector<char> rbuf(4096);
+      e.recv(rbuf.data(), static_cast<int>(rbuf.size()), kChar, 0, 0, kCommWorld, nullptr);
+      EXPECT_EQ(rbuf[100], 'r');
+    }
+  });
+  const auto chains = by_seq(obs::trace::collect_all());
+  ASSERT_EQ(chains.size(), 1u);
+  const auto& chain = chains.begin()->second;
+  EXPECT_TRUE(has_kind(chain, obs::trace::Ev::SendPost));
+  EXPECT_TRUE(has_kind(chain, obs::trace::Ev::Match));     // RTS matched the recv
+  EXPECT_TRUE(has_kind(chain, obs::trace::Ev::Inject));    // data segment injection
+  EXPECT_TRUE(has_kind(chain, obs::trace::Ev::Complete));  // both sides complete
+  int completes = 0;
+  for (const auto& e : chain) {
+    if (e.kind == obs::trace::Ev::Complete) ++completes;
+  }
+  EXPECT_EQ(completes, 2);  // origin (data out) + target (data in)
+}
+
+TEST(Trace, DisabledByDefaultRecordsNothing) {
+  obs::trace::reset_all();
+  WorldOptions o = test::fast_opts();  // build.trace defaults to false
+  World w(2, o);
+  w.run([&](Engine& e) {
+    int v = 2;
+    if (e.world_rank() == 0) {
+      e.send(&v, 1, kInt, 1, 0, kCommWorld);
+    } else {
+      e.recv(&v, 1, kInt, 0, 0, kCommWorld, nullptr);
+    }
+  });
+  EXPECT_TRUE(obs::trace::collect_all().empty());
+}
+
+// --- stats report ------------------------------------------------------------
+
+TEST(StatsReport, TextAndJsonForms) {
+  WorldOptions o = test::fast_opts();
+  World w(2, o);
+  w.run([&](Engine& e) {
+    int v = 9;
+    if (e.world_rank() == 0) {
+      e.send(&v, 1, kInt, 1, 0, kCommWorld);
+    } else {
+      e.recv(&v, 1, kInt, 0, 0, kCommWorld, nullptr);
+    }
+  });
+  const std::string text = w.stats_report(false);
+  EXPECT_NE(text.find("rank 0"), std::string::npos);
+  EXPECT_NE(text.find("vci_sends_eager"), std::string::npos);
+
+  const std::string json = w.stats_report(true);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"vci_sends_eager\""), std::string::npos);
+  EXPECT_NE(json.find("\"nranks\":2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lwmpi
