@@ -9,6 +9,7 @@
 
 #include "bench/harness.hpp"
 #include "comm/rankmap.hpp"
+#include "obs/table.hpp"
 
 using namespace lwmpi;
 
@@ -207,6 +208,37 @@ void ablate_allreduce_algorithm() {
   std::printf("large vectors move 2(p-1)/p of the data instead of lg(p) full copies.\n");
 }
 
+// --- 6. Attribution report ---------------------------------------------------
+// Where every ablated instruction lives: the live per-category breakdown over
+// the full measurement matrix, checked against the closed-form model.
+int report_attribution() {
+  bench::print_header("Ablation 6: cost attribution across the measurement matrix");
+  const std::vector<obs::AttributionRow> rows = obs::collect_attribution();
+  std::printf("%s", obs::table_report(rows, false).c_str());
+
+  bool model_ok = true;
+  for (const obs::AttributionRow& r : rows) model_ok = model_ok && r.model_ok;
+
+  bench::JsonResult jr("ablation");
+  cost::Meter m;
+  {
+    cost::ScopedMeter arm(m);
+    comm::RankMap::identity(16).to_world(1);
+  }
+  jr.add("rankmap_compressed_instr", static_cast<double>(m.total()), "instr");
+  m.reset();
+  {
+    cost::ScopedMeter arm(m);
+    std::vector<Rank> irregular{3, 1, 0, 2};
+    comm::RankMap::from_list(irregular).to_world(1);
+  }
+  jr.add("rankmap_direct_instr", static_cast<double>(m.total()), "instr");
+  jr.add("model_ok", model_ok ? 1 : 0, "count");
+  jr.add_raw("attribution", obs::table_report(rows, true));
+  jr.write();
+  return model_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main() {
@@ -215,5 +247,5 @@ int main() {
   ablate_match_depth();
   ablate_noreq();
   ablate_allreduce_algorithm();
-  return 0;
+  return report_attribution();
 }

@@ -1,9 +1,14 @@
 // Reproduces Figure 2: "MPI Instruction Counts" -- total modeled instruction
 // counts for MPI_PUT and MPI_ISEND across the build matrix, from
 // MPICH/Original down to the fully inlined MPICH/CH4 build.
+//
+// Each cell is a live metered walk checked bit-for-bit against the closed
+// forms; the emitted BENCH_fig2.json is deterministic and doubles as a
+// committed regression baseline (bench/baselines/BENCH_fig2.json).
 #include <cstdio>
 
 #include "bench/harness.hpp"
+#include "obs/table.hpp"
 
 using namespace lwmpi;
 
@@ -18,11 +23,14 @@ int main() {
 
   const auto variants = bench::figure_variants();
   double max_count = 0;
-  std::vector<std::pair<unsigned long long, unsigned long long>> counts;
+  bool model_ok = true;
+  std::vector<std::pair<obs::AttributionRow, obs::AttributionRow>> rows;  // (put, isend)
   for (const auto& v : variants) {
-    const auto put = bench::metered_put(v.device, v.build).total();
-    const auto isend = bench::metered_isend(v.device, v.build).total();
-    counts.emplace_back(put, isend);
+    rows.emplace_back(obs::attribution_row("put", v.device, v.build),
+                      obs::attribution_row("isend", v.device, v.build));
+    const auto put = rows.back().first.metered.total;
+    const auto isend = rows.back().second.metered.total;
+    model_ok = model_ok && rows.back().first.model_ok && rows.back().second.model_ok;
     max_count = std::max<double>(max_count, static_cast<double>(std::max(put, isend)));
   }
 
@@ -30,20 +38,39 @@ int main() {
               "(paper)");
   for (std::size_t i = 0; i < variants.size(); ++i) {
     std::printf("%-30s %10llu %10u   %10llu %10u\n", variants[i].label.c_str(),
-                counts[i].first, paper[i].put, counts[i].second, paper[i].isend);
+                static_cast<unsigned long long>(rows[i].first.metered.total),
+                paper[i].put,
+                static_cast<unsigned long long>(rows[i].second.metered.total),
+                paper[i].isend);
   }
 
   std::printf("\n");
   for (std::size_t i = 0; i < variants.size(); ++i) {
     bench::print_bar((variants[i].label + " Put").c_str(),
-                     static_cast<double>(counts[i].first), max_count, "instr");
+                     static_cast<double>(rows[i].first.metered.total), max_count, "instr");
     bench::print_bar((variants[i].label + " Isend").c_str(),
-                     static_cast<double>(counts[i].second), max_count, "instr");
+                     static_cast<double>(rows[i].second.metered.total), max_count, "instr");
   }
   std::printf("\nReduction vs MPICH/Original default build: Isend %.0f%%, Put %.0f%%\n",
-              100.0 * (1.0 - static_cast<double>(counts.back().second) /
-                                 static_cast<double>(counts.front().second)),
-              100.0 * (1.0 - static_cast<double>(counts.back().first) /
-                                 static_cast<double>(counts.front().first)));
-  return 0;
+              100.0 * (1.0 - static_cast<double>(rows.back().second.metered.total) /
+                                 static_cast<double>(rows.front().second.metered.total)),
+              100.0 * (1.0 - static_cast<double>(rows.back().first.metered.total) /
+                                 static_cast<double>(rows.front().first.metered.total)));
+  std::printf("model check: %s\n", model_ok ? "OK" : "MISMATCH");
+
+  bench::JsonResult jr("fig2");
+  std::vector<obs::AttributionRow> flat;
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const std::string dev = variants[i].device == DeviceKind::Orig ? "orig" : "ch4";
+    const std::string key = dev + "_" + variants[i].build.label();
+    jr.add("put_" + key, static_cast<double>(rows[i].first.metered.total), "instr");
+    jr.add("isend_" + key, static_cast<double>(rows[i].second.metered.total), "instr");
+    flat.push_back(rows[i].second);
+    flat.push_back(rows[i].first);
+  }
+  jr.add("model_ok", model_ok ? 1 : 0, "count");
+  jr.add_raw("attribution", obs::table_report(flat, true));
+  jr.write();
+
+  return model_ok ? 0 : 1;
 }

@@ -12,12 +12,14 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "core/engine.hpp"
 #include "cost/meter.hpp"
 #include "net/profile.hpp"
+#include "obs/table.hpp"
 #include "runtime/backoff.hpp"
 #include "runtime/world.hpp"
 
@@ -142,51 +144,15 @@ inline double put_rate(const net::Profile& profile, DeviceKind device, BuildConf
 }
 
 // --- Metered instruction counts (the SDE substitute) --------------------------
+// The walks live in the attribution tier (obs/table.hpp) so the library,
+// World::stats_report, and the benches all share one methodology; these
+// aliases keep the historical bench-harness spelling working.
 inline cost::Meter metered_isend(DeviceKind device, BuildConfig build) {
-  cost::Meter out;
-  WorldOptions o;
-  o.device = device;
-  o.build = build;
-  o.ranks_per_node = 1;
-  World w(2, o);
-  w.run([&](Engine& e) {
-    if (e.world_rank() == 0) {
-      int v = 7;
-      Request r = kRequestNull;
-      {
-        cost::ScopedMeter arm(out);
-        e.isend(&v, 1, kInt, 1, 1, kCommWorld, &r);
-      }
-      e.wait(&r, nullptr);
-    } else {
-      int got = 0;
-      e.recv(&got, 1, kInt, 0, 1, kCommWorld, nullptr);
-    }
-  });
-  return out;
+  return obs::metered_isend(device, build);
 }
 
 inline cost::Meter metered_put(DeviceKind device, BuildConfig build) {
-  cost::Meter out;
-  WorldOptions o;
-  o.device = device;
-  o.build = build;
-  o.ranks_per_node = 1;
-  World w(2, o);
-  w.run([&](Engine& e) {
-    std::vector<int> mem(8, 0);
-    Win win = kWinNull;
-    e.win_create(mem.data(), mem.size() * sizeof(int), sizeof(int), kCommWorld, &win);
-    e.win_fence(win);
-    if (e.world_rank() == 0) {
-      const int v = 3;
-      cost::ScopedMeter arm(out);
-      e.put(&v, 1, kInt, 1, 0, 1, kInt, win);
-    }
-    e.win_fence(win);
-    e.win_free(&win);
-  });
-  return out;
+  return obs::metered_put(device, build);
 }
 
 // --- JSON result emission -----------------------------------------------------
@@ -221,9 +187,13 @@ class JsonResult {
     return out;
   }
 
-  // Write BENCH_<name>.json; returns false (and prints a warning) on failure.
+  // Write BENCH_<name>.json into $LWMPI_BENCH_DIR (falling back to the
+  // working directory); returns false (and prints a warning) on failure.
   bool write() const {
-    const std::string path = "BENCH_" + name_ + ".json";
+    std::string path = "BENCH_" + name_ + ".json";
+    if (const char* dir = std::getenv("LWMPI_BENCH_DIR"); dir != nullptr && *dir != '\0') {
+      path = std::string(dir) + "/" + path;
+    }
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
@@ -237,17 +207,28 @@ class JsonResult {
     return true;
   }
 
- private:
+  // JSON string escaping per RFC 8259: quote and backslash are
+  // backslash-escaped, control characters (including newlines and tabs)
+  // become \uXXXX so labels containing them still produce valid JSON.
   static std::string escape(const std::string& s) {
     std::string out;
     out.reserve(s.size());
     for (char c : s) {
-      if (c == '"' || c == '\\') out += '\\';
-      out += c;
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+        out += buf;
+      } else {
+        out += c;
+      }
     }
     return out;
   }
 
+ private:
   std::string name_;
   std::vector<std::string> entries_;
   std::vector<std::string> raw_;

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Bench regression sentinel: re-run the deterministic benches (instruction
+# counts only -- no timing noise) into a scratch directory and compare the
+# emitted BENCH_*.json against the committed baselines in bench/baselines/.
+#
+# Usage: run_bench_regression.sh [build-dir] [source-dir]
+# Registered as the `bench_regression` ctest (label: bench-regression).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SOURCE_DIR="${2:-.}"
+
+for bin in bench/bench_table1 bench/bench_fig2 tools/bench_check; do
+  if [[ ! -x "${BUILD_DIR}/${bin}" ]]; then
+    echo "run_bench_regression: ${BUILD_DIR}/${bin} not built" >&2
+    exit 2
+  fi
+done
+
+scratch="$(mktemp -d)"
+trap 'rm -rf "${scratch}"' EXIT
+
+LWMPI_BENCH_DIR="${scratch}" "${BUILD_DIR}/bench/bench_table1" > /dev/null
+LWMPI_BENCH_DIR="${scratch}" "${BUILD_DIR}/bench/bench_fig2" > /dev/null
+
+exec "${BUILD_DIR}/tools/bench_check" "${SOURCE_DIR}/bench/baselines" "${scratch}" \
+  table1 fig2

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build, run the full test suite (which includes the
+# bench_regression sentinel comparing the deterministic bench artifacts
+# against bench/baselines/).
+#
+# Usage: scripts/run_tier1.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "${BUILD_DIR}" -S .
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"

@@ -95,7 +95,7 @@ Err Engine::bcast(void* buf, int count, Datatype dt, Rank root, Comm comm) {
   if (c == nullptr) return Err::Comm;
   const int p = c->map.size();
   if (cfg_.error_checking) {
-    cost::charge(cost::Category::ErrorChecking, cost::kErrRootRange);
+    cost::charge(cost::Category::ErrCheck, cost::kErrRootRange);
     if (root < 0 || root >= p) return Err::Root;
     if (Err e = check_count(count); !ok(e)) return e;
     if (Err e = check_datatype(dt); !ok(e)) return e;
@@ -137,7 +137,7 @@ Err Engine::reduce(const void* sbuf, void* rbuf, int count, Datatype dt, ReduceO
   const int p = c->map.size();
   if (!is_builtin(dt)) return Err::Datatype;  // predefined ops need basic types
   if (cfg_.error_checking) {
-    cost::charge(cost::Category::ErrorChecking, cost::kErrRootRange + cost::kErrOpValid);
+    cost::charge(cost::Category::ErrCheck, cost::kErrRootRange + cost::kErrOpValid);
     if (root < 0 || root >= p) return Err::Root;
     if (!coll::op_defined(op, dt)) return Err::Op;
     if (Err e = check_count(count); !ok(e)) return e;
@@ -188,7 +188,7 @@ Err Engine::allreduce(const void* sbuf, void* rbuf, int count, Datatype dt, Redu
   if (c == nullptr) return Err::Comm;
   if (!is_builtin(dt)) return Err::Datatype;  // predefined ops need basic types
   if (cfg_.error_checking) {
-    cost::charge(cost::Category::ErrorChecking, cost::kErrOpValid);
+    cost::charge(cost::Category::ErrCheck, cost::kErrOpValid);
     if (!coll::op_defined(op, dt)) return Err::Op;
     if (Err e = check_count(count); !ok(e)) return e;
   }
@@ -278,7 +278,7 @@ Err Engine::gather(const void* sbuf, int scount, Datatype sdt, void* rbuf, int r
   if (c == nullptr) return Err::Comm;
   const int p = c->map.size();
   if (cfg_.error_checking) {
-    cost::charge(cost::Category::ErrorChecking, cost::kErrRootRange);
+    cost::charge(cost::Category::ErrCheck, cost::kErrRootRange);
     if (root < 0 || root >= p) return Err::Root;
   }
   const int r = c->rank;
@@ -353,7 +353,7 @@ Err Engine::scatter(const void* sbuf, int scount, Datatype sdt, void* rbuf, int 
   if (c == nullptr) return Err::Comm;
   const int p = c->map.size();
   if (cfg_.error_checking) {
-    cost::charge(cost::Category::ErrorChecking, cost::kErrRootRange);
+    cost::charge(cost::Category::ErrCheck, cost::kErrRootRange);
     if (root < 0 || root >= p) return Err::Root;
   }
   const int r = c->rank;
@@ -430,7 +430,7 @@ Err Engine::scan(const void* sbuf, void* rbuf, int count, Datatype dt, ReduceOp 
   if (c == nullptr) return Err::Comm;
   if (!is_builtin(dt)) return Err::Datatype;
   if (cfg_.error_checking) {
-    cost::charge(cost::Category::ErrorChecking, cost::kErrOpValid);
+    cost::charge(cost::Category::ErrCheck, cost::kErrOpValid);
     if (!coll::op_defined(op, dt)) return Err::Op;
   }
   const int p = c->map.size();

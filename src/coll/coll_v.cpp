@@ -25,7 +25,7 @@ Err Engine::gatherv(const void* sbuf, int scount, Datatype sdt, void* rbuf,
   if (c == nullptr) return Err::Comm;
   const int p = c->map.size();
   if (cfg_.error_checking) {
-    cost::charge(cost::Category::ErrorChecking, cost::kErrRootRange);
+    cost::charge(cost::Category::ErrCheck, cost::kErrRootRange);
     if (root < 0 || root >= p) return Err::Root;
     if (c->rank == root &&
         (rcounts.size() < static_cast<std::size_t>(p) ||
@@ -92,7 +92,7 @@ Err Engine::scatterv(const void* sbuf, std::span<const int> scounts,
   if (c == nullptr) return Err::Comm;
   const int p = c->map.size();
   if (cfg_.error_checking) {
-    cost::charge(cost::Category::ErrorChecking, cost::kErrRootRange);
+    cost::charge(cost::Category::ErrCheck, cost::kErrRootRange);
     if (root < 0 || root >= p) return Err::Root;
     if (c->rank == root &&
         (scounts.size() < static_cast<std::size_t>(p) ||
@@ -130,7 +130,7 @@ Err Engine::reduce_scatter_block(const void* sbuf, void* rbuf, int count, Dataty
   if (c == nullptr) return Err::Comm;
   if (!is_builtin(dt_)) return Err::Datatype;
   if (cfg_.error_checking) {
-    cost::charge(cost::Category::ErrorChecking, cost::kErrOpValid);
+    cost::charge(cost::Category::ErrCheck, cost::kErrOpValid);
     if (!coll::op_defined(op, dt_)) return Err::Op;
     if (Err e = check_count(count); !ok(e)) return e;
   }

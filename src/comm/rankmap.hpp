@@ -53,15 +53,15 @@ class RankMap {
   Repr repr() const noexcept { return repr_; }
 
   // Translation used on the communication critical path: charges the
-  // representation's modeled instruction cost under Reason::RankTranslation.
+  // representation's modeled instruction cost under Category::MandRankmap.
   Rank to_world(Rank r) const noexcept {
     switch (repr_) {
       case Repr::Offset:
       case Repr::Strided:
-        cost::charge(cost::Reason::RankTranslation, cost::kMandRankTranslateCompressed);
+        cost::charge(cost::Category::MandRankmap, cost::kMandRankTranslateCompressed);
         return r * stride_ + offset_;
       case Repr::Direct:
-        cost::charge(cost::Reason::RankTranslation, cost::kMandRankTranslateDirect);
+        cost::charge(cost::Category::MandRankmap, cost::kMandRankTranslateDirect);
         return lut_[static_cast<std::size_t>(r)];
     }
     return kUndefined;

@@ -24,7 +24,7 @@ namespace lwmpi {
 Err Engine::isend(const void* buf, int count, Datatype dt, Rank dest, Tag tag, Comm comm,
                   Request* req) {
   if (!cfg_.ipo) {
-    cost::charge(cost::Category::FunctionCall, cost::kCallEntry + cost::kCallPmpiAliasSend);
+    cost::charge(cost::Category::CallOverhead, cost::kCallEntry + cost::kCallPmpiAliasSend);
   }
   VciGate gate(vci_for(comm), cfg_.thread_safety, cost::kThreadGatePt2pt);
   if (cfg_.error_checking) {
@@ -43,7 +43,7 @@ Err Engine::isend(const void* buf, int count, Datatype dt, Rank dest, Tag tag, C
 Err Engine::irecv(void* buf, int count, Datatype dt, Rank src, Tag tag, Comm comm,
                   Request* req) {
   if (!cfg_.ipo) {
-    cost::charge(cost::Category::FunctionCall, cost::kCallEntry + cost::kCallPmpiAliasSend);
+    cost::charge(cost::Category::CallOverhead, cost::kCallEntry + cost::kCallPmpiAliasSend);
   }
   VciGate gate(vci_for(comm), cfg_.thread_safety, cost::kThreadGatePt2pt);
   if (cfg_.error_checking) {
@@ -65,12 +65,12 @@ Err Engine::irecv(void* buf, int count, Datatype dt, Rank src, Tag tag, Comm com
 Err Engine::isend_global(const void* buf, int count, Datatype dt, Rank world_dest, Tag tag,
                          Comm comm, Request* req) {
   if (!cfg_.ipo) {
-    cost::charge(cost::Category::FunctionCall, cost::kCallEntry + cost::kCallPmpiAliasSend);
+    cost::charge(cost::Category::CallOverhead, cost::kCallEntry + cost::kCallPmpiAliasSend);
   }
   VciGate gate(vci_for(comm), cfg_.thread_safety, cost::kThreadGatePt2pt);
   if (cfg_.error_checking) {
     if (Err e = check_comm(comm); !ok(e)) return e;
-    cost::charge(cost::Category::ErrorChecking, cost::kErrRankRange);
+    cost::charge(cost::Category::ErrCheck, cost::kErrRankRange);
     if (world_dest != kProcNull && (world_dest < 0 || world_dest >= world_size())) {
       return Err::Rank;
     }
@@ -92,7 +92,7 @@ Err Engine::isend_global(const void* buf, int count, Datatype dt, Rank world_des
 Err Engine::isend_npn(const void* buf, int count, Datatype dt, Rank dest, Tag tag, Comm comm,
                       Request* req) {
   if (!cfg_.ipo) {
-    cost::charge(cost::Category::FunctionCall, cost::kCallEntry + cost::kCallPmpiAliasSend);
+    cost::charge(cost::Category::CallOverhead, cost::kCallEntry + cost::kCallPmpiAliasSend);
   }
   VciGate gate(vci_for(comm), cfg_.thread_safety, cost::kThreadGatePt2pt);
   if (cfg_.error_checking) {
@@ -118,7 +118,7 @@ Err Engine::isend_npn(const void* buf, int count, Datatype dt, Rank dest, Tag ta
 Err Engine::isend_noreq(const void* buf, int count, Datatype dt, Rank dest, Tag tag,
                         Comm comm) {
   if (!cfg_.ipo) {
-    cost::charge(cost::Category::FunctionCall, cost::kCallEntry + cost::kCallPmpiAliasSend);
+    cost::charge(cost::Category::CallOverhead, cost::kCallEntry + cost::kCallPmpiAliasSend);
   }
   VciGate gate(vci_for(comm), cfg_.thread_safety, cost::kThreadGatePt2pt);
   if (cfg_.error_checking) {
@@ -155,7 +155,7 @@ Err Engine::comm_waitall(Comm comm) {
 Err Engine::isend_nomatch(const void* buf, int count, Datatype dt, Rank dest, Comm comm,
                           Request* req) {
   if (!cfg_.ipo) {
-    cost::charge(cost::Category::FunctionCall, cost::kCallEntry + cost::kCallPmpiAliasSend);
+    cost::charge(cost::Category::CallOverhead, cost::kCallEntry + cost::kCallPmpiAliasSend);
   }
   VciGate gate(vci_for(comm), cfg_.thread_safety, cost::kThreadGatePt2pt);
   if (cfg_.error_checking) {
@@ -197,9 +197,9 @@ Err Engine::irecv_nomatch(void* buf, int count, Datatype dt, Comm comm, Request*
 Err Engine::isend_all_opts(const void* buf, int count, Datatype dt, Rank world_dest,
                            Comm comm) {
   CommObject& c = *comms_.at(handle_payload(comm));  // global-array slot load
-  cost::charge(cost::Reason::ObjectDeref, cost::kAllOptsCtxLoad);
-  cost::charge(cost::Reason::RankTranslation, cost::kAllOptsAddrLoad);
-  cost::charge(cost::Reason::Residual, cost::kAllOptsLocality);
+  cost::charge(cost::Category::MandObject, cost::kAllOptsCtxLoad);
+  cost::charge(cost::Category::MandRankmap, cost::kAllOptsAddrLoad);
+  cost::charge(cost::Category::MandLocality, cost::kAllOptsLocality);
 
   const std::size_t bytes = dt::packed_size(types_, count, dt);
   if (bytes > eager_threshold_) {
@@ -217,7 +217,7 @@ Err Engine::isend_all_opts(const void* buf, int count, Datatype dt, Rank world_d
     return device_isend(p, nullptr);
   }
 
-  cost::charge(cost::Reason::RequestManagement, cost::kAllOptsCounter);
+  cost::charge(cost::Category::MandRequest, cost::kAllOptsCounter);
   rt::Packet* pkt = rt::PacketPool::alloc();
   pkt->hdr.kind = rt::PacketKind::Eager;
   pkt->hdr.match_mode = rt::MatchMode::ArrivalOrder;
@@ -233,7 +233,7 @@ Err Engine::isend_all_opts(const void* buf, int count, Datatype dt, Rank world_d
     pkt->payload.resize(bytes);
     dt::pack(types_, buf, count, dt, pkt->payload.data());
   }
-  cost::charge(cost::Reason::Residual, cost::kAllOptsInject);
+  cost::charge(cost::Category::MandInject, cost::kAllOptsInject);
   sends_issued_.fetch_add(1, std::memory_order_relaxed);
   vcis_[c.vci]->counters.inc(obs::VciCtr::SendEager);
   vcis_[c.vci]->counters.inc(obs::VciCtr::SendNoreq);
@@ -268,12 +268,12 @@ Err Engine::ch4_isend(const SendParams& p, Request* req) {
   // dereference; predefined slots are a global-array load (Section 3.3).
   CommObject* c = comm_obj(p.comm);
   if (c == nullptr) return Err::Comm;
-  cost::charge(cost::Reason::ObjectDeref,
+  cost::charge(cost::Category::MandObject,
                c->predefined_slot ? cost::kMandObjectSlotLoad : cost::kMandObjectDeref);
-  if (!cfg_.ipo) cost::charge(cost::Category::RedundantChecks, cost::kRedundantCommAttrs);
+  if (!cfg_.ipo) cost::charge(cost::Category::Redundant, cost::kRedundantCommAttrs);
 
   if (!p.skip_proc_null_check) {
-    cost::charge(cost::Reason::ProcNullCheck, cost::kMandProcNull);
+    cost::charge(cost::Category::MandProcNull, cost::kMandProcNull);
     if (p.dest == kProcNull) {
       if (req != nullptr && !p.noreq) {
         Request r = alloc_request(RequestSlot::Kind::SendEager, c->vci);
@@ -288,14 +288,14 @@ Err Engine::ch4_isend(const SendParams& p, Request* req) {
 
   Rank dst_world;
   if (p.dest_is_world) {
-    cost::charge(cost::Reason::RankTranslation, cost::kMandRankGlobalLoad);
+    cost::charge(cost::Category::MandRankmap, cost::kMandRankGlobalLoad);
     dst_world = p.dest;
   } else {
     dst_world = c->map.to_world(p.dest);  // charges per representation
   }
 
   // ch4-core locality selection: self / shmmod / netmod.
-  cost::charge(cost::Reason::Residual, cost::kMandLocalitySelect);
+  cost::charge(cost::Category::MandLocality, cost::kMandLocalitySelect);
 
   return issue_send(p, *c, dst_world, req);
 }
@@ -315,8 +315,8 @@ Err Engine::issue_send(const SendParams& p, const CommObject& c, Rank dst_world,
   // compile-time-constant datatypes.
   const std::size_t bytes = dt::packed_size(types_, p.count, p.dt);
   if (!cfg_.ipo) {
-    cost::charge(cost::Category::RedundantChecks, cost::kRedundantDatatypeResolve);
-    cost::charge(cost::Category::RedundantChecks, cost::kRedundantGenericCompletion);
+    cost::charge(cost::Category::Redundant, cost::kRedundantDatatypeResolve);
+    cost::charge(cost::Category::Redundant, cost::kRedundantGenericCompletion);
   }
 
   // Match-bit construction. A communicator carrying the Section-3.6 info
@@ -325,10 +325,10 @@ Err Engine::issue_send(const SendParams& p, const CommObject& c, Rank dst_world,
   rt::MatchMode match_mode = p.match_mode;
   if (match_mode == rt::MatchMode::Full &&
       c.hint_arrival_order.load(std::memory_order_relaxed) && !p.coll_plane) {
-    cost::charge(cost::Reason::MatchBits, cost::kMandHintBranch);
+    cost::charge(cost::Category::MandMatch, cost::kMandHintBranch);
     match_mode = rt::MatchMode::ArrivalOrder;
   }
-  cost::charge(cost::Reason::MatchBits, match_mode == rt::MatchMode::Full
+  cost::charge(cost::Category::MandMatch, match_mode == rt::MatchMode::Full
                                             ? cost::kMandMatchBits
                                             : cost::kMandMatchCtxLoad);
 
@@ -347,12 +347,12 @@ Err Engine::issue_send(const SendParams& p, const CommObject& c, Rank dst_world,
   Request r = kRequestNull;
   RequestSlot* slot = nullptr;
   if (!p.noreq) {
-    cost::charge(cost::Reason::RequestManagement, cost::kMandRequestAlloc);
+    cost::charge(cost::Category::MandRequest, cost::kMandRequestAlloc);
     r = alloc_request(eager ? RequestSlot::Kind::SendEager : RequestSlot::Kind::SendRdv,
                       c.vci);
     slot = req_slot(r);
   } else {
-    cost::charge(cost::Reason::RequestManagement, cost::kMandCompletionCounter);
+    cost::charge(cost::Category::MandRequest, cost::kMandCompletionCounter);
   }
 
   if (eager) {
@@ -372,7 +372,7 @@ Err Engine::issue_send(const SendParams& p, const CommObject& c, Rank dst_world,
       dt::pack(types_, p.buf, p.count, p.dt, pkt->payload.data());
     }
     pkt->hdr.seq = tseq;
-    cost::charge(cost::Reason::Residual, cost::kMandInjectResidual);
+    cost::charge(cost::Category::MandInject, cost::kMandInjectResidual);
     inject_or_queue(v, dst_world, pkt);
     if (slot != nullptr) {
       // Eager sends complete locally on buffering.
@@ -409,7 +409,7 @@ Err Engine::issue_send(const SendParams& p, const CommObject& c, Rank dst_world,
     rts->hdr.total_bytes = bytes;
     rts->hdr.origin_req = r;
     rts->hdr.seq = tseq;
-    cost::charge(cost::Reason::Residual, cost::kMandInjectResidual);
+    cost::charge(cost::Category::MandInject, cost::kMandInjectResidual);
     inject_or_queue(v, dst_world, rts);
   }
 

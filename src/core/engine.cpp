@@ -197,41 +197,41 @@ std::size_t Engine::unexpected_depth() const noexcept {
 // ---------------------------------------------------------------------------
 
 Err Engine::check_comm(Comm comm) const noexcept {
-  cost::charge(cost::Category::ErrorChecking, cost::kErrCommHandle);
+  cost::charge(cost::Category::ErrCheck, cost::kErrCommHandle);
   return comm_obj(comm) != nullptr ? Err::Success : Err::Comm;
 }
 
 Err Engine::check_rank(const CommObject& c, Rank r, bool allow_proc_null,
                        bool allow_any) const noexcept {
-  cost::charge(cost::Category::ErrorChecking, cost::kErrRankRange);
+  cost::charge(cost::Category::ErrCheck, cost::kErrRankRange);
   if (allow_proc_null && r == kProcNull) return Err::Success;
   if (allow_any && r == kAnySource) return Err::Success;
   return (r >= 0 && r < c.map.size()) ? Err::Success : Err::Rank;
 }
 
 Err Engine::check_tag(Tag t, bool allow_any) const noexcept {
-  cost::charge(cost::Category::ErrorChecking, cost::kErrTagRange);
+  cost::charge(cost::Category::ErrCheck, cost::kErrTagRange);
   if (allow_any && t == kAnyTag) return Err::Success;
   return (t >= 0 && t <= kTagUb) ? Err::Success : Err::Tag;
 }
 
 Err Engine::check_count(int count) const noexcept {
-  cost::charge(cost::Category::ErrorChecking, cost::kErrCount);
+  cost::charge(cost::Category::ErrCheck, cost::kErrCount);
   return count >= 0 ? Err::Success : Err::Count;
 }
 
 Err Engine::check_buffer(const void* buf, int count) const noexcept {
-  cost::charge(cost::Category::ErrorChecking, cost::kErrBuffer);
+  cost::charge(cost::Category::ErrCheck, cost::kErrBuffer);
   return (buf != nullptr || count == 0) ? Err::Success : Err::Buffer;
 }
 
 Err Engine::check_datatype(Datatype dt) const noexcept {
-  cost::charge(cost::Category::ErrorChecking, cost::kErrDatatype);
+  cost::charge(cost::Category::ErrCheck, cost::kErrDatatype);
   return types_.committed_or_builtin(dt) ? Err::Success : Err::Datatype;
 }
 
 Err Engine::check_win(Win win) const noexcept {
-  cost::charge(cost::Category::ErrorChecking, cost::kErrWinHandle);
+  cost::charge(cost::Category::ErrCheck, cost::kErrWinHandle);
   return win_obj(win) != nullptr ? Err::Success : Err::Win;
 }
 
@@ -305,7 +305,7 @@ Err Engine::wait(Request* req, Status* st) {
     return Err::Success;
   }
   if (cfg_.error_checking) {
-    cost::charge(cost::Category::ErrorChecking, cost::kErrRequestHandle);
+    cost::charge(cost::Category::ErrCheck, cost::kErrRequestHandle);
     if (req_slot(*req) == nullptr) return Err::Request;
   }
   RequestSlot* s = req_slot(*req);

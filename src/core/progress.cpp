@@ -5,6 +5,8 @@
 #include <cstring>
 
 #include "core/engine.hpp"
+#include "cost/meter.hpp"
+#include "cost/model.hpp"
 #include "runtime/backoff.hpp"
 #include "runtime/world.hpp"
 
@@ -65,6 +67,9 @@ void Engine::handle_packet(Vci& v, rt::Packet* pkt) {
       // Simulated-CPU mode: receive-side device path length as time.
       rt::spin_for_ns(sim_recv_ns_);
       v.busy_instr.fetch_add(recv_instr_, std::memory_order_relaxed);
+      // Receive-side attribution: comparing the arrived header against the
+      // posted-receive queue re-pays the match-bit construction of 3.6.
+      cost::charge(cost::Category::MandMatch, cost::kMandMatchBits);
       if (auto pr = v.matcher.arrive(pkt)) {
         v.counters.inc(obs::VciCtr::PostedMatch);
         if (cfg_.trace && pkt->hdr.seq != 0) {
@@ -120,6 +125,9 @@ void Engine::complete_recv_from_eager(RequestSlot& slot, rt::Packet* pkt) {
   slot.status.tag = pkt->hdr.tag;
   slot.status.byte_count = take;
   slot.status.error = slot.op_error;
+  // Flipping a receive to observable-complete is request-state bookkeeping
+  // (3.5), the receive-side dual of the sender's completion counter.
+  cost::charge(cost::Category::MandRequest, cost::kMandCompletionCounter);
   slot.complete.store(true, std::memory_order_release);
   if (cfg_.trace && pkt->hdr.seq != 0) {
     trace_msg(obs::trace::Ev::Complete, pkt->hdr.seq, pkt->hdr.vci, pkt->hdr.src_world,
@@ -210,6 +218,7 @@ void Engine::handle_rdv_cts(rt::Packet* pkt) {
     // CTS handshake must not leave error/byte_count stale.
     slot->status.error = slot->op_error;
     slot->status.byte_count = total;
+    cost::charge(cost::Category::MandRequest, cost::kMandCompletionCounter);
     slot->complete.store(true, std::memory_order_release);
   }
   rt::PacketPool::free(pkt);
@@ -241,6 +250,7 @@ void Engine::handle_rdv_data(rt::Packet* pkt) {
     slot->stage.shrink_to_fit();
     slot->status.byte_count = take;
     slot->status.error = slot->op_error;
+    cost::charge(cost::Category::MandRequest, cost::kMandCompletionCounter);
     slot->complete.store(true, std::memory_order_release);
     if (cfg_.trace && slot->trace_seq != 0) {
       trace_msg(obs::trace::Ev::Complete, slot->trace_seq, pkt->hdr.vci,

@@ -181,10 +181,10 @@ class VciGate {
  public:
   VciGate(Vci* v, bool enabled, std::uint32_t charge) : v_(v), on_(enabled) {
     if (!on_) return;
-    cost::charge(cost::Category::ThreadSafety, charge);
+    cost::charge(cost::Category::ThreadGate, charge);
     if (v_ == nullptr) return;  // invalid handle: checks below will reject
     if (!v_->mu.try_lock()) {
-      cost::charge(cost::Category::ThreadSafety, cost::kThreadGateContended);
+      cost::charge(cost::Category::ThreadGate, cost::kThreadGateContended);
       v_->contended.fetch_add(1, std::memory_order_relaxed);
       v_->counters.inc(obs::VciCtr::GateContended);
       v_->busy_instr.fetch_add(cost::kThreadGateContended, std::memory_order_relaxed);

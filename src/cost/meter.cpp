@@ -4,27 +4,33 @@ namespace lwmpi::cost {
 
 std::string_view to_string(Category c) noexcept {
   switch (c) {
-    case Category::ErrorChecking: return "error-checking";
-    case Category::ThreadSafety: return "thread-safety";
-    case Category::FunctionCall: return "function-call";
-    case Category::RedundantChecks: return "redundant-runtime-checks";
-    case Category::Mandatory: return "mpi-mandatory";
+    case Category::ErrCheck: return "err-check";
+    case Category::ThreadGate: return "thread-gate";
+    case Category::CallOverhead: return "call-overhead";
+    case Category::Redundant: return "redundant";
+    case Category::MandRankmap: return "mand-rankmap(3.1)";
+    case Category::MandVa: return "mand-va(3.2)";
+    case Category::MandObject: return "mand-object(3.3)";
+    case Category::MandProcNull: return "mand-proc-null(3.4)";
+    case Category::MandRequest: return "mand-request(3.5)";
+    case Category::MandMatch: return "mand-match(3.6)";
+    case Category::MandLocality: return "mand-locality";
+    case Category::MandInject: return "mand-inject";
+    case Category::OrigLayering: return "orig-layering";
     case Category::kCount: break;
   }
   return "?";
 }
 
-std::string_view to_string(Reason r) noexcept {
-  switch (r) {
-    case Reason::None: return "none";
-    case Reason::RankTranslation: return "rank-translation(3.1)";
-    case Reason::VirtualAddressing: return "virtual-addressing(3.2)";
-    case Reason::ObjectDeref: return "object-deref(3.3)";
-    case Reason::ProcNullCheck: return "proc-null-check(3.4)";
-    case Reason::RequestManagement: return "request-management(3.5)";
-    case Reason::MatchBits: return "match-bits(3.6)";
-    case Reason::Residual: return "residual";
-    case Reason::kCount: break;
+std::string_view to_string(Group g) noexcept {
+  switch (g) {
+    case Group::ErrorChecking: return "error-checking";
+    case Group::ThreadSafety: return "thread-safety";
+    case Group::FunctionCall: return "function-call";
+    case Group::RedundantChecks: return "redundant-runtime-checks";
+    case Group::Mandatory: return "mpi-mandatory";
+    case Group::OrigLayering: return "orig-layering";
+    case Group::kCount: break;
   }
   return "?";
 }

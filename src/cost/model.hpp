@@ -18,7 +18,10 @@
 // the path accumulates; nothing looks these totals up directly.
 #pragma once
 
+#include <array>
 #include <cstdint>
+
+#include "cost/meter.hpp"
 
 namespace lwmpi::cost {
 
@@ -115,47 +118,105 @@ inline constexpr std::uint32_t kOrigPutAmBuild = 400;       // build AM header/o
 inline constexpr std::uint32_t kOrigPutOpQueue = 330;       // op-list management
 inline constexpr std::uint32_t kOrigPutPt2ptIssue = 250;    // ride the pt2pt stack
 
-// ---- Closed-form path totals --------------------------------------------------
-// The same sums the instrumented code paths accumulate, in closed form, so the
-// runtime can convert modeled instructions into simulated CPU time without
-// arming a meter (tests assert closed-form == metered). `orig` selects the
-// CH3-style device, the booleans mirror BuildConfig.
+// ---- Closed-form path breakdowns ---------------------------------------------
+// The same sums the instrumented code paths accumulate, in closed form and
+// per attribution category, so the runtime can convert modeled instructions
+// into simulated CPU time without arming a meter and the reporting layer can
+// assert metered == modeled bit-for-bit per category (obs::table_report).
+// `orig` selects the CH3-style device, the booleans mirror BuildConfig.
+struct Breakdown {
+  std::array<std::uint32_t, kNumCategories> by_category{};
+
+  constexpr std::uint32_t& operator[](Category c) noexcept {
+    return by_category[static_cast<std::size_t>(c)];
+  }
+  constexpr std::uint32_t operator[](Category c) const noexcept {
+    return by_category[static_cast<std::size_t>(c)];
+  }
+  constexpr std::uint32_t total() const noexcept {
+    std::uint32_t t = 0;
+    for (std::uint32_t v : by_category) t += v;
+    return t;
+  }
+  constexpr std::uint32_t group(Group g) const noexcept {
+    std::uint32_t t = 0;
+    for (std::size_t i = 0; i < kNumCategories; ++i) {
+      if (group_of(static_cast<Category>(i)) == g) t += by_category[i];
+    }
+    return t;
+  }
+};
+
+inline constexpr Breakdown modeled_isend_breakdown(bool orig, bool err, bool thread,
+                                                   bool ipo) {
+  Breakdown b;
+  if (!ipo) b[Category::CallOverhead] += kCallEntry + kCallPmpiAliasSend;
+  if (thread) b[Category::ThreadGate] += kThreadGatePt2pt;
+  if (err) {
+    b[Category::ErrCheck] += kErrCommHandle + kErrRankRange + kErrTagRange + kErrCount +
+                             kErrBuffer + kErrDatatype;
+  }
+  b[Category::MandObject] += kMandObjectDeref;
+  b[Category::MandProcNull] += kMandProcNull;
+  b[Category::MandRankmap] += kMandRankTranslateCompressed;
+  b[Category::MandLocality] += kMandLocalitySelect;
+  b[Category::MandMatch] += kMandMatchBits;
+  b[Category::MandRequest] += kMandRequestAlloc;
+  b[Category::MandInject] += kMandInjectResidual;
+  if (!ipo) {
+    b[Category::Redundant] +=
+        kRedundantCommAttrs + kRedundantDatatypeResolve + kRedundantGenericCompletion;
+  }
+  if (orig) b[Category::OrigLayering] += kOrigAdiDispatch + kOrigSendQueueing + kOrigExtraBranches;
+  return b;
+}
+
+inline constexpr Breakdown modeled_put_breakdown(bool orig, bool err, bool thread,
+                                                 bool ipo) {
+  Breakdown b;
+  if (!ipo) b[Category::CallOverhead] += kCallEntry + kCallPmpiAliasRma;
+  if (thread) b[Category::ThreadGate] += kThreadGateRma;
+  if (err) {
+    b[Category::ErrCheck] += kErrWinHandle + kErrRankRange + kErrCount + kErrBuffer +
+                             kErrDatatype + kErrDispRange;
+  }
+  b[Category::MandProcNull] += kMandProcNull;
+  if (orig) {
+    b[Category::OrigLayering] += kOrigPutLayerCalls + kOrigPutGenericChecks + kOrigPutAmBuild +
+                                 kOrigPutOpQueue + kOrigPutPt2ptIssue;
+    b[Category::MandObject] += kMandObjectDeref;
+    b[Category::MandRankmap] += kMandRankTranslateCompressed;
+    return b;
+  }
+  b[Category::MandObject] += kMandObjectDeref;
+  b[Category::MandRankmap] += kMandRankTranslateCompressed;
+  b[Category::MandLocality] += kMandLocalitySelect;
+  b[Category::MandRequest] += kMandRmaOpTracking;
+  b[Category::MandVa] += kMandVaTranslate;
+  b[Category::MandInject] += kMandInjectResidualRma;
+  if (!ipo) {
+    b[Category::Redundant] +=
+        kRedundantWinAttrs + kRedundantDatatypeResolve + kRedundantGenericCompletion;
+  }
+  return b;
+}
+
 inline constexpr std::uint32_t modeled_isend_total(bool orig, bool err, bool thread,
                                                    bool ipo) {
-  std::uint32_t t = 0;
-  if (!ipo) t += kCallEntry + kCallPmpiAliasSend;
-  if (thread) t += kThreadGatePt2pt;
-  if (err) {
-    t += kErrCommHandle + kErrRankRange + kErrTagRange + kErrCount + kErrBuffer +
-         kErrDatatype;
-  }
-  t += kMandObjectDeref + kMandProcNull + kMandRankTranslateCompressed +
-       kMandLocalitySelect + kMandMatchBits + kMandRequestAlloc + kMandInjectResidual;
-  if (!ipo) t += kRedundantCommAttrs + kRedundantDatatypeResolve + kRedundantGenericCompletion;
-  if (orig) t += kOrigAdiDispatch + kOrigSendQueueing + kOrigExtraBranches;
-  return t;
+  return modeled_isend_breakdown(orig, err, thread, ipo).total();
 }
 
 inline constexpr std::uint32_t modeled_put_total(bool orig, bool err, bool thread,
                                                  bool ipo) {
-  std::uint32_t t = 0;
-  if (!ipo) t += kCallEntry + kCallPmpiAliasRma;
-  if (thread) t += kThreadGateRma;
-  if (err) {
-    t += kErrWinHandle + kErrRankRange + kErrCount + kErrBuffer + kErrDatatype +
-         kErrDispRange;
-  }
-  t += kMandProcNull;
-  if (orig) {
-    t += kOrigPutLayerCalls + kOrigPutGenericChecks + kMandObjectDeref +
-         kMandRankTranslateCompressed + kOrigPutAmBuild + kOrigPutOpQueue +
-         kOrigPutPt2ptIssue;
-    return t;
-  }
-  t += kMandObjectDeref + kMandRankTranslateCompressed + kMandLocalitySelect +
-       kMandRmaOpTracking + kMandVaTranslate + kMandInjectResidualRma;
-  if (!ipo) t += kRedundantWinAttrs + kRedundantDatatypeResolve + kRedundantGenericCompletion;
-  return t;
+  return modeled_put_breakdown(orig, err, thread, ipo).total();
 }
+
+// Compile-time calibration anchors: the paper's headline totals must emerge
+// from the closed forms (and, transitively, from the instrumented paths the
+// tests assert equal to them).
+static_assert(modeled_isend_total(false, true, true, false) == 221);
+static_assert(modeled_put_total(false, true, true, false) == 215);
+static_assert(modeled_isend_total(true, true, true, false) == 253);
+static_assert(modeled_put_total(true, true, true, false) == 1342);
 
 }  // namespace lwmpi::cost

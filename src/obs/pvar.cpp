@@ -5,6 +5,7 @@
 #include "core/engine.hpp"
 #include "net/fabric.hpp"
 #include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "runtime/world.hpp"
 
 namespace lwmpi::obs {
@@ -85,6 +86,12 @@ const Entry kRegistry[] = {
     {{"sends_issued", "total sends issued by this rank", PvarClass::Counter,
       PvarBind::Engine},
      +[](Engine& e, int) { return e.sends_issued(); }},
+    // Process-global (the trace-ring registry is shared by every world in the
+    // process): events overwritten before collection, so exported Perfetto
+    // timelines can be flagged as incomplete.
+    {{"trace_events_dropped", "trace-ring events overwritten before collection",
+      PvarClass::Counter, PvarBind::Engine},
+     +[](Engine&, int) { return trace::dropped_all(); }},
 };
 
 constexpr int kNumPvars = static_cast<int>(std::size(kRegistry));

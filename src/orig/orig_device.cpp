@@ -14,10 +14,10 @@ namespace lwmpi {
 
 Err Engine::orig_isend(const SendParams& p, Request* req) {
   // ADI3-style layered dispatch: MPI layer -> device vtable -> channel.
-  cost::charge(cost::Category::FunctionCall, cost::kOrigAdiDispatch);
-  cost::charge(cost::Category::RedundantChecks, cost::kOrigExtraBranches);
+  cost::charge(cost::Category::OrigLayering, cost::kOrigAdiDispatch);
+  cost::charge(cost::Category::OrigLayering, cost::kOrigExtraBranches);
   // CH3 always allocates and enqueues a full request state machine.
-  cost::charge(cost::Reason::RequestManagement, cost::kOrigSendQueueing);
+  cost::charge(cost::Category::OrigLayering, cost::kOrigSendQueueing);
   // The remainder of the path is the common stack walk; inject_or_queue
   // routes the built packet through the software send queue for this device.
   return ch4_isend(p, req);

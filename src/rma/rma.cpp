@@ -195,21 +195,21 @@ Err Engine::rma_check_epoch(const WindowLocal& w, Rank target) const noexcept {
 Err Engine::put(const void* origin, int origin_count, Datatype origin_dt, Rank target,
                 std::uint64_t target_disp, int target_count, Datatype target_dt, Win win) {
   if (!cfg_.ipo) {
-    cost::charge(cost::Category::FunctionCall, cost::kCallEntry + cost::kCallPmpiAliasRma);
+    cost::charge(cost::Category::CallOverhead, cost::kCallEntry + cost::kCallPmpiAliasRma);
   }
   WindowLocal* w = win_obj(win);
   VciGate gate(w == nullptr ? nullptr : vcis_[w->vci].get(), cfg_.thread_safety,
                cost::kThreadGateRma);
   if (cfg_.error_checking) {
     if (Err e = check_win(win); !ok(e)) return e;
-    cost::charge(cost::Category::ErrorChecking, cost::kErrRankRange);
+    cost::charge(cost::Category::ErrCheck, cost::kErrRankRange);
     if (target != kProcNull && (target < 0 || target >= w->global->nranks)) return Err::Rank;
     if (Err e = check_count(origin_count); !ok(e)) return e;
     if (Err e = check_buffer(origin, origin_count); !ok(e)) return e;
     if (Err e = check_datatype(origin_dt); !ok(e)) return e;
     if (target != kProcNull) {
       // Target datatype and displacement bounds validate together.
-      cost::charge(cost::Category::ErrorChecking, cost::kErrDispRange);
+      cost::charge(cost::Category::ErrCheck, cost::kErrDispRange);
       if (!types_.committed_or_builtin(target_dt)) return Err::Datatype;
       const auto& peer = w->global->peers[static_cast<std::size_t>(target)];
       const std::uint64_t need = target_disp * static_cast<std::uint64_t>(peer.disp_unit) +
@@ -220,7 +220,7 @@ Err Engine::put(const void* origin, int origin_count, Datatype origin_dt, Rank t
   }
   if (w == nullptr) return Err::Win;
 
-  cost::charge(cost::Reason::ProcNullCheck, cost::kMandProcNull);
+  cost::charge(cost::Category::MandProcNull, cost::kMandProcNull);
   if (target == kProcNull) return Err::Success;
   vcis_[w->vci]->counters.inc(obs::VciCtr::RmaOp);
   rt::spin_for_ns(sim_put_ns_);  // simulated-CPU mode
@@ -228,11 +228,11 @@ Err Engine::put(const void* origin, int origin_count, Datatype origin_dt, Rank t
   if (device_ == DeviceKind::Orig) {
     // CH3-style: analyze, record, defer. The layered path is charged here and
     // the operation is issued as an active message at synchronization.
-    cost::charge(cost::Category::FunctionCall, cost::kOrigPutLayerCalls);
-    cost::charge(cost::Category::RedundantChecks, cost::kOrigPutGenericChecks);
-    cost::charge(cost::Reason::ObjectDeref, cost::kMandObjectDeref);
+    cost::charge(cost::Category::OrigLayering, cost::kOrigPutLayerCalls);
+    cost::charge(cost::Category::OrigLayering, cost::kOrigPutGenericChecks);
+    cost::charge(cost::Category::MandObject, cost::kMandObjectDeref);
     comm_obj(w->comm)->map.to_world(target);  // translation still happens
-    cost::charge(cost::Reason::Residual, cost::kOrigPutAmBuild);
+    cost::charge(cost::Category::OrigLayering, cost::kOrigPutAmBuild);
     WindowLocal::PendingOp op;
     op.kind = WindowLocal::PendingOp::Kind::Put;
     op.target = target;
@@ -241,22 +241,22 @@ Err Engine::put(const void* origin, int origin_count, Datatype origin_dt, Rank t
     op.target_dt = target_dt;
     op.data.resize(dt::packed_size(types_, origin_count, origin_dt));
     dt::pack(types_, origin, origin_count, origin_dt, op.data.data());
-    cost::charge(cost::Reason::Residual, cost::kOrigPutOpQueue);
-    cost::charge(cost::Reason::Residual, cost::kOrigPutPt2ptIssue);
+    cost::charge(cost::Category::OrigLayering, cost::kOrigPutOpQueue);
+    cost::charge(cost::Category::OrigLayering, cost::kOrigPutPt2ptIssue);
     w->pending.push_back(std::move(op));
     return Err::Success;
   }
 
   // ch4: window object access + netmod selection.
-  cost::charge(cost::Reason::ObjectDeref, cost::kMandObjectDeref);
+  cost::charge(cost::Category::MandObject, cost::kMandObjectDeref);
   if (!cfg_.ipo) {
-    cost::charge(cost::Category::RedundantChecks, cost::kRedundantWinAttrs);
-    cost::charge(cost::Category::RedundantChecks, cost::kRedundantDatatypeResolve);
-    cost::charge(cost::Category::RedundantChecks, cost::kRedundantGenericCompletion);
+    cost::charge(cost::Category::Redundant, cost::kRedundantWinAttrs);
+    cost::charge(cost::Category::Redundant, cost::kRedundantDatatypeResolve);
+    cost::charge(cost::Category::Redundant, cost::kRedundantGenericCompletion);
   }
   comm_obj(w->comm)->map.to_world(target);  // network address translation
-  cost::charge(cost::Reason::Residual, cost::kMandLocalitySelect);
-  cost::charge(cost::Reason::RequestManagement, cost::kMandRmaOpTracking);
+  cost::charge(cost::Category::MandLocality, cost::kMandLocalitySelect);
+  cost::charge(cost::Category::MandRequest, cost::kMandRmaOpTracking);
 
   if (types_.is_contiguous(origin_dt) && types_.is_contiguous(target_dt)) {
     return rma_direct_put(*w, origin, origin_count, origin_dt, target, target_disp,
@@ -270,12 +270,12 @@ Err Engine::rma_direct_put(WindowLocal& w, const void* origin, int ocount, Datat
                            Rank target, std::uint64_t target_disp, int tcount, Datatype tdt) {
   const auto& peer = w.global->peers[static_cast<std::size_t>(target)];
   // Offset -> virtual address translation (Section 3.2).
-  cost::charge(cost::Reason::VirtualAddressing, cost::kMandVaTranslate);
+  cost::charge(cost::Category::MandVa, cost::kMandVaTranslate);
   std::byte* dst = peer.base + target_disp * static_cast<std::uint64_t>(peer.disp_unit);
   const std::size_t obytes = dt::packed_size(types_, ocount, odt);
   const std::size_t tbytes = dt::packed_size(types_, tcount, tdt);
   const std::size_t n = std::min(obytes, tbytes);
-  cost::charge(cost::Reason::Residual, cost::kMandInjectResidualRma);
+  cost::charge(cost::Category::MandInject, cost::kMandInjectResidualRma);
   const Rank dst_world = w.global->world_ranks[static_cast<std::size_t>(target)];
   fabric_.charge_injection(self_, dst_world);  // descriptor cost, no packet
   std::memcpy(dst, origin, n);
@@ -318,14 +318,14 @@ Err Engine::rma_am_put(WindowLocal& w, Win /*win*/, const void* origin, int ocou
 Err Engine::put_va(const void* origin, int origin_count, Datatype origin_dt, Rank target,
                    void* target_va, Win win) {
   if (!cfg_.ipo) {
-    cost::charge(cost::Category::FunctionCall, cost::kCallEntry + cost::kCallPmpiAliasRma);
+    cost::charge(cost::Category::CallOverhead, cost::kCallEntry + cost::kCallPmpiAliasRma);
   }
   WindowLocal* w = win_obj(win);
   VciGate gate(w == nullptr ? nullptr : vcis_[w->vci].get(), cfg_.thread_safety,
                cost::kThreadGateRma);
   if (cfg_.error_checking) {
     if (Err e = check_win(win); !ok(e)) return e;
-    cost::charge(cost::Category::ErrorChecking, cost::kErrRankRange);
+    cost::charge(cost::Category::ErrCheck, cost::kErrRankRange);
     if (target < 0 || target >= w->global->nranks) return Err::Rank;
     if (Err e = check_count(origin_count); !ok(e)) return e;
     if (Err e = check_buffer(origin, origin_count); !ok(e)) return e;
@@ -337,11 +337,11 @@ Err Engine::put_va(const void* origin, int origin_count, Datatype origin_dt, Ran
   vcis_[w->vci]->counters.inc(obs::VciCtr::RmaOp);
 
   // The proposal's payoff: no window-kind check, no offset->VA translation.
-  cost::charge(cost::Reason::ObjectDeref, cost::kMandObjectDeref);
+  cost::charge(cost::Category::MandObject, cost::kMandObjectDeref);
   comm_obj(w->comm)->map.to_world(target);
-  cost::charge(cost::Reason::Residual, cost::kMandLocalitySelect);
-  cost::charge(cost::Reason::RequestManagement, cost::kMandRmaOpTracking);
-  cost::charge(cost::Reason::Residual, cost::kMandInjectResidualRma);
+  cost::charge(cost::Category::MandLocality, cost::kMandLocalitySelect);
+  cost::charge(cost::Category::MandRequest, cost::kMandRmaOpTracking);
+  cost::charge(cost::Category::MandInject, cost::kMandInjectResidualRma);
   const Rank dst_world = w->global->world_ranks[static_cast<std::size_t>(target)];
   fabric_.charge_injection(self_, dst_world);
   const std::size_t n = dt::packed_size(types_, origin_count, origin_dt);
@@ -358,26 +358,26 @@ Err Engine::put_va(const void* origin, int origin_count, Datatype origin_dt, Ran
 Err Engine::get(void* origin, int origin_count, Datatype origin_dt, Rank target,
                 std::uint64_t target_disp, int target_count, Datatype target_dt, Win win) {
   if (!cfg_.ipo) {
-    cost::charge(cost::Category::FunctionCall, cost::kCallEntry + cost::kCallPmpiAliasRma);
+    cost::charge(cost::Category::CallOverhead, cost::kCallEntry + cost::kCallPmpiAliasRma);
   }
   WindowLocal* w = win_obj(win);
   VciGate gate(w == nullptr ? nullptr : vcis_[w->vci].get(), cfg_.thread_safety,
                cost::kThreadGateRma);
   if (cfg_.error_checking) {
     if (Err e = check_win(win); !ok(e)) return e;
-    cost::charge(cost::Category::ErrorChecking, cost::kErrRankRange);
+    cost::charge(cost::Category::ErrCheck, cost::kErrRankRange);
     if (target != kProcNull && (target < 0 || target >= w->global->nranks)) return Err::Rank;
     if (Err e = check_count(origin_count); !ok(e)) return e;
     if (Err e = check_buffer(origin, origin_count); !ok(e)) return e;
     if (Err e = check_datatype(origin_dt); !ok(e)) return e;
     if (target != kProcNull) {
-      cost::charge(cost::Category::ErrorChecking, cost::kErrDispRange);
+      cost::charge(cost::Category::ErrCheck, cost::kErrDispRange);
       if (!types_.committed_or_builtin(target_dt)) return Err::Datatype;
       if (Err e = rma_check_epoch(*w, target); !ok(e)) return e;
     }
   }
   if (w == nullptr) return Err::Win;
-  cost::charge(cost::Reason::ProcNullCheck, cost::kMandProcNull);
+  cost::charge(cost::Category::MandProcNull, cost::kMandProcNull);
   if (target == kProcNull) return Err::Success;
   vcis_[w->vci]->counters.inc(obs::VciCtr::RmaOp);
 
@@ -395,15 +395,15 @@ Err Engine::get(void* origin, int origin_count, Datatype origin_dt, Rank target,
     return Err::Success;
   }
 
-  cost::charge(cost::Reason::ObjectDeref, cost::kMandObjectDeref);
+  cost::charge(cost::Category::MandObject, cost::kMandObjectDeref);
   comm_obj(w->comm)->map.to_world(target);
-  cost::charge(cost::Reason::Residual, cost::kMandLocalitySelect);
-  cost::charge(cost::Reason::RequestManagement, cost::kMandRmaOpTracking);
+  cost::charge(cost::Category::MandLocality, cost::kMandLocalitySelect);
+  cost::charge(cost::Category::MandRequest, cost::kMandRmaOpTracking);
 
   const auto& peer = w->global->peers[static_cast<std::size_t>(target)];
   if (types_.is_contiguous(origin_dt) && types_.is_contiguous(target_dt)) {
-    cost::charge(cost::Reason::VirtualAddressing, cost::kMandVaTranslate);
-    cost::charge(cost::Reason::Residual, cost::kMandInjectResidualRma);
+    cost::charge(cost::Category::MandVa, cost::kMandVaTranslate);
+    cost::charge(cost::Category::MandInject, cost::kMandInjectResidualRma);
     const Rank dst_world = w->global->world_ranks[static_cast<std::size_t>(target)];
     fabric_.charge_injection(self_, dst_world);
     const std::byte* src =
@@ -444,7 +444,7 @@ Err Engine::get(void* origin, int origin_count, Datatype origin_dt, Rank target,
 Err Engine::accumulate(const void* origin, int count, Datatype dt_, Rank target,
                        std::uint64_t target_disp, ReduceOp op, Win win) {
   if (!cfg_.ipo) {
-    cost::charge(cost::Category::FunctionCall, cost::kCallEntry + cost::kCallPmpiAliasRma);
+    cost::charge(cost::Category::CallOverhead, cost::kCallEntry + cost::kCallPmpiAliasRma);
   }
   WindowLocal* w = win_obj(win);
   VciGate gate(w == nullptr ? nullptr : vcis_[w->vci].get(), cfg_.thread_safety,
@@ -452,7 +452,7 @@ Err Engine::accumulate(const void* origin, int count, Datatype dt_, Rank target,
   if (w == nullptr) return Err::Win;
   if (cfg_.error_checking) {
     if (Err e = check_win(win); !ok(e)) return e;
-    cost::charge(cost::Category::ErrorChecking,
+    cost::charge(cost::Category::ErrCheck,
                  cost::kErrRankRange + cost::kErrOpValid);
     if (target != kProcNull && (target < 0 || target >= w->global->nranks)) return Err::Rank;
     if (!coll::op_defined(op, dt_)) return Err::Op;
@@ -463,7 +463,7 @@ Err Engine::accumulate(const void* origin, int count, Datatype dt_, Rank target,
     }
   }
   if (!is_builtin(dt_)) return Err::Datatype;  // predefined ops, basic types
-  cost::charge(cost::Reason::ProcNullCheck, cost::kMandProcNull);
+  cost::charge(cost::Category::MandProcNull, cost::kMandProcNull);
   if (target == kProcNull) return Err::Success;
   vcis_[w->vci]->counters.inc(obs::VciCtr::RmaOp);
 
@@ -481,11 +481,11 @@ Err Engine::accumulate(const void* origin, int count, Datatype dt_, Rank target,
     return Err::Success;
   }
 
-  cost::charge(cost::Reason::ObjectDeref, cost::kMandObjectDeref);
+  cost::charge(cost::Category::MandObject, cost::kMandObjectDeref);
   comm_obj(w->comm)->map.to_world(target);
-  cost::charge(cost::Reason::VirtualAddressing, cost::kMandVaTranslate);
-  cost::charge(cost::Reason::RequestManagement, cost::kMandRmaOpTracking);
-  cost::charge(cost::Reason::Residual, cost::kMandInjectResidualRma);
+  cost::charge(cost::Category::MandVa, cost::kMandVaTranslate);
+  cost::charge(cost::Category::MandRequest, cost::kMandRmaOpTracking);
+  cost::charge(cost::Category::MandInject, cost::kMandInjectResidualRma);
 
   const auto& peer = w->global->peers[static_cast<std::size_t>(target)];
   std::byte* dst = peer.base + target_disp * static_cast<std::uint64_t>(peer.disp_unit);
@@ -676,7 +676,7 @@ Err Engine::win_lock(LockType type, Rank target, Win win) {
   if (target < 0 || target >= w->global->nranks) return Err::Rank;
   std::atomic<std::uint8_t>& held = w->lock_held[static_cast<std::size_t>(target)];
   if (cfg_.error_checking) {
-    cost::charge(cost::Category::ErrorChecking, cost::kErrRankRange);
+    cost::charge(cost::Category::ErrCheck, cost::kErrRankRange);
     if (type != LockType::Exclusive && type != LockType::Shared) return Err::LockType;
     if (held.load(std::memory_order_acquire) != kLockNone) return Err::RmaSync;
   }

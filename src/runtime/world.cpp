@@ -6,6 +6,7 @@
 
 #include "core/engine.hpp"
 #include "obs/pvar.hpp"
+#include "obs/table.hpp"
 
 namespace lwmpi {
 
@@ -104,7 +105,16 @@ std::string World::stats_report(bool as_json) {
     if (as_json) out << "}}";
     obs::LWMPI_T_pvar_session_free(&s);
   }
-  if (as_json) out << "]}";
+  // Attribution slice for this world's own (device, build): the metered
+  // Table-1 category breakdown of one isend and one put, walked through a
+  // throwaway two-rank world (read-only with respect to this one).
+  const std::string attrib = obs::attribution_report(opts_.device, opts_.build, as_json);
+  if (as_json) {
+    // attrib == {"attribution":[...]}; splice its body into this object.
+    out << "]," << attrib.substr(1, attrib.size() - 2) << '}';
+  } else {
+    out << attrib;
+  }
   return out.str();
 }
 

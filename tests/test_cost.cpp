@@ -7,6 +7,7 @@
 
 #include "cost/meter.hpp"
 #include "cost/model.hpp"
+#include "obs/table.hpp"
 #include "runtime/backoff.hpp"
 #include "util.hpp"
 
@@ -14,7 +15,7 @@ namespace lwmpi {
 namespace {
 
 using C = cost::Category;
-using R = cost::Reason;
+using G = cost::Group;
 
 // Measure one metered isend on rank 0 of a 2-rank world.
 cost::Meter measure_isend(DeviceKind device, BuildConfig build) {
@@ -64,42 +65,56 @@ cost::Meter measure_put(DeviceKind device, BuildConfig build) {
 }
 
 // ---------------------------------------------------------------------------
-// Table 1: category breakdown of the ch4 default build
+// Table 1: category breakdown of the ch4 default build, from the live path
 // ---------------------------------------------------------------------------
 
 TEST(Table1, IsendDefaultBreakdown) {
   const cost::Meter m = measure_isend(DeviceKind::Ch4, BuildConfig::dflt());
-  EXPECT_EQ(m.category(C::ErrorChecking), 74u);
-  EXPECT_EQ(m.category(C::ThreadSafety), 6u);
-  EXPECT_EQ(m.category(C::FunctionCall), 23u);
-  EXPECT_EQ(m.category(C::RedundantChecks), 59u);
-  EXPECT_EQ(m.category(C::Mandatory), 59u);
+  EXPECT_EQ(m.group(G::ErrorChecking), 74u);
+  EXPECT_EQ(m.group(G::ThreadSafety), 6u);
+  EXPECT_EQ(m.group(G::FunctionCall), 23u);
+  EXPECT_EQ(m.group(G::RedundantChecks), 59u);
+  EXPECT_EQ(m.group(G::Mandatory), 59u);
+  EXPECT_EQ(m.group(G::OrigLayering), 0u);
   EXPECT_EQ(m.total(), 221u);
 }
 
 TEST(Table1, PutDefaultBreakdown) {
   const cost::Meter m = measure_put(DeviceKind::Ch4, BuildConfig::dflt());
-  EXPECT_EQ(m.category(C::ErrorChecking), 72u);
-  EXPECT_EQ(m.category(C::ThreadSafety), 14u);
-  EXPECT_EQ(m.category(C::FunctionCall), 25u);
-  EXPECT_EQ(m.category(C::RedundantChecks), 60u);  // paper: 62
-  EXPECT_EQ(m.category(C::Mandatory), 44u);        // paper: 44
+  EXPECT_EQ(m.group(G::ErrorChecking), 72u);
+  EXPECT_EQ(m.group(G::ThreadSafety), 14u);
+  EXPECT_EQ(m.group(G::FunctionCall), 25u);
+  EXPECT_EQ(m.group(G::RedundantChecks), 60u);  // paper: 62
+  EXPECT_EQ(m.group(G::Mandatory), 44u);        // paper: 44
+  EXPECT_EQ(m.group(G::OrigLayering), 0u);
   EXPECT_EQ(m.total(), 215u);
 }
 
 TEST(Table1, IsendMandatoryDecomposition) {
   const cost::Meter m = measure_isend(DeviceKind::Ch4, BuildConfig::dflt());
-  EXPECT_EQ(m.reason(R::RankTranslation), cost::kMandRankTranslateCompressed);
-  EXPECT_EQ(m.reason(R::ObjectDeref), cost::kMandObjectDeref);
-  EXPECT_EQ(m.reason(R::ProcNullCheck), cost::kMandProcNull);
-  EXPECT_EQ(m.reason(R::RequestManagement), cost::kMandRequestAlloc);
-  EXPECT_EQ(m.reason(R::MatchBits), cost::kMandMatchBits);
-  EXPECT_EQ(m.reason(R::VirtualAddressing), 0u);  // pt2pt has no VA translation
+  EXPECT_EQ(m.category(C::MandRankmap), cost::kMandRankTranslateCompressed);
+  EXPECT_EQ(m.category(C::MandObject), cost::kMandObjectDeref);
+  EXPECT_EQ(m.category(C::MandProcNull), cost::kMandProcNull);
+  EXPECT_EQ(m.category(C::MandRequest), cost::kMandRequestAlloc);
+  EXPECT_EQ(m.category(C::MandMatch), cost::kMandMatchBits);
+  EXPECT_EQ(m.category(C::MandLocality), cost::kMandLocalitySelect);
+  EXPECT_EQ(m.category(C::MandInject), cost::kMandInjectResidual);
+  EXPECT_EQ(m.category(C::MandVa), 0u);  // pt2pt has no VA translation
 }
 
 TEST(Table1, PutUsesVirtualAddressTranslation) {
   const cost::Meter m = measure_put(DeviceKind::Ch4, BuildConfig::dflt());
-  EXPECT_EQ(m.reason(R::VirtualAddressing), cost::kMandVaTranslate);
+  EXPECT_EQ(m.category(C::MandVa), cost::kMandVaTranslate);
+}
+
+TEST(Table1, OrigChargesLandInLayeringCategory) {
+  const cost::Meter isend = measure_isend(DeviceKind::Orig, BuildConfig::dflt());
+  EXPECT_EQ(isend.category(C::OrigLayering),
+            cost::kOrigAdiDispatch + cost::kOrigSendQueueing + cost::kOrigExtraBranches);
+  const cost::Meter put = measure_put(DeviceKind::Orig, BuildConfig::dflt());
+  EXPECT_EQ(put.category(C::OrigLayering),
+            cost::kOrigPutLayerCalls + cost::kOrigPutGenericChecks + cost::kOrigPutAmBuild +
+                cost::kOrigPutOpQueue + cost::kOrigPutPt2ptIssue);
 }
 
 // ---------------------------------------------------------------------------
@@ -162,7 +177,7 @@ TEST(Fig6, GlobalRankSavesTranslation) {
     ASSERT_EQ(e.isend_global(&v, 1, kInt, 1, 1, kCommWorld, &r), Err::Success);
   });
   EXPECT_EQ(m.total(), 49u);  // 59 - (11 - 1): ~10 instructions (Section 3.1)
-  EXPECT_EQ(m.reason(R::RankTranslation), cost::kMandRankGlobalLoad);
+  EXPECT_EQ(m.category(C::MandRankmap), cost::kMandRankGlobalLoad);
 }
 
 TEST(Fig6, NpnSavesBranch) {
@@ -173,7 +188,7 @@ TEST(Fig6, NpnSavesBranch) {
     ASSERT_EQ(e.isend_npn(&v, 1, kInt, 1, 1, kCommWorld, &r), Err::Success);
   });
   EXPECT_EQ(m.total(), 56u);  // 59 - 3 (Section 3.4)
-  EXPECT_EQ(m.reason(R::ProcNullCheck), 0u);
+  EXPECT_EQ(m.category(C::MandProcNull), 0u);
 }
 
 TEST(Fig6, NoreqSavesRequestManagement) {
@@ -183,7 +198,7 @@ TEST(Fig6, NoreqSavesRequestManagement) {
     ASSERT_EQ(e.isend_noreq(&v, 1, kInt, 1, 1, kCommWorld), Err::Success);
   });
   EXPECT_EQ(m.total(), 49u);  // request alloc (13) -> counter (3): ~10 saved
-  EXPECT_EQ(m.reason(R::RequestManagement), cost::kMandCompletionCounter);
+  EXPECT_EQ(m.category(C::MandRequest), cost::kMandCompletionCounter);
 }
 
 TEST(Fig6, NomatchSavesMatchBits) {
@@ -194,7 +209,7 @@ TEST(Fig6, NomatchSavesMatchBits) {
     ASSERT_EQ(e.isend_nomatch(&v, 1, kInt, 1, kCommWorld, &r), Err::Success);
   });
   EXPECT_EQ(m.total(), 55u);  // match bits (5) -> context load (1)
-  EXPECT_EQ(m.reason(R::MatchBits), cost::kMandMatchCtxLoad);
+  EXPECT_EQ(m.category(C::MandMatch), cost::kMandMatchCtxLoad);
 }
 
 TEST(Fig6, AllOptsReachesSixteenInstructions) {
@@ -225,35 +240,64 @@ TEST(Fig6, AllOptsReachesSixteenInstructions) {
 
 // ---------------------------------------------------------------------------
 // Closed-form totals (used by the simulated-CPU mode) must equal the counts
-// accumulated by actually walking the code paths.
+// accumulated by actually walking the code paths -- now per category, so
+// every charge-site tag is pinned, not just the sums.
 // ---------------------------------------------------------------------------
 
-TEST(ClosedForm, IsendTotalsMatchMeteredPaths) {
+TEST(ClosedForm, IsendBreakdownsMatchMeteredPaths) {
   const BuildConfig builds[] = {BuildConfig::dflt(), BuildConfig::no_err(),
                                 BuildConfig::no_err_single(),
                                 BuildConfig::no_err_single_ipo()};
   for (DeviceKind dev : {DeviceKind::Ch4, DeviceKind::Orig}) {
     for (const BuildConfig& b : builds) {
-      const auto metered = measure_isend(dev, b).total();
-      const auto closed = cost::modeled_isend_total(dev == DeviceKind::Orig,
-                                                    b.error_checking, b.thread_safety, b.ipo);
-      EXPECT_EQ(metered, closed) << to_string(dev) << " " << b.label();
+      const cost::Meter::Snapshot metered = measure_isend(dev, b).snapshot();
+      const cost::Breakdown closed = cost::modeled_isend_breakdown(
+          dev == DeviceKind::Orig, b.error_checking, b.thread_safety, b.ipo);
+      EXPECT_EQ(metered.total, closed.total()) << to_string(dev) << " " << b.label();
+      for (std::size_t c = 0; c < cost::kNumCategories; ++c) {
+        EXPECT_EQ(metered.by_category[c], closed.by_category[c])
+            << to_string(dev) << " " << b.label() << " "
+            << cost::to_string(static_cast<C>(c));
+      }
     }
   }
 }
 
-TEST(ClosedForm, PutTotalsMatchMeteredPaths) {
+TEST(ClosedForm, PutBreakdownsMatchMeteredPaths) {
   const BuildConfig builds[] = {BuildConfig::dflt(), BuildConfig::no_err(),
                                 BuildConfig::no_err_single(),
                                 BuildConfig::no_err_single_ipo()};
   for (DeviceKind dev : {DeviceKind::Ch4, DeviceKind::Orig}) {
     for (const BuildConfig& b : builds) {
-      const auto metered = measure_put(dev, b).total();
-      const auto closed = cost::modeled_put_total(dev == DeviceKind::Orig,
-                                                  b.error_checking, b.thread_safety, b.ipo);
-      EXPECT_EQ(metered, closed) << to_string(dev) << " " << b.label();
+      const cost::Meter::Snapshot metered = measure_put(dev, b).snapshot();
+      const cost::Breakdown closed = cost::modeled_put_breakdown(
+          dev == DeviceKind::Orig, b.error_checking, b.thread_safety, b.ipo);
+      EXPECT_EQ(metered.total, closed.total()) << to_string(dev) << " " << b.label();
+      for (std::size_t c = 0; c < cost::kNumCategories; ++c) {
+        EXPECT_EQ(metered.by_category[c], closed.by_category[c])
+            << to_string(dev) << " " << b.label() << " "
+            << cost::to_string(static_cast<C>(c));
+      }
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Attribution tier: obs::attribution_row must reproduce the paper splits from
+// the live path and self-verify against the model.
+// ---------------------------------------------------------------------------
+
+TEST(Attribution, RowsSelfVerifyAgainstModel) {
+  const obs::AttributionRow isend =
+      obs::attribution_row("isend", DeviceKind::Ch4, BuildConfig::dflt());
+  EXPECT_TRUE(isend.model_ok);
+  EXPECT_EQ(isend.metered.total, 221u);
+  EXPECT_EQ(isend.metered.group(G::ErrorChecking), 74u);
+  const obs::AttributionRow put =
+      obs::attribution_row("put", DeviceKind::Ch4, BuildConfig::dflt());
+  EXPECT_TRUE(put.model_ok);
+  EXPECT_EQ(put.metered.total, 215u);
+  EXPECT_EQ(put.metered.group(G::Mandatory), 44u);
 }
 
 TEST(SimulatedCpu, SpinsScaleWithModeledInstructions) {
@@ -296,25 +340,25 @@ TEST(SimulatedCpu, SpinsScaleWithModeledInstructions) {
 // ---------------------------------------------------------------------------
 
 TEST(Meter, UnarmedChargesAreFree) {
-  cost::charge(C::ErrorChecking, 100);  // no meter armed: must be a no-op
+  cost::charge(C::ErrCheck, 100);  // no meter armed: must be a no-op
   cost::Meter m;
   {
     cost::ScopedMeter arm(m);
-    cost::charge(C::ErrorChecking, 5);
+    cost::charge(C::ErrCheck, 5);
   }
-  cost::charge(C::ErrorChecking, 100);  // disarmed again
+  cost::charge(C::ErrCheck, 100);  // disarmed again
   EXPECT_EQ(m.total(), 5u);
 }
 
 TEST(Meter, NestedScopesRestore) {
   cost::Meter outer, inner;
   cost::ScopedMeter a(outer);
-  cost::charge(C::Mandatory, 1);
+  cost::charge(C::MandInject, 1);
   {
     cost::ScopedMeter b(inner);
-    cost::charge(C::Mandatory, 2);
+    cost::charge(C::MandInject, 2);
   }
-  cost::charge(C::Mandatory, 4);
+  cost::charge(C::MandInject, 4);
   EXPECT_EQ(outer.total(), 5u);
   EXPECT_EQ(inner.total(), 2u);
 }
@@ -325,19 +369,19 @@ TEST(Meter, DeeplyNestedScopesReArmEachPrevious) {
   cost::Meter a, b, c;
   {
     cost::ScopedMeter sa(a);
-    cost::charge(C::FunctionCall, 1);
+    cost::charge(C::CallOverhead, 1);
     {
       cost::ScopedMeter sb(b);
-      cost::charge(C::FunctionCall, 2);
+      cost::charge(C::CallOverhead, 2);
       {
         cost::ScopedMeter sc(c);
-        cost::charge(C::FunctionCall, 4);
+        cost::charge(C::CallOverhead, 4);
       }
-      cost::charge(C::FunctionCall, 8);  // back to b
+      cost::charge(C::CallOverhead, 8);  // back to b
     }
-    cost::charge(C::FunctionCall, 16);  // back to a
+    cost::charge(C::CallOverhead, 16);  // back to a
   }
-  cost::charge(C::FunctionCall, 32);  // disarmed
+  cost::charge(C::CallOverhead, 32);  // disarmed
   EXPECT_EQ(a.total(), 17u);
   EXPECT_EQ(b.total(), 10u);
   EXPECT_EQ(c.total(), 4u);
@@ -347,20 +391,20 @@ TEST(Meter, MergeAccumulatesAllBreakdowns) {
   cost::Meter a, b;
   {
     cost::ScopedMeter arm(a);
-    cost::charge(C::ErrorChecking, 3);
-    cost::charge(R::MatchBits, 5);
+    cost::charge(C::ErrCheck, 3);
+    cost::charge(C::MandMatch, 5);
   }
   {
     cost::ScopedMeter arm(b);
-    cost::charge(C::ErrorChecking, 7);
-    cost::charge(R::Residual, 11);
+    cost::charge(C::ErrCheck, 7);
+    cost::charge(C::MandInject, 11);
   }
   a += b;
   EXPECT_EQ(a.total(), 26u);
-  EXPECT_EQ(a.category(C::ErrorChecking), 10u);
-  EXPECT_EQ(a.category(C::Mandatory), 16u);
-  EXPECT_EQ(a.reason(R::MatchBits), 5u);
-  EXPECT_EQ(a.reason(R::Residual), 11u);
+  EXPECT_EQ(a.category(C::ErrCheck), 10u);
+  EXPECT_EQ(a.group(G::Mandatory), 16u);
+  EXPECT_EQ(a.category(C::MandMatch), 5u);
+  EXPECT_EQ(a.category(C::MandInject), 11u);
   // The right-hand side is untouched.
   EXPECT_EQ(b.total(), 18u);
 }
@@ -369,56 +413,62 @@ TEST(Meter, SnapshotIsDecoupledFromLiveMeter) {
   cost::Meter m;
   {
     cost::ScopedMeter arm(m);
-    cost::charge(C::ThreadSafety, 6);
-    cost::charge(R::ObjectDeref, 2);
+    cost::charge(C::ThreadGate, 6);
+    cost::charge(C::MandObject, 2);
   }
   const cost::Meter::Snapshot s = m.snapshot();
   EXPECT_EQ(s.total, 8u);
-  EXPECT_EQ(s.category(C::ThreadSafety), 6u);
-  EXPECT_EQ(s.category(C::Mandatory), 2u);
-  EXPECT_EQ(s.reason(R::ObjectDeref), 2u);
+  EXPECT_EQ(s.category(C::ThreadGate), 6u);
+  EXPECT_EQ(s.group(cost::Group::Mandatory), 2u);
+  EXPECT_EQ(s.category(C::MandObject), 2u);
 
   // Further charges move the meter but not the snapshot.
   {
     cost::ScopedMeter arm(m);
-    cost::charge(C::ThreadSafety, 100);
+    cost::charge(C::ThreadGate, 100);
   }
   EXPECT_EQ(m.total(), 108u);
   EXPECT_EQ(s.total, 8u);
   // reset() clears the meter; the snapshot still holds the old tallies.
   m.reset();
   EXPECT_EQ(m.total(), 0u);
-  EXPECT_EQ(s.category(C::ThreadSafety), 6u);
+  EXPECT_EQ(s.category(C::ThreadGate), 6u);
 }
 
-TEST(Meter, ReasonChargesCountAsMandatory) {
+TEST(Meter, FineCategoriesRollUpToGroups) {
   cost::Meter m;
   {
     cost::ScopedMeter arm(m);
-    cost::charge(R::MatchBits, 5);
-    cost::charge(R::Residual, 2);
+    cost::charge(C::MandMatch, 5);
+    cost::charge(C::MandInject, 2);
+    cost::charge(C::OrigLayering, 9);
   }
-  EXPECT_EQ(m.category(C::Mandatory), 7u);
-  EXPECT_EQ(m.reason(R::MatchBits), 5u);
-  EXPECT_EQ(m.reason(R::Residual), 2u);
+  EXPECT_EQ(m.group(G::Mandatory), 7u);
+  EXPECT_EQ(m.group(G::OrigLayering), 9u);
+  EXPECT_EQ(m.category(C::MandMatch), 5u);
+  EXPECT_EQ(m.category(C::MandInject), 2u);
+  EXPECT_EQ(cost::group_of(C::MandVa), G::Mandatory);
+  EXPECT_EQ(cost::group_of(C::ErrCheck), G::ErrorChecking);
+  EXPECT_EQ(cost::group_of(C::OrigLayering), G::OrigLayering);
 }
 
 TEST(Meter, ResetClears) {
   cost::Meter m;
   {
     cost::ScopedMeter arm(m);
-    cost::charge(C::FunctionCall, 9);
+    cost::charge(C::CallOverhead, 9);
   }
   m.reset();
   EXPECT_EQ(m.total(), 0u);
-  EXPECT_EQ(m.category(C::FunctionCall), 0u);
+  EXPECT_EQ(m.category(C::CallOverhead), 0u);
 }
 
 TEST(Meter, CategoryNamesAreStable) {
-  EXPECT_EQ(cost::to_string(C::ErrorChecking), "error-checking");
-  EXPECT_EQ(cost::to_string(C::Mandatory), "mpi-mandatory");
-  EXPECT_EQ(cost::to_string(R::RankTranslation), "rank-translation(3.1)");
-  EXPECT_EQ(cost::to_string(R::MatchBits), "match-bits(3.6)");
+  EXPECT_EQ(cost::to_string(G::ErrorChecking), "error-checking");
+  EXPECT_EQ(cost::to_string(G::Mandatory), "mpi-mandatory");
+  EXPECT_EQ(cost::to_string(C::MandRankmap), "mand-rankmap(3.1)");
+  EXPECT_EQ(cost::to_string(C::MandMatch), "mand-match(3.6)");
+  EXPECT_EQ(cost::to_string(C::OrigLayering), "orig-layering");
 }
 
 }  // namespace

@@ -149,6 +149,54 @@ TEST(PvarRegistry, RejectsBadArguments) {
   EXPECT_EQ(obs::LWMPI_T_pvar_session_free(&s), Err::Arg);
 }
 
+TEST(PvarRegistry, RejectsOutOfRangeIndicesOnLiveSession) {
+  WorldOptions o = test::fast_opts();
+  World w(1, o);
+  obs::PvarSession s;
+  ASSERT_EQ(obs::LWMPI_T_pvar_session_create(w.engine(0), &s), Err::Success);
+  const int n = obs::LWMPI_T_pvar_num();
+  std::uint64_t v = 0;
+  EXPECT_EQ(obs::LWMPI_T_pvar_read(s, -1, &v), Err::Arg);
+  EXPECT_EQ(obs::LWMPI_T_pvar_read(s, n, &v), Err::Arg);
+  EXPECT_EQ(obs::LWMPI_T_pvar_read(s, 0, nullptr), Err::Arg);
+  EXPECT_EQ(obs::LWMPI_T_pvar_start(s, -1), Err::Arg);
+  EXPECT_EQ(obs::LWMPI_T_pvar_start(s, n), Err::Arg);
+  EXPECT_EQ(obs::LWMPI_T_pvar_reset(s, n), Err::Arg);
+  obs::LWMPI_T_pvar_session_free(&s);
+}
+
+TEST(PvarRegistry, RejectsOutOfRangeVci) {
+  WorldOptions o = test::fast_opts();
+  World w(1, o);
+  Engine& e = w.engine(0);
+  obs::PvarSession s;
+  ASSERT_EQ(obs::LWMPI_T_pvar_session_create(e, &s), Err::Success);
+  const int idx = obs::LWMPI_T_pvar_index("vci_sends_eager");
+  ASSERT_GE(idx, 0);
+  std::uint64_t v = 0;
+  EXPECT_EQ(obs::LWMPI_T_pvar_read_vci(s, idx, e.num_vcis(), &v), Err::Arg);
+  EXPECT_EQ(obs::LWMPI_T_pvar_read_vci(s, idx, 9999, &v), Err::Arg);
+  // vci = -1 is the documented sum-over-channels spelling, not an error.
+  EXPECT_EQ(obs::LWMPI_T_pvar_read_vci(s, idx, -1, &v), Err::Success);
+  obs::LWMPI_T_pvar_session_free(&s);
+}
+
+TEST(PvarRegistry, FreedSessionRejectsAllOperations) {
+  WorldOptions o = test::fast_opts();
+  World w(1, o);
+  obs::PvarSession s;
+  ASSERT_EQ(obs::LWMPI_T_pvar_session_create(w.engine(0), &s), Err::Success);
+  ASSERT_EQ(obs::LWMPI_T_pvar_session_free(&s), Err::Success);
+  EXPECT_FALSE(s.valid());
+  std::uint64_t v = 0;
+  EXPECT_EQ(obs::LWMPI_T_pvar_read(s, 0, &v), Err::Arg);
+  EXPECT_EQ(obs::LWMPI_T_pvar_read_vci(s, 0, 0, &v), Err::Arg);
+  EXPECT_EQ(obs::LWMPI_T_pvar_start(s, 0), Err::Arg);
+  EXPECT_EQ(obs::LWMPI_T_pvar_reset(s, 0), Err::Arg);
+  // Double free is also an argument error, not UB.
+  EXPECT_EQ(obs::LWMPI_T_pvar_session_free(&s), Err::Arg);
+}
+
 // --- counters ----------------------------------------------------------------
 
 TEST(Counters, EagerRdvSplitAtThreshold) {
@@ -474,6 +522,27 @@ TEST(Trace, DisabledByDefaultRecordsNothing) {
     }
   });
   EXPECT_TRUE(obs::trace::collect_all().empty());
+}
+
+TEST(Trace, DroppedEventsSurfaceThroughPvar) {
+  obs::trace::reset_all();
+  WorldOptions o = test::fast_opts();
+  World w(1, o);
+  Engine& e = w.engine(0);
+  EXPECT_EQ(read_pvar(e, "trace_events_dropped"), 0u);
+
+  // Overflow this thread's ring directly: capacity + 100 pushes must
+  // overwrite at least 100 events, and the pvar reports the loss so a
+  // truncated Perfetto export can be flagged.
+  obs::trace::Event ev;
+  ev.seq = 0;
+  for (std::size_t i = 0; i < obs::trace::kDefaultRingCapacity + 100; ++i) {
+    obs::trace::record(ev);
+  }
+  EXPECT_GE(read_pvar(e, "trace_events_dropped"), 100u);
+
+  obs::trace::reset_all();
+  EXPECT_EQ(read_pvar(e, "trace_events_dropped"), 0u);
 }
 
 // --- stats report ------------------------------------------------------------

@@ -81,14 +81,14 @@ TEST(RankMap, TranslationCostMatchesRepresentation) {
     cost::ScopedMeter arm(meter);
     RankMap::identity(8).to_world(3);
   }
-  EXPECT_EQ(meter.reason(cost::Reason::RankTranslation), cost::kMandRankTranslateCompressed);
+  EXPECT_EQ(meter.category(cost::Category::MandRankmap), cost::kMandRankTranslateCompressed);
 
   meter.reset();
   {
     cost::ScopedMeter arm(meter);
     RankMap::from_list({0, 1, 3, 7}).to_world(2);
   }
-  EXPECT_EQ(meter.reason(cost::Reason::RankTranslation), cost::kMandRankTranslateDirect);
+  EXPECT_EQ(meter.category(cost::Category::MandRankmap), cost::kMandRankTranslateDirect);
 }
 
 TEST(RankMap, EmptyList) {

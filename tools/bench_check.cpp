@@ -1,0 +1,125 @@
+// Bench regression sentinel CLI.
+//
+//   bench_check [--tolerance <frac>] [--update] <baseline-dir> <current-dir> [name...]
+//
+// Compares <current-dir>/BENCH_<name>.json against the committed baseline in
+// <baseline-dir> for each bench name (default: the deterministic benches,
+// table1 and fig2). Instruction/count entries must match bit-for-bit; other
+// units are report-only unless --tolerance gives an allowed relative band.
+// --update copies the current artifacts over the baselines instead of
+// comparing (the acknowledged-change workflow; see README).
+//
+// Exit status: 0 clean, 1 regression found, 2 usage/io error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/check_core.hpp"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+bool copy_file(const std::string& from, const std::string& to) {
+  std::string body;
+  if (!read_file(from, body)) return false;
+  std::ofstream out(to, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << body;
+  return static_cast<bool>(out);
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_check [--tolerance <frac>] [--update] "
+               "<baseline-dir> <current-dir> [name...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double tolerance = -1.0;  // report-only for non-exact units by default
+  bool update = false;
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--update") == 0) {
+      update = true;
+    } else if (std::strcmp(argv[i], "--tolerance") == 0) {
+      if (i + 1 >= argc) return usage();
+      tolerance = std::strtod(argv[++i], nullptr);
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else {
+      pos.emplace_back(argv[i]);
+    }
+  }
+  if (pos.size() < 2) return usage();
+  const std::string baseline_dir = pos[0];
+  const std::string current_dir = pos[1];
+  std::vector<std::string> names(pos.begin() + 2, pos.end());
+  if (names.empty()) names = {"table1", "fig2"};
+
+  bool all_ok = true;
+  for (const std::string& name : names) {
+    const std::string file = "BENCH_" + name + ".json";
+    const std::string base_path = baseline_dir + "/" + file;
+    const std::string cur_path = current_dir + "/" + file;
+
+    if (update) {
+      if (!copy_file(cur_path, base_path)) {
+        std::fprintf(stderr, "bench_check: cannot copy %s -> %s\n", cur_path.c_str(),
+                     base_path.c_str());
+        return 2;
+      }
+      std::printf("updated %s\n", base_path.c_str());
+      continue;
+    }
+
+    std::string base_body;
+    std::string cur_body;
+    if (!read_file(base_path, base_body)) {
+      std::fprintf(stderr, "bench_check: cannot read baseline %s\n", base_path.c_str());
+      return 2;
+    }
+    if (!read_file(cur_path, cur_body)) {
+      std::fprintf(stderr, "bench_check: cannot read current %s\n", cur_path.c_str());
+      return 2;
+    }
+    const lwmpi::tools::BenchFile base = lwmpi::tools::parse_bench_json(base_body);
+    const lwmpi::tools::BenchFile cur = lwmpi::tools::parse_bench_json(cur_body);
+    if (!base.ok || !cur.ok) {
+      std::fprintf(stderr, "bench_check: malformed json for bench '%s'\n", name.c_str());
+      return 2;
+    }
+
+    const lwmpi::tools::CompareResult r = lwmpi::tools::compare(base, cur, tolerance);
+    std::printf("%-8s %-4s (%zu baseline entries", name.c_str(), r.ok ? "OK" : "FAIL",
+                base.entries.size());
+    if (!r.diffs.empty()) std::printf(", %zu diffs", r.diffs.size());
+    std::printf(")\n");
+    for (const lwmpi::tools::Diff& d : r.diffs) {
+      std::printf("  [%s] %s (%s): baseline %.6g, current %.6g\n",
+                  lwmpi::tools::to_string(d.kind), d.label.c_str(), d.unit.c_str(),
+                  d.baseline, d.current);
+    }
+    all_ok = all_ok && r.ok;
+  }
+  if (!update && !all_ok) {
+    std::fprintf(stderr,
+                 "bench_check: regression detected; if the change is intended, refresh "
+                 "the baselines with --update and commit them.\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,206 @@
+// Comparator core for the bench regression sentinel.
+//
+// Parses the flat BENCH_<name>.json files emitted by bench::JsonResult and
+// compares a current run against a committed baseline. Two regimes:
+//   - exact units ("instr", "count"): the modeled instruction counts are
+//     deterministic by construction, so any difference is a real change in
+//     the critical path and fails the check bit-for-bit;
+//   - everything else (rates, percentages, bytes/s): machine-dependent, so
+//     they are compared within a configurable relative tolerance, or merely
+//     reported when the tolerance is negative (report-only mode).
+// Missing or extra labels fail in either regime: a schema change must be
+// acknowledged by refreshing the baseline (tools/bench_check --update).
+//
+// Header-only so tests/test_bench_check.cpp can exercise it directly.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace lwmpi::tools {
+
+struct Entry {
+  std::string label;
+  std::string unit;
+  double value = 0.0;
+};
+
+struct BenchFile {
+  bool ok = false;  // parse succeeded
+  std::string bench;
+  std::vector<Entry> entries;
+};
+
+inline bool exact_unit(const std::string& unit) {
+  return unit == "instr" || unit == "count";
+}
+
+namespace detail {
+
+// Parse the JSON string whose opening quote is at s[i]; leaves i past the
+// closing quote. Decodes \", \\, \/ and \uXXXX (ASCII range) -- the escapes
+// bench::JsonResult::escape produces.
+inline bool parse_string_at(const std::string& s, std::size_t& i, std::string& out) {
+  if (i >= s.size() || s[i] != '"') return false;
+  ++i;
+  out.clear();
+  while (i < s.size()) {
+    const char c = s[i];
+    if (c == '"') {
+      ++i;
+      return true;
+    }
+    if (c == '\\') {
+      if (i + 1 >= s.size()) return false;
+      const char e = s[i + 1];
+      if (e == 'u') {
+        if (i + 5 >= s.size()) return false;
+        unsigned code = 0;
+        if (std::sscanf(s.c_str() + i + 2, "%4x", &code) != 1) return false;
+        // Only the ASCII range is round-tripped; higher code points would
+        // need UTF-8 encoding which our emitter never produces.
+        out += static_cast<char>(code & 0x7f);
+        i += 6;
+      } else {
+        out += e;
+        i += 2;
+      }
+    } else {
+      out += c;
+      ++i;
+    }
+  }
+  return false;  // unterminated
+}
+
+// Find `"key":` at or after `from`; returns position just past the colon or
+// npos. Good enough for the fixed shape JsonResult emits (keys never appear
+// inside values in the flat results array).
+inline std::size_t find_key(const std::string& s, const std::string& key, std::size_t from) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t p = s.find(needle, from);
+  return p == std::string::npos ? p : p + needle.size();
+}
+
+}  // namespace detail
+
+// Parse one BENCH_<name>.json body. Only the "results" array is compared;
+// raw attachments (stats reports, attribution blobs) are free-form and
+// intentionally ignored here.
+inline BenchFile parse_bench_json(const std::string& text) {
+  BenchFile out;
+  std::size_t p = detail::find_key(text, "bench", 0);
+  if (p == std::string::npos || !detail::parse_string_at(text, p, out.bench)) return out;
+  std::size_t arr = detail::find_key(text, "results", 0);
+  if (arr == std::string::npos || arr >= text.size() || text[arr] != '[') return out;
+  std::size_t i = arr + 1;
+  while (i < text.size() && text[i] != ']') {
+    Entry e;
+    std::size_t lp = detail::find_key(text, "label", i);
+    if (lp == std::string::npos || !detail::parse_string_at(text, lp, e.label)) return out;
+    std::size_t vp = detail::find_key(text, "value", lp);
+    if (vp == std::string::npos) return out;
+    char* end = nullptr;
+    e.value = std::strtod(text.c_str() + vp, &end);
+    if (end == text.c_str() + vp) return out;
+    std::size_t up = detail::find_key(text, "unit", vp);
+    if (up == std::string::npos || !detail::parse_string_at(text, up, e.unit)) return out;
+    out.entries.push_back(std::move(e));
+    const std::size_t close = text.find('}', up);
+    if (close == std::string::npos) return out;
+    i = close + 1;
+    while (i < text.size() && (text[i] == ',' || text[i] == ' ' || text[i] == '\n')) ++i;
+  }
+  out.ok = i < text.size();
+  return out;
+}
+
+enum class DiffKind {
+  Missing,            // label in baseline but not in current
+  Extra,              // label in current but not in baseline
+  UnitChanged,        // same label, different unit
+  ExactMismatch,      // exact-unit value differs (bit-for-bit check)
+  ToleranceExceeded,  // non-exact value outside the allowed relative band
+  Drift,              // non-exact value moved but within tolerance / report-only
+};
+
+struct Diff {
+  DiffKind kind;
+  std::string label;
+  std::string unit;
+  double baseline = 0.0;
+  double current = 0.0;
+};
+
+struct CompareResult {
+  bool ok = true;      // no failing diffs
+  std::vector<Diff> diffs;  // failing diffs first is NOT guaranteed; check kind
+};
+
+inline bool is_failure(DiffKind k) { return k != DiffKind::Drift; }
+
+inline double rel_delta(double baseline, double current) {
+  if (baseline == 0.0) return current == 0.0 ? 0.0 : HUGE_VAL;
+  return std::fabs(current - baseline) / std::fabs(baseline);
+}
+
+// tolerance: allowed relative deviation for non-exact units; negative means
+// report-only (non-exact values never fail, only produce Drift records).
+inline CompareResult compare(const BenchFile& baseline, const BenchFile& current,
+                             double tolerance) {
+  CompareResult out;
+  auto find = [](const BenchFile& f, const std::string& label) -> const Entry* {
+    for (const Entry& e : f.entries) {
+      if (e.label == label) return &e;
+    }
+    return nullptr;
+  };
+  for (const Entry& b : baseline.entries) {
+    const Entry* c = find(current, b.label);
+    if (c == nullptr) {
+      out.diffs.push_back({DiffKind::Missing, b.label, b.unit, b.value, 0.0});
+      continue;
+    }
+    if (c->unit != b.unit) {
+      out.diffs.push_back({DiffKind::UnitChanged, b.label, b.unit + "->" + c->unit,
+                           b.value, c->value});
+      continue;
+    }
+    if (exact_unit(b.unit)) {
+      if (c->value != b.value) {
+        out.diffs.push_back({DiffKind::ExactMismatch, b.label, b.unit, b.value, c->value});
+      }
+      continue;
+    }
+    if (c->value != b.value) {
+      const bool fail = tolerance >= 0.0 && rel_delta(b.value, c->value) > tolerance;
+      out.diffs.push_back({fail ? DiffKind::ToleranceExceeded : DiffKind::Drift, b.label,
+                           b.unit, b.value, c->value});
+    }
+  }
+  for (const Entry& c : current.entries) {
+    if (find(baseline, c.label) == nullptr) {
+      out.diffs.push_back({DiffKind::Extra, c.label, c.unit, 0.0, c.value});
+    }
+  }
+  for (const Diff& d : out.diffs) {
+    if (is_failure(d.kind)) out.ok = false;
+  }
+  return out;
+}
+
+inline const char* to_string(DiffKind k) {
+  switch (k) {
+    case DiffKind::Missing: return "missing-in-current";
+    case DiffKind::Extra: return "missing-in-baseline";
+    case DiffKind::UnitChanged: return "unit-changed";
+    case DiffKind::ExactMismatch: return "instr-mismatch";
+    case DiffKind::ToleranceExceeded: return "tolerance-exceeded";
+    case DiffKind::Drift: return "drift(info)";
+  }
+  return "?";
+}
+
+}  // namespace lwmpi::tools
