@@ -13,3 +13,8 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 cmake -B "${BUILD_DIR}" -S .
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+# Observability overhead gate: the instrumented hot path must stay within 3%
+# of the stripped one (timing bench -- runs after ctest so it gets a quiet
+# machine; its own exit code is the acceptance check).
+"${BUILD_DIR}/bench/bench_obs_overhead"

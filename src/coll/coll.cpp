@@ -17,6 +17,7 @@
 #include "core/engine.hpp"
 #include "cost/meter.hpp"
 #include "cost/model.hpp"
+#include "obs/watchdog.hpp"
 
 namespace lwmpi {
 
@@ -72,6 +73,8 @@ Err Engine::barrier(Comm comm) {
   const int p = c->map.size();
   const int r = c->rank;
   if (p == 1) return Err::Success;
+  // Outermost-wins: a barrier nested inside Win_fence keeps the fence label.
+  obs::BlockScope block(*this, "Barrier");
   char token = 0;
   for (int mask = 1; mask < p; mask <<= 1) {
     const Rank to = static_cast<Rank>((r + mask) % p);

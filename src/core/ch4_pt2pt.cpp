@@ -12,6 +12,7 @@
 #include "core/engine.hpp"
 #include "cost/meter.hpp"
 #include "cost/model.hpp"
+#include "obs/watchdog.hpp"
 #include "runtime/backoff.hpp"
 #include "runtime/world.hpp"
 
@@ -144,10 +145,13 @@ Err Engine::comm_waitall(Comm comm) {
   CommObject* c = comm_obj(comm);
   if (c == nullptr) return Err::Comm;
   progress();  // flush the device send queue even if nothing is outstanding
-  rt::Backoff backoff;
-  while (c->noreq_outstanding.load(std::memory_order_acquire) != 0) {
-    progress();
-    if (c->noreq_outstanding.load(std::memory_order_acquire) != 0) backoff.pause();
+  if (c->noreq_outstanding.load(std::memory_order_acquire) != 0) {
+    obs::BlockScope block(*this, "Comm_waitall");
+    rt::Backoff backoff;
+    while (c->noreq_outstanding.load(std::memory_order_acquire) != 0) {
+      progress();
+      if (c->noreq_outstanding.load(std::memory_order_acquire) != 0) backoff.pause();
+    }
   }
   return Err::Success;
 }
@@ -307,6 +311,10 @@ Err Engine::issue_send(const SendParams& p, const CommObject& c, Rank dst_world,
   // callers (collectives, persistent starts) acquire it here.
   Vci& v = *vcis_[c.vci];
   std::lock_guard<std::recursive_mutex> lk(v.mu);
+  // Message-lifetime start edge (0 when this message is not sampled): eager
+  // sends record at local completion below; rendezvous sends carry it in the
+  // slot until the CTS completion site (progress.cpp).
+  const std::uint64_t lat_t0 = v.lat.arm() ? obs::lat_now_ns() : 0;
   // Simulated-CPU mode: execute the modeled software path length as time.
   rt::spin_for_ns(sim_send_ns_);
   v.busy_instr.fetch_add(send_instr_, std::memory_order_relaxed);
@@ -378,6 +386,9 @@ Err Engine::issue_send(const SendParams& p, const CommObject& c, Rank dst_world,
       // Eager sends complete locally on buffering.
       slot->complete.store(true, std::memory_order_release);
     }
+    if (lat_t0 != 0) {
+      v.lat.record(obs::LatPath::SendEager, obs::lat_now_ns() - lat_t0);
+    }
     if (tseq != 0) {
       trace_msg(obs::trace::Ev::Complete, tseq, vci8, dst_world, p.tag, bytes);
     }
@@ -397,6 +408,9 @@ Err Engine::issue_send(const SendParams& p, const CommObject& c, Rank dst_world,
     slot->comm = p.comm;
     slot->bytes_expected = bytes;
     slot->trace_seq = tseq;
+    slot->post_ts = lat_t0;
+    slot->bound_peer = dst_world;
+    slot->bound_tag = p.tag;
 
     rt::Packet* rts = rt::PacketPool::alloc();
     rts->hdr.kind = rt::PacketKind::Rts;
@@ -425,7 +439,8 @@ void Engine::inject_or_queue(Vci& v, Rank dst_world, rt::Packet* pkt) {
     // its own queue, drained under its own lock (held here). The Inject trace
     // event is recorded when drain_send_queue pushes it onto the fabric.
     v.counters.inc(obs::VciCtr::SendQueued);
-    v.send_queue.push_back(QueuedSend{pkt, dst_world});
+    v.send_queue.push_back(
+        QueuedSend{pkt, dst_world, v.lat.arm() ? obs::lat_now_ns() : 0});
     v.send_q_depth.fetch_add(1, std::memory_order_release);
   } else {
     if (cfg_.trace && pkt->hdr.seq != 0) {
@@ -452,10 +467,15 @@ Err Engine::post_recv_common(void* buf, int count, Datatype dt, Rank src, Tag ta
 
   Request r = alloc_request(RequestSlot::Kind::Recv, c->vci);
   RequestSlot* slot = req_slot(r);
+  const std::uint64_t lat_t0 = v.lat.arm() ? obs::lat_now_ns() : 0;
   slot->rbuf = buf;
   slot->rcount = count;
   slot->rdt = dt;
   slot->bytes_expected = dt::packed_size(types_, count, dt);
+  slot->post_ts = lat_t0;
+  slot->bound_peer = src;
+  slot->bound_tag = tag;
+  slot->comm = comm;
 
   if (src == kProcNull) {
     slot->status.source = kProcNull;
@@ -475,20 +495,29 @@ Err Engine::post_recv_common(void* buf, int count, Datatype dt, Rank src, Tag ta
   pr.count = count;
   pr.dt = dt;
   pr.req = r;
+  pr.posted_ns = lat_t0;
 
   v.counters.inc(obs::VciCtr::RecvPosted);
   if (cfg_.trace) {
     trace_msg(obs::trace::Ev::RecvPost, 0, static_cast<std::uint8_t>(c->vci), src, tag,
               slot->bytes_expected);
   }
-  if (auto pkt = v.matcher.post(pr)) {
+  std::uint64_t arrived_ns = 0;
+  if (auto pkt = v.matcher.post(pr, &arrived_ns)) {
     // Late receive: the message was already waiting on the unexpected queue.
     v.counters.dec(obs::VciCtr::UnexpectedDepth);
+    if (lat_t0 != 0 && arrived_ns != 0) {
+      v.lat.record(obs::LatPath::UnexpectedWait,
+                   lat_t0 > arrived_ns ? lat_t0 - arrived_ns : 0);
+    }
     if (cfg_.trace && (*pkt)->hdr.seq != 0) {
       trace_msg(obs::trace::Ev::Match, (*pkt)->hdr.seq, (*pkt)->hdr.vci,
                 (*pkt)->hdr.src_world, (*pkt)->hdr.tag, (*pkt)->hdr.total_bytes);
     }
     deliver_match(pr, *pkt);
+  } else {
+    v.counters.inc(obs::VciCtr::PostedDepth);
+    v.counters.high_water(obs::VciCtr::PostedHwm, v.matcher.posted_depth());
   }
   *req = r;
   return Err::Success;

@@ -6,6 +6,7 @@
 
 #include "cost/meter.hpp"
 #include "cost/model.hpp"
+#include "obs/watchdog.hpp"
 #include "runtime/backoff.hpp"
 #include "runtime/world.hpp"
 
@@ -37,6 +38,11 @@ Engine::Engine(World& world, Rank world_rank)
   for (int i = 0; i < n; ++i) {
     vcis_.push_back(std::make_unique<Vci>());
     vcis_.back()->counters.enabled = cfg_.counters;
+    vcis_.back()->lat.enabled = cfg_.counters;
+    const int lat_shift =
+        cfg_.lat_sample_shift < 0 ? 0 : (cfg_.lat_sample_shift > 20 ? 20 : cfg_.lat_sample_shift);
+    vcis_.back()->lat.sample_mask = (1u << lat_shift) - 1;
+    vcis_.back()->matcher.set_stamp_arrivals(cfg_.counters);
   }
   eng_counters_.enabled = cfg_.counters;
   init_world_comms();
@@ -324,10 +330,15 @@ Err Engine::wait(Request* req, Status* st) {
   // send completes locally while its packet still sits in the software send
   // queue, and progress is what pushes it onto the fabric.
   progress();
-  rt::Backoff backoff;
-  while (!s->complete.load(std::memory_order_acquire)) {
-    progress();
-    if (!s->complete.load(std::memory_order_acquire)) backoff.pause();
+  if (!s->complete.load(std::memory_order_acquire)) {
+    // Only annotate once we actually block: the common already-complete case
+    // (and the latency-gated ping-pong path) never touches the annotation.
+    obs::BlockScope block(*this, "Wait");
+    rt::Backoff backoff;
+    while (!s->complete.load(std::memory_order_acquire)) {
+      progress();
+      if (!s->complete.load(std::memory_order_acquire)) backoff.pause();
+    }
   }
   const Err op_err = s->op_error;
   if (st != nullptr) *st = s->status;
@@ -389,6 +400,7 @@ Err Engine::waitany(std::span<Request> reqs, int* index, Status* st) {
     if (st != nullptr) *st = Status{};
     return Err::Success;
   }
+  obs::BlockScope block(*this, "Waitany");
   rt::Backoff backoff;
   for (;;) {
     progress();
@@ -452,6 +464,7 @@ Err Engine::cancel(Request* req) {
   std::lock_guard<std::recursive_mutex> lk(v.mu);
   if (s->complete.load(std::memory_order_acquire)) return Err::Success;  // wait() will reap it
   if (s->kind == RequestSlot::Kind::Recv && v.matcher.cancel(*req)) {
+    v.counters.dec(obs::VciCtr::PostedDepth);
     s->op_error = Err::Success;
     s->status.source = kUndefined;
     s->status.tag = kUndefined;
@@ -492,12 +505,41 @@ Err Engine::iprobe(Rank src, Tag tag, Comm comm, bool* flag, Status* st) {
 
 Err Engine::probe(Rank src, Tag tag, Comm comm, Status* st) {
   bool flag = false;
+  obs::BlockScope block(*this, "Probe");
   rt::Backoff backoff;
   for (;;) {
     if (Err e = iprobe(src, tag, comm, &flag, st); !ok(e)) return e;
     if (flag) return Err::Success;
     backoff.pause();
   }
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog liveness signals
+// ---------------------------------------------------------------------------
+
+std::uint64_t Engine::activity_fingerprint() const noexcept {
+  // Mix each liveness counter through a splitmix-style step so two counters
+  // moving in opposite directions (a delivery completing a request) can never
+  // cancel to the same fingerprint -- a plain sum could read as "no progress".
+  std::uint64_t fp = 0;
+  const auto mix = [&fp](std::uint64_t x) {
+    fp = (fp ^ (x + 0x9E3779B97F4A7C15ull)) * 0xBF58476D1CE4E5B9ull;
+  };
+  mix(live_requests_.load(std::memory_order_relaxed));
+  mix(sends_issued_.load(std::memory_order_relaxed));
+  mix(fabric_.injected(self_));
+  mix(fabric_.delivered(self_));
+  return fp;
+}
+
+bool Engine::has_outstanding_work() const noexcept {
+  if (live_requests_.load(std::memory_order_relaxed) != 0) return true;
+  if (fabric_.pending_any(self_) != 0) return true;
+  for (const auto& v : vcis_) {
+    if (v->send_q_depth.load(std::memory_order_relaxed) != 0) return true;
+  }
+  return false;
 }
 
 // ---------------------------------------------------------------------------

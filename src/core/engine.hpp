@@ -48,6 +48,11 @@ namespace lwmpi {
 
 class World;
 
+namespace obs {
+struct RankSnapshot;  // obs/introspect.hpp
+class BlockScope;     // obs/watchdog.hpp
+}
+
 namespace rma {
 
 // Shared (cross-rank) window state: the simulated registered-memory view the
@@ -272,6 +277,34 @@ class Engine {
     return vcis_[static_cast<std::size_t>(vci)]->counters;
   }
   const obs::EngineCounters& engine_counters() const noexcept { return eng_counters_; }
+  // Per-channel message-lifetime latency histograms (obs/histogram.hpp).
+  const obs::VciLatency& vci_latency(int vci) const noexcept {
+    return vcis_[static_cast<std::size_t>(vci)]->lat;
+  }
+
+  // --- introspection / hang diagnosis (obs/introspect.cpp) --------------------
+  // Capture this rank's queues, in-flight requests, and RMA epoch state.
+  // Safe to call from another thread (the watchdog); takes each VCI's lock.
+  obs::RankSnapshot snapshot() const;
+
+  // Blocking-call annotation maintained by obs::BlockScope: the name of the
+  // MPI call this rank is currently blocked in (nullptr when not blocked) and
+  // the obs::lat_now_ns() stamp of when it entered.
+  const char* blocking_call() const noexcept {
+    return blocking_call_.load(std::memory_order_acquire);
+  }
+  std::uint64_t blocking_since_ns() const noexcept {
+    return blocking_since_.load(std::memory_order_relaxed);
+  }
+
+  // Progress-liveness fingerprint for the watchdog's stall detector: a hash
+  // of this rank's fabric traffic counts and request-lifecycle counters that
+  // changes whenever the rank makes observable progress. Compared, never
+  // interpreted.
+  std::uint64_t activity_fingerprint() const noexcept;
+  // True when the rank has reason to make progress: live requests, undrained
+  // send queues, or undelivered inbound fabric traffic.
+  bool has_outstanding_work() const noexcept;
 
   // Diagnostics for tests/benches.
   std::size_t live_requests() const noexcept {
@@ -331,7 +364,11 @@ class Engine {
     std::shared_ptr<rma::WindowGlobal> global;
     Comm comm = kCommNull;
     std::uint32_t vci = 0;  // inherited from the creating communicator
-    enum class Epoch : std::uint8_t { None, Fence, Lock, LockAll, Pscw } epoch = Epoch::None;
+    enum class Epoch : std::uint8_t { None, Fence, Lock, LockAll, Pscw };
+    // Atomic so the introspection/watchdog thread can read the epoch while
+    // the owning rank transitions it; relaxed is enough, a snapshot only
+    // needs an untorn value.
+    std::atomic<Epoch> epoch{Epoch::None};
     // Per-target passive lock state; written by the AM handler under the VCI
     // lock while win_lock/unlock spin on it outside, hence atomic elements.
     std::unique_ptr<std::atomic<std::uint8_t>[]> lock_held;
@@ -435,7 +472,7 @@ class Engine {
   void handle_rdv_data(rt::Packet* pkt);
   void handle_am(rt::Packet* pkt);
   void drain_send_queue(Vci& v);
-  void complete_recv_from_eager(RequestSlot& slot, rt::Packet* pkt);
+  void complete_recv_from_eager(Vci& v, RequestSlot& slot, rt::Packet* pkt);
   void start_rendezvous_recv(RequestSlot& slot, Request req_handle, rt::Packet* rts);
 
   // ---- observability internals ----
@@ -507,6 +544,11 @@ class Engine {
   std::atomic<std::uint64_t> sends_issued_{0};
   // Whole-rank observability counters (progress-path statistics).
   obs::EngineCounters eng_counters_;
+  // Blocking-call annotation (see blocking_call()). Written by obs::BlockScope
+  // on this rank's thread, read by the watchdog thread.
+  friend class obs::BlockScope;
+  std::atomic<const char*> blocking_call_{nullptr};
+  std::atomic<std::uint64_t> blocking_since_{0};
 };
 
 }  // namespace lwmpi

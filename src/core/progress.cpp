@@ -72,6 +72,7 @@ void Engine::handle_packet(Vci& v, rt::Packet* pkt) {
       cost::charge(cost::Category::MandMatch, cost::kMandMatchBits);
       if (auto pr = v.matcher.arrive(pkt)) {
         v.counters.inc(obs::VciCtr::PostedMatch);
+        v.counters.dec(obs::VciCtr::PostedDepth);
         if (cfg_.trace && pkt->hdr.seq != 0) {
           trace_msg(obs::trace::Ev::Match, pkt->hdr.seq, pkt->hdr.vci,
                     pkt->hdr.src_world, pkt->hdr.tag, pkt->hdr.total_bytes);
@@ -107,13 +108,13 @@ void Engine::deliver_match(const match::PostedRecv& r, rt::Packet* pkt) {
     return;
   }
   if (pkt->hdr.kind == rt::PacketKind::Eager) {
-    complete_recv_from_eager(*slot, pkt);
+    complete_recv_from_eager(*vcis_[request_vci(r.req)], *slot, pkt);
   } else {
     start_rendezvous_recv(*slot, r.req, pkt);
   }
 }
 
-void Engine::complete_recv_from_eager(RequestSlot& slot, rt::Packet* pkt) {
+void Engine::complete_recv_from_eager(Vci& v, RequestSlot& slot, rt::Packet* pkt) {
   const std::uint64_t total = pkt->hdr.total_bytes;
   const std::uint64_t capacity = dt::packed_size(types_, slot.rcount, slot.rdt);
   const std::uint64_t take = std::min(total, capacity);
@@ -129,6 +130,9 @@ void Engine::complete_recv_from_eager(RequestSlot& slot, rt::Packet* pkt) {
   // (3.5), the receive-side dual of the sender's completion counter.
   cost::charge(cost::Category::MandRequest, cost::kMandCompletionCounter);
   slot.complete.store(true, std::memory_order_release);
+  if (slot.post_ts != 0) {
+    v.lat.record(obs::LatPath::RecvEager, obs::lat_now_ns() - slot.post_ts);
+  }
   if (cfg_.trace && pkt->hdr.seq != 0) {
     trace_msg(obs::trace::Ev::Complete, pkt->hdr.seq, pkt->hdr.vci, pkt->hdr.src_world,
               pkt->hdr.tag, take);
@@ -207,6 +211,10 @@ void Engine::handle_rdv_cts(rt::Packet* pkt) {
   if (cfg_.trace && slot->trace_seq != 0) {
     trace_msg(obs::trace::Ev::Complete, slot->trace_seq, pkt->hdr.vci, dst, 0, total);
   }
+  if (slot->post_ts != 0) {
+    Vci& v = *vcis_[request_vci(pkt->hdr.origin_req)];
+    v.lat.record(obs::LatPath::SendRdv, obs::lat_now_ns() - slot->post_ts);
+  }
   if (slot->noreq) {
     if (CommObject* c = comm_obj(slot->comm)) {
       c->noreq_outstanding.fetch_sub(1, std::memory_order_release);
@@ -252,6 +260,10 @@ void Engine::handle_rdv_data(rt::Packet* pkt) {
     slot->status.error = slot->op_error;
     cost::charge(cost::Category::MandRequest, cost::kMandCompletionCounter);
     slot->complete.store(true, std::memory_order_release);
+    if (slot->post_ts != 0) {
+      Vci& v = *vcis_[request_vci(pkt->hdr.target_req)];
+      v.lat.record(obs::LatPath::RecvRdv, obs::lat_now_ns() - slot->post_ts);
+    }
     if (cfg_.trace && slot->trace_seq != 0) {
       trace_msg(obs::trace::Ev::Complete, slot->trace_seq, pkt->hdr.vci,
                 pkt->hdr.src_world, 0, take);

@@ -35,9 +35,14 @@
 #include "cost/model.hpp"
 #include "match/match.hpp"
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
 #include "runtime/packet.hpp"
 
 namespace lwmpi {
+
+namespace obs {
+struct VciSnapshot;  // obs/introspect.hpp
+}
 
 // Request handle payload layout: [ vci:3 | slot:25 ] inside the 28 handle
 // payload bits.
@@ -97,6 +102,10 @@ struct RequestSlot {
   // completion sites, which run long after the initiating call, attribute
   // their events to the originating message chain.
   std::uint64_t trace_seq = 0;
+  // obs::lat_now_ns() at issue/post time (0 when stamping is off): the start
+  // edge for the message-lifetime histograms and the age source for the
+  // introspection/watchdog tier.
+  std::uint64_t post_ts = 0;
 
   // Reset a recycled slot to its freshly-constructed state (the atomics are
   // managed by alloc/release, not here).
@@ -122,6 +131,7 @@ struct RequestSlot {
     bound_tag = 0;
     inner = kRequestNull;
     trace_seq = 0;
+    post_ts = 0;
   }
 };
 
@@ -129,6 +139,7 @@ struct RequestSlot {
 struct QueuedSend {
   rt::Packet* pkt = nullptr;
   Rank dst_world = 0;
+  std::uint64_t enq_ts = 0;  // obs::lat_now_ns() at enqueue (0 = unstamped)
 };
 
 // Per-VCI request pool: stable slot storage plus a spinlocked free list. The
@@ -168,6 +179,15 @@ struct Vci {
   // MPI_T-style pvar registry (obs/pvar.hpp). The block is cache-line padded
   // so two channels' counters never false-share.
   obs::VciCounters counters;
+  // Message-lifetime latency histograms for this channel, one per
+  // instrumented path (obs/histogram.hpp). Recorded under `mu` (single
+  // writer); merged across channels by the pvar/report readers.
+  obs::VciLatency lat;
+
+  // Introspection hook (obs/introspect.cpp): copy this channel's posted,
+  // unexpected, and send-queue contents into `out`, with entry ages relative
+  // to `now` (an obs::lat_now_ns() value). Caller must hold `mu`.
+  void snapshot_into(obs::VciSnapshot& out, std::uint64_t now) const;
 };
 
 // Per-operation thread gate, scoped to one VCI. Replaces the engine-global

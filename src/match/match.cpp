@@ -1,9 +1,11 @@
 #include "match/match.hpp"
 
+#include "obs/histogram.hpp"
+
 namespace lwmpi::match {
 
 MatchEngine::~MatchEngine() {
-  for (rt::Packet* p : unexpected_) rt::PacketPool::free(p);
+  for (const Unexpected& u : unexpected_) rt::PacketPool::free(u.pkt);
 }
 
 bool MatchEngine::matches(const PostedRecv& r, const rt::PacketHeader& h) noexcept {
@@ -17,10 +19,12 @@ bool MatchEngine::matches(const PostedRecv& r, const rt::PacketHeader& h) noexce
   return true;
 }
 
-std::optional<rt::Packet*> MatchEngine::post(const PostedRecv& r) {
+std::optional<rt::Packet*> MatchEngine::post(const PostedRecv& r,
+                                             std::uint64_t* arrived_ns) {
   for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
-    if (matches(r, (*it)->hdr)) {
-      rt::Packet* p = *it;
+    if (matches(r, it->pkt->hdr)) {
+      rt::Packet* p = it->pkt;
+      if (arrived_ns != nullptr) *arrived_ns = it->arrived_ns;
       unexpected_.erase(it);
       return p;
     }
@@ -37,7 +41,7 @@ std::optional<PostedRecv> MatchEngine::arrive(rt::Packet* p) {
       return r;
     }
   }
-  unexpected_.push_back(p);
+  unexpected_.push_back({p, stamp_arrivals_ ? obs::lat_now_ns() : 0});
   return std::nullopt;
 }
 
@@ -46,8 +50,8 @@ const rt::PacketHeader* MatchEngine::probe(std::uint32_t ctx, Rank src, Tag tag)
   probe_entry.ctx = ctx;
   probe_entry.src = src;
   probe_entry.tag = tag;
-  for (const rt::Packet* p : unexpected_) {
-    if (matches(probe_entry, p->hdr)) return &p->hdr;
+  for (const Unexpected& u : unexpected_) {
+    if (matches(probe_entry, u.pkt->hdr)) return &u.pkt->hdr;
   }
   return nullptr;
 }

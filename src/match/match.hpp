@@ -30,7 +30,16 @@ struct PostedRecv {
   void* buf = nullptr;
   int count = 0;
   Datatype dt = kDatatypeNull;
-  std::uint32_t req = 0;  // request to complete on match
+  std::uint32_t req = 0;       // request to complete on match
+  std::uint64_t posted_ns = 0; // obs::lat_now_ns() at post time (0 = unstamped)
+};
+
+// Unexpected-queue entry: the retained packet plus its arrival timestamp, so
+// introspection can report entry age and the latency tier can account the
+// time a message waited for its receive to be posted.
+struct Unexpected {
+  rt::Packet* pkt = nullptr;
+  std::uint64_t arrived_ns = 0;
 };
 
 class MatchEngine {
@@ -42,12 +51,16 @@ class MatchEngine {
 
   // Try to satisfy `r` from the unexpected queue. If a message is pending the
   // retained packet is returned (ownership to caller) and `r` is NOT queued;
-  // otherwise `r` joins the posted queue.
-  std::optional<rt::Packet*> post(const PostedRecv& r);
+  // otherwise `r` joins the posted queue. When `arrived_ns` is non-null and a
+  // packet is returned, it receives the packet's unexpected-queue arrival
+  // stamp (0 if arrivals were unstamped).
+  std::optional<rt::Packet*> post(const PostedRecv& r,
+                                  std::uint64_t* arrived_ns = nullptr);
 
   // Route an arriving first packet (Eager or Rts). If a posted receive
   // matches it is removed and returned; otherwise the packet is retained on
-  // the unexpected queue (ownership to the engine) and nullopt is returned.
+  // the unexpected queue (ownership to the engine, stamped with
+  // obs::lat_now_ns() when stamping is on) and nullopt is returned.
   std::optional<PostedRecv> arrive(rt::Packet* p);
 
   // Non-destructive probe of the unexpected queue.
@@ -59,11 +72,28 @@ class MatchEngine {
   std::size_t posted_depth() const noexcept { return posted_.size(); }
   std::size_t unexpected_depth() const noexcept { return unexpected_.size(); }
 
+  // Arrival-timestamp stamping follows BuildConfig::counters (set once before
+  // the world's rank threads start); defaults on so standalone engines (unit
+  // tests) exercise the stamped path.
+  void set_stamp_arrivals(bool on) noexcept { stamp_arrivals_ = on; }
+
+  // Const visitors for the introspection tier (obs/introspect.cpp). Called
+  // under the owning channel's lock; entries are visited oldest-first.
+  template <typename F>  // F(const PostedRecv&)
+  void visit_posted(F&& f) const {
+    for (const PostedRecv& r : posted_) f(r);
+  }
+  template <typename F>  // F(const rt::PacketHeader&, std::uint64_t arrived_ns)
+  void visit_unexpected(F&& f) const {
+    for (const Unexpected& u : unexpected_) f(u.pkt->hdr, u.arrived_ns);
+  }
+
  private:
   static bool matches(const PostedRecv& r, const rt::PacketHeader& h) noexcept;
 
   std::list<PostedRecv> posted_;
-  std::list<rt::Packet*> unexpected_;
+  std::list<Unexpected> unexpected_;
+  bool stamp_arrivals_ = true;
 };
 
 }  // namespace lwmpi::match

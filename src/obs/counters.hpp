@@ -24,6 +24,8 @@ enum class VciCtr : std::uint8_t {
   SendNoreq,         // _NOREQ sends issued (counter-completed, no request)
   SendQueued,        // orig device: packets staged in the software send queue
   RecvPosted,        // receives posted to the matcher
+  PostedDepth,       // current posted-receive queue depth (level)
+  PostedHwm,         // posted-receive queue high-water mark
   UnexpectedDepth,   // current unexpected-queue depth (level)
   UnexpectedHwm,     // unexpected-queue high-water mark
   PostedMatch,       // arriving packets that matched a posted receive
@@ -66,10 +68,14 @@ struct alignas(64) CounterBlock {
     auto& a = c[static_cast<std::size_t>(e)];
     a.store(a.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
   }
+  // Saturates at zero: a level counter whose inc lost a tick to the documented
+  // lock-free race (see the block comment above) must not wrap a later dec to
+  // ~2^64 -- a floor of 0 is the honest reading for "briefly miscounted".
   void dec(Enum e, std::uint64_t n = 1) noexcept {
     if (!enabled) return;
     auto& a = c[static_cast<std::size_t>(e)];
-    a.store(a.load(std::memory_order_relaxed) - n, std::memory_order_relaxed);
+    const std::uint64_t cur = a.load(std::memory_order_relaxed);
+    a.store(cur >= n ? cur - n : 0, std::memory_order_relaxed);
   }
   std::uint64_t get(Enum e) const noexcept {
     return c[static_cast<std::size_t>(e)].load(std::memory_order_relaxed);

@@ -5,6 +5,7 @@
 #include "core/engine.hpp"
 #include "net/fabric.hpp"
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
 #include "obs/trace.hpp"
 #include "runtime/world.hpp"
 
@@ -41,6 +42,36 @@ constexpr PvarInfo vci_counter(std::string_view name, std::string_view desc) {
   return {name, desc, PvarClass::Counter, PvarBind::Vci};
 }
 
+// Latency-histogram readers: fold one path's histogram across the engine's
+// channels, then extract a statistic. Percentiles/max are Level-class (an
+// instantaneous property of the distribution); counts are Counter-class so
+// sessions can baseline them like any other event count.
+LatSnapshot merged_lat(Engine& e, LatPath p) {
+  LatSnapshot s;
+  for (int v = 0; v < e.num_vcis(); ++v) s.merge(e.vci_latency(v).of(p));
+  return s;
+}
+template <LatPath P>
+std::uint64_t read_lat_p50(Engine& e, int) {
+  return merged_lat(e, P).percentile(0.50);
+}
+template <LatPath P>
+std::uint64_t read_lat_p99(Engine& e, int) {
+  return merged_lat(e, P).percentile(0.99);
+}
+template <LatPath P>
+std::uint64_t read_lat_max(Engine& e, int) {
+  return merged_lat(e, P).max_ns;
+}
+template <LatPath P>
+std::uint64_t read_lat_count(Engine& e, int) {
+  return merged_lat(e, P).count;
+}
+
+constexpr PvarInfo lat_level(std::string_view name, std::string_view desc) {
+  return {name, desc, PvarClass::Level, PvarBind::Engine};
+}
+
 const Entry kRegistry[] = {
     {vci_counter("vci_sends_eager", "sends issued on the eager path"),
      &read_vci_ctr<VciCtr::SendEager>},
@@ -52,6 +83,12 @@ const Entry kRegistry[] = {
      &read_vci_ctr<VciCtr::SendQueued>},
     {vci_counter("vci_recvs_posted", "receives posted to the matcher"),
      &read_vci_ctr<VciCtr::RecvPosted>},
+    {{"vci_posted_depth", "current posted-receive-queue depth", PvarClass::Level,
+      PvarBind::Vci},
+     &read_vci_ctr<VciCtr::PostedDepth>},
+    {{"vci_posted_hwm", "posted-receive-queue high-water mark", PvarClass::Highwatermark,
+      PvarBind::Vci},
+     &read_vci_ctr<VciCtr::PostedHwm>},
     {{"vci_unexpected_depth", "current unexpected-queue depth", PvarClass::Level,
       PvarBind::Vci},
      &read_vci_ctr<VciCtr::UnexpectedDepth>},
@@ -92,6 +129,50 @@ const Entry kRegistry[] = {
     {{"trace_events_dropped", "trace-ring events overwritten before collection",
       PvarClass::Counter, PvarBind::Engine},
      +[](Engine&, int) { return trace::dropped_all(); }},
+    // Message-lifetime latency distributions (obs/histogram.hpp), merged over
+    // the engine's channels.
+    {lat_level("lat_send_eager_p50_ns", "eager send lifetime p50 (ns)"),
+     &read_lat_p50<LatPath::SendEager>},
+    {lat_level("lat_send_eager_p99_ns", "eager send lifetime p99 (ns)"),
+     &read_lat_p99<LatPath::SendEager>},
+    {lat_level("lat_send_eager_max_ns", "eager send lifetime max (ns)"),
+     &read_lat_max<LatPath::SendEager>},
+    {lat_level("lat_send_rdv_p50_ns", "rendezvous send lifetime p50 (ns)"),
+     &read_lat_p50<LatPath::SendRdv>},
+    {lat_level("lat_send_rdv_p99_ns", "rendezvous send lifetime p99 (ns)"),
+     &read_lat_p99<LatPath::SendRdv>},
+    {lat_level("lat_send_rdv_max_ns", "rendezvous send lifetime max (ns)"),
+     &read_lat_max<LatPath::SendRdv>},
+    {lat_level("lat_recv_eager_p50_ns", "eager receive lifetime p50 (ns)"),
+     &read_lat_p50<LatPath::RecvEager>},
+    {lat_level("lat_recv_eager_p99_ns", "eager receive lifetime p99 (ns)"),
+     &read_lat_p99<LatPath::RecvEager>},
+    {lat_level("lat_recv_eager_max_ns", "eager receive lifetime max (ns)"),
+     &read_lat_max<LatPath::RecvEager>},
+    {lat_level("lat_recv_rdv_p50_ns", "rendezvous receive lifetime p50 (ns)"),
+     &read_lat_p50<LatPath::RecvRdv>},
+    {lat_level("lat_recv_rdv_p99_ns", "rendezvous receive lifetime p99 (ns)"),
+     &read_lat_p99<LatPath::RecvRdv>},
+    {lat_level("lat_recv_rdv_max_ns", "rendezvous receive lifetime max (ns)"),
+     &read_lat_max<LatPath::RecvRdv>},
+    {{"lat_send_eager_count", "eager send lifetimes recorded", PvarClass::Counter,
+      PvarBind::Engine},
+     &read_lat_count<LatPath::SendEager>},
+    {{"lat_send_rdv_count", "rendezvous send lifetimes recorded", PvarClass::Counter,
+      PvarBind::Engine},
+     &read_lat_count<LatPath::SendRdv>},
+    {{"lat_recv_eager_count", "eager receive lifetimes recorded", PvarClass::Counter,
+      PvarBind::Engine},
+     &read_lat_count<LatPath::RecvEager>},
+    {{"lat_recv_rdv_count", "rendezvous receive lifetimes recorded", PvarClass::Counter,
+      PvarBind::Engine},
+     &read_lat_count<LatPath::RecvRdv>},
+    {{"lat_unexpected_wait_count", "unexpected-queue waits recorded", PvarClass::Counter,
+      PvarBind::Engine},
+     &read_lat_count<LatPath::UnexpectedWait>},
+    {{"lat_send_queue_wait_count", "send-queue residencies recorded", PvarClass::Counter,
+      PvarBind::Engine},
+     &read_lat_count<LatPath::SendQueueWait>},
 };
 
 constexpr int kNumPvars = static_cast<int>(std::size(kRegistry));

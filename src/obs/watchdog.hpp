@@ -1,0 +1,124 @@
+// Hang-diagnosis watchdog: blocking-call annotations plus a progress-stall
+// detector.
+//
+// The failure mode hardest to diagnose in a real MPI deployment is not the
+// crash but the silent hang: some rank waits forever on a message that will
+// never arrive, and nothing in the system says who, where, or why. This
+// module closes that gap in two pieces:
+//
+//   * BlockScope annotates every blocking wait loop (Wait/Waitall/Waitany/
+//     Probe/Comm_waitall/Barrier/Win_fence/Win_lock/...) with the call name
+//     and entry time, published through Engine::blocking_call(). Outermost
+//     scope wins, so a Barrier that waits internally still reports "Barrier".
+//
+//   * Watchdog runs a sampling thread over a World. Per rank it remembers an
+//     activity fingerprint (fabric traffic + request lifecycle counters);
+//     when a rank has outstanding work but its fingerprint has not changed
+//     for `stall_ns`, the rank is declared stuck and a HangReport is emitted:
+//     each stuck rank's current blocking call, its oldest pending request's
+//     (comm, tag, peer, age), and the full queue snapshot
+//     (obs/introspect.hpp). The report renders as text or JSON; the JSON form
+//     is what tools/hangdump pretty-prints.
+//
+// The watchdog fires once per stall episode and re-arms when any stuck rank
+// makes progress again. It must be destroyed before the World it observes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "obs/histogram.hpp"
+#include "obs/introspect.hpp"
+
+namespace lwmpi {
+class World;
+}
+
+namespace lwmpi::obs {
+
+// RAII blocking-call-site annotation. Constructed at the top of a blocking
+// wait loop; nested scopes (a Barrier waiting on its internal receives) keep
+// the outermost name. The annotation costs one relaxed load when nested and
+// one timestamp + two stores when outermost -- and the hot wait() path only
+// constructs one after its first completion check fails, so a request that is
+// already complete pays nothing.
+class BlockScope {
+ public:
+  BlockScope(Engine& e, const char* call) noexcept
+      : e_(e), outer_(e.blocking_call_.load(std::memory_order_relaxed) == nullptr) {
+    if (outer_) {
+      e_.blocking_since_.store(lat_now_ns(), std::memory_order_relaxed);
+      e_.blocking_call_.store(call, std::memory_order_release);
+    }
+  }
+  ~BlockScope() {
+    if (outer_) e_.blocking_call_.store(nullptr, std::memory_order_release);
+  }
+  BlockScope(const BlockScope&) = delete;
+  BlockScope& operator=(const BlockScope&) = delete;
+
+ private:
+  Engine& e_;
+  const bool outer_;
+};
+
+// One stuck rank's diagnosis.
+struct StuckRank {
+  Rank rank = 0;
+  const char* call = "(not in an MPI call)";  // blocking-call annotation
+  std::uint64_t blocked_ns = 0;               // time inside that call
+  std::uint64_t stalled_ns = 0;               // time since last observed progress
+  RankSnapshot snap;
+};
+
+struct HangReport {
+  std::vector<StuckRank> stuck;
+  int nranks = 0;  // world size, for "1 of 4 ranks stuck" context
+};
+
+std::string render_text(const HangReport& r);
+std::string render_json(const HangReport& r);
+
+struct WatchdogOptions {
+  std::uint64_t stall_ns = 250'000'000;  // no-progress window before firing
+  std::uint64_t poll_ns = 20'000'000;    // sampling period
+  // Invoked (from the watchdog thread) with each new hang diagnosis.
+  std::function<void(const HangReport&)> on_hang;
+  // When non-empty, each diagnosis is also written here as JSON (the format
+  // tools/hangdump consumes). Overwritten per episode.
+  std::string report_path;
+  // Also print the text rendering to stderr when firing.
+  bool announce = false;
+};
+
+class Watchdog {
+ public:
+  explicit Watchdog(World& world, WatchdogOptions opts = {});
+  ~Watchdog();  // stops and joins the sampling thread
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  // Number of distinct stall episodes diagnosed so far.
+  int fires() const noexcept { return fires_.load(std::memory_order_acquire); }
+  // Copy of the most recent diagnosis (empty report if none yet).
+  HangReport last_report() const;
+
+ private:
+  void run();
+
+  World& world_;
+  const WatchdogOptions opts_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> fires_{0};
+  mutable std::mutex report_mu_;
+  HangReport last_;
+  std::thread thread_;
+};
+
+}  // namespace lwmpi::obs

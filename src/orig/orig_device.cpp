@@ -30,6 +30,12 @@ void Engine::drain_send_queue(Vci& v) {
     QueuedSend q = v.send_queue.front();
     v.send_queue.pop_front();
     v.send_q_depth.fetch_sub(1, std::memory_order_release);
+    // Queue-residency latency: how long the packet sat staged before the
+    // progress engine pushed it onto the wire -- the time cost of the CH3
+    // layering that the instruction model charges as kOrigSendQueueing.
+    if (q.enq_ts != 0) {
+      v.lat.record(obs::LatPath::SendQueueWait, obs::lat_now_ns() - q.enq_ts);
+    }
     if (cfg_.trace && q.pkt->hdr.seq != 0) {
       trace_msg(obs::trace::Ev::Inject, q.pkt->hdr.seq, q.pkt->hdr.vci, q.dst_world,
                 q.pkt->hdr.tag, q.pkt->hdr.total_bytes);

@@ -22,6 +22,7 @@
 #include "core/engine.hpp"
 #include "cost/meter.hpp"
 #include "cost/model.hpp"
+#include "obs/watchdog.hpp"
 #include "runtime/backoff.hpp"
 #include "runtime/world.hpp"
 
@@ -45,7 +46,7 @@ void Engine::WindowLocal::reset() {
   global.reset();
   comm = kCommNull;
   vci = 0;
-  epoch = Epoch::None;
+  epoch.store(Epoch::None, std::memory_order_relaxed);
   lock_held.reset();
   lock_targets = 0;
   outstanding_acks.store(0, std::memory_order_relaxed);
@@ -176,8 +177,9 @@ Err Engine::win_target_address(Rank target, std::uint64_t target_disp, Win win,
 // ---------------------------------------------------------------------------
 
 Err Engine::rma_check_epoch(const WindowLocal& w, Rank target) const noexcept {
-  if (w.epoch == WindowLocal::Epoch::Fence || w.epoch == WindowLocal::Epoch::LockAll ||
-      w.epoch == WindowLocal::Epoch::Pscw) {
+  const WindowLocal::Epoch ep = w.epoch.load(std::memory_order_relaxed);
+  if (ep == WindowLocal::Epoch::Fence || ep == WindowLocal::Epoch::LockAll ||
+      ep == WindowLocal::Epoch::Pscw) {
     return Err::Success;
   }
   if (target >= 0 && target < w.lock_targets) {
@@ -551,10 +553,15 @@ Err Engine::rma_wait_acks(WindowLocal& w, std::uint32_t until) {
     w.outstanding_acks.store(0, std::memory_order_relaxed);
     return Err::Success;
   }
-  rt::Backoff backoff;
-  while (w.outstanding_acks.load(std::memory_order_acquire) > until) {
-    progress();
-    if (w.outstanding_acks.load(std::memory_order_acquire) > until) backoff.pause();
+  if (w.outstanding_acks.load(std::memory_order_acquire) > until) {
+    // Lazy watchdog annotation: only a wait that actually spins is reportable
+    // as a blocking site (an outer Win_fence/Win_unlock scope wins if set).
+    obs::BlockScope block(*this, "Win_flush");
+    rt::Backoff backoff;
+    while (w.outstanding_acks.load(std::memory_order_acquire) > until) {
+      progress();
+      if (w.outstanding_acks.load(std::memory_order_acquire) > until) backoff.pause();
+    }
   }
   return Err::Success;
 }
@@ -644,11 +651,12 @@ Err Engine::orig_flush_pending(WindowLocal& w, Win win, Rank target) {
 Err Engine::win_fence(Win win) {
   WindowLocal* w = win_obj(win);
   if (w == nullptr) return Err::Win;
+  obs::BlockScope block(*this, "Win_fence");
   vcis_[w->vci]->counters.inc(obs::VciCtr::RmaFlush);
   if (Err e = orig_flush_pending(*w, win, -1); !ok(e)) return e;
   if (Err e = rma_wait_acks(*w, 0); !ok(e)) return e;
   if (Err e = barrier(w->comm); !ok(e)) return e;
-  w->epoch = WindowLocal::Epoch::Fence;
+  w->epoch.store(WindowLocal::Epoch::Fence, std::memory_order_relaxed);
   return Err::Success;
 }
 
@@ -680,6 +688,7 @@ Err Engine::win_lock(LockType type, Rank target, Win win) {
     if (type != LockType::Exclusive && type != LockType::Shared) return Err::LockType;
     if (held.load(std::memory_order_acquire) != kLockNone) return Err::RmaSync;
   }
+  obs::BlockScope block(*this, "Win_lock");
 
   if (device_ == DeviceKind::Ch4) {
     // Direct path: take the target's lock like the NIC would.
@@ -725,6 +734,7 @@ Err Engine::win_unlock(Rank target, Win win) {
   std::atomic<std::uint8_t>& state = w->lock_held[static_cast<std::size_t>(target)];
   const std::uint8_t held = state.load(std::memory_order_acquire);
   if (held != kLockShared && held != kLockExclusive) return Err::RmaSync;
+  obs::BlockScope block(*this, "Win_unlock");
 
   // Complete all operations to the target before releasing.
   if (Err e = orig_flush_pending(*w, win, target); !ok(e)) return e;
@@ -764,14 +774,14 @@ Err Engine::win_lock_all(Win win) {
   for (int t = 0; t < w->global->nranks; ++t) {
     if (Err e = win_lock(LockType::Shared, static_cast<Rank>(t), win); !ok(e)) return e;
   }
-  w->epoch = WindowLocal::Epoch::LockAll;
+  w->epoch.store(WindowLocal::Epoch::LockAll, std::memory_order_relaxed);
   return Err::Success;
 }
 
 Err Engine::win_unlock_all(Win win) {
   WindowLocal* w = win_obj(win);
   if (w == nullptr) return Err::Win;
-  w->epoch = WindowLocal::Epoch::None;
+  w->epoch.store(WindowLocal::Epoch::None, std::memory_order_relaxed);
   for (int t = 0; t < w->global->nranks; ++t) {
     if (Err e = win_unlock(static_cast<Rank>(t), win); !ok(e)) return e;
   }
@@ -835,20 +845,23 @@ Err Engine::win_start(Group group, Win win) {
   w->pscw_access_group = targets;
   // Wait for a post token from every target.
   const auto need = static_cast<std::uint32_t>(targets.size());
+  obs::BlockScope block(*this, "Win_start");
   rt::Backoff backoff;
   while (w->pscw_posts_seen.load(std::memory_order_acquire) < need) {
     progress();
     if (w->pscw_posts_seen.load(std::memory_order_acquire) < need) backoff.pause();
   }
   w->pscw_posts_seen.fetch_sub(need, std::memory_order_relaxed);
-  w->epoch = WindowLocal::Epoch::Pscw;
+  w->epoch.store(WindowLocal::Epoch::Pscw, std::memory_order_relaxed);
   return Err::Success;
 }
 
 Err Engine::win_complete(Win win) {
   WindowLocal* w = win_obj(win);
   if (w == nullptr) return Err::Win;
-  if (w->epoch != WindowLocal::Epoch::Pscw) return Err::RmaSync;
+  if (w->epoch.load(std::memory_order_relaxed) != WindowLocal::Epoch::Pscw) {
+    return Err::RmaSync;
+  }
   if (Err e = orig_flush_pending(*w, win, -1); !ok(e)) return e;
   if (Err e = rma_wait_acks(*w, 0); !ok(e)) return e;
   for (Rank target : w->pscw_access_group) {
@@ -860,7 +873,7 @@ Err Engine::win_complete(Win win) {
     fabric_.inject(self_, target, pkt);
   }
   w->pscw_access_group.clear();
-  w->epoch = WindowLocal::Epoch::None;
+  w->epoch.store(WindowLocal::Epoch::None, std::memory_order_relaxed);
   return Err::Success;
 }
 
@@ -868,6 +881,7 @@ Err Engine::win_wait(Win win) {
   WindowLocal* w = win_obj(win);
   if (w == nullptr) return Err::Win;
   const auto expected = static_cast<std::uint32_t>(w->pscw_exposure_group.size());
+  obs::BlockScope block(*this, "Win_wait");
   rt::Backoff backoff;
   while (w->pscw_completes_seen.load(std::memory_order_acquire) < expected) {
     progress();

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "core/engine.hpp"
+#include "obs/histogram.hpp"
 #include "obs/pvar.hpp"
 #include "obs/table.hpp"
 
@@ -53,9 +54,11 @@ std::string World::stats_report(bool as_json) {
   const int nvcis = opts_.build.vcis();
   std::ostringstream out;
   if (as_json) {
-    out << "{\"nranks\":" << nranks_ << ",\"num_vcis\":" << nvcis << ",\"ranks\":[";
+    out << "{\"nranks\":" << nranks_ << ",\"num_vcis\":" << nvcis << ",\"device\":\""
+        << to_string(opts_.device) << "\",\"ranks\":[";
   } else {
-    out << "=== lwmpi stats: " << nranks_ << " rank(s) x " << nvcis << " vci(s) ===\n";
+    out << "=== lwmpi stats: " << nranks_ << " rank(s) x " << nvcis << " vci(s), "
+        << to_string(opts_.device) << " ===\n";
   }
   for (int r = 0; r < nranks_; ++r) {
     Engine& e = *engines_[static_cast<std::size_t>(r)];
@@ -100,6 +103,26 @@ std::string World::stats_report(bool as_json) {
           out << ']';
         }
         out << '\n';
+      }
+    }
+    // Per-path message-lifetime latency distribution (obs/histogram.hpp),
+    // merged over the rank's channels. The JSON shape is what
+    // bench::JsonResult and the paper-table tooling consume.
+    if (as_json) out << "},\"latency\":{";
+    for (std::size_t p = 0; p < obs::kNumLatPaths; ++p) {
+      const auto path = static_cast<obs::LatPath>(p);
+      obs::LatSnapshot snap;
+      for (int v = 0; v < nvcis; ++v) snap.merge(e.vci_latency(v).of(path));
+      if (as_json) {
+        out << (p == 0 ? "" : ",") << '"' << obs::to_string(path)
+            << "\":{\"count\":" << snap.count << ",\"p50_ns\":" << snap.percentile(0.50)
+            << ",\"p99_ns\":" << snap.percentile(0.99) << ",\"max_ns\":" << snap.max_ns
+            << '}';
+      } else if (snap.count != 0) {
+        out << "  lat[" << obs::to_string(path) << ']';
+        for (std::size_t pad = obs::to_string(path).size(); pad < 20; ++pad) out << ' ';
+        out << " count=" << snap.count << " p50_ns=" << snap.percentile(0.50)
+            << " p99_ns=" << snap.percentile(0.99) << " max_ns=" << snap.max_ns << '\n';
       }
     }
     if (as_json) out << "}}";

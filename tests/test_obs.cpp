@@ -1,16 +1,20 @@
 // Observability subsystem: pvar registry enumeration, per-VCI counters,
-// MPI_T-style sessions, the trace ring, and the Chrome-trace exporter.
+// latency histograms, MPI_T-style sessions, the trace ring, and the
+// Chrome-trace exporter.
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
 #include "obs/pvar.hpp"
 #include "obs/trace.hpp"
 #include "util.hpp"
@@ -307,6 +311,55 @@ TEST(Counters, UnexpectedQueueDepthAndHighWater) {
   EXPECT_EQ(read_pvar(e1, "vci_unexpected_hwm"), static_cast<std::uint64_t>(kMsgs));
 }
 
+TEST(Counters, DecSaturatesAtZero) {
+  // A level counter whose inc lost a tick to the documented lock-free race
+  // must floor at 0 on dec, never wrap to ~2^64.
+  obs::VciCounters c;
+  c.dec(obs::VciCtr::PostedDepth);  // dec on a zero counter
+  EXPECT_EQ(c.get(obs::VciCtr::PostedDepth), 0u);
+  c.inc(obs::VciCtr::PostedDepth, 2);
+  c.dec(obs::VciCtr::PostedDepth, 5);  // dec by more than the level
+  EXPECT_EQ(c.get(obs::VciCtr::PostedDepth), 0u);
+  c.inc(obs::VciCtr::PostedDepth, 7);
+  c.dec(obs::VciCtr::PostedDepth, 3);  // normal in-range dec still exact
+  EXPECT_EQ(c.get(obs::VciCtr::PostedDepth), 4u);
+}
+
+TEST(Counters, PostedDepthAndHighWater) {
+  // Mirror of UnexpectedQueueDepthAndHighWater for the posted side: receives
+  // posted with no matching traffic raise the level and the high-water mark;
+  // matching them drains the level but the mark stays.
+  WorldOptions o = test::fast_opts();
+  World w(2, o);
+  Engine& e0 = w.engine(0);
+  Engine& e1 = w.engine(1);
+
+  const int kRecvs = 4;
+  std::vector<char> got(kRecvs, 0);
+  std::vector<Request> rreqs(kRecvs, kRequestNull);
+  for (int i = 0; i < kRecvs; ++i) {
+    ASSERT_EQ(e1.irecv(&got[static_cast<std::size_t>(i)], 1, kChar, 0, i, kCommWorld,
+                       &rreqs[static_cast<std::size_t>(i)]),
+              Err::Success);
+  }
+  EXPECT_EQ(read_pvar(e1, "vci_posted_depth"), static_cast<std::uint64_t>(kRecvs));
+  EXPECT_EQ(read_pvar(e1, "vci_posted_hwm"), static_cast<std::uint64_t>(kRecvs));
+
+  char c = 'p';
+  for (int i = 0; i < kRecvs; ++i) {
+    Request sr = kRequestNull;
+    ASSERT_EQ(e0.isend(&c, 1, kChar, 1, i, kCommWorld, &sr), Err::Success);
+    ASSERT_EQ(e0.wait(&sr, nullptr), Err::Success);
+  }
+  e1.progress();  // every arrival matches a posted receive
+  ASSERT_EQ(e1.waitall(rreqs, {}), Err::Success);
+  for (int i = 0; i < kRecvs; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], 'p');
+
+  EXPECT_EQ(read_pvar(e1, "vci_posted_depth"), 0u);
+  EXPECT_EQ(read_pvar(e1, "vci_posted_hwm"), static_cast<std::uint64_t>(kRecvs));
+  EXPECT_EQ(read_pvar(e1, "vci_posted_matches"), static_cast<std::uint64_t>(kRecvs));
+}
+
 TEST(Counters, ProgressIdleVsSwept) {
   WorldOptions o = test::fast_opts();
   World w(2, o);
@@ -363,6 +416,116 @@ TEST(Counters, RmaOpsAndFlushes) {
   EXPECT_EQ(read_pvar(w.engine(0), "rma_ops"), 1u);
   // Two fences, one explicit flush_all, plus the implicit flush in win_free.
   EXPECT_EQ(read_pvar(w.engine(0), "rma_flushes"), 4u);
+}
+
+// --- latency histograms ------------------------------------------------------
+
+TEST(LatencyHist, BucketingAndPercentiles) {
+  static_assert(obs::LatencyHist::bucket_of(0) == 1);  // |1 floor
+  static_assert(obs::LatencyHist::bucket_of(1) == 1);
+  static_assert(obs::LatencyHist::bucket_of(255) == 8);
+  static_assert(obs::LatencyHist::bucket_of(256) == 9);
+  static_assert(obs::LatencyHist::bucket_of(~std::uint64_t{0}) == obs::kLatBuckets - 1);
+
+  obs::LatencyHist h;
+  for (int i = 0; i < 90; ++i) h.record(100);    // bucket 7, upper bound 127
+  for (int i = 0; i < 10; ++i) h.record(5000);   // bucket 13, upper bound 8191
+  obs::LatSnapshot s;
+  s.merge(h);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.max_ns, 5000u);
+  EXPECT_EQ(s.percentile(0.50), 127u);   // bucket upper bound
+  EXPECT_EQ(s.percentile(0.99), 5000u);  // clamped by the observed max
+  EXPECT_EQ(s.percentile(1.00), 5000u);
+
+  // Merging a second channel's histogram folds counts and max.
+  obs::LatencyHist h2;
+  h2.record(70000);
+  s.merge(h2);
+  EXPECT_EQ(s.count, 101u);
+  EXPECT_EQ(s.max_ns, 70000u);
+
+  const obs::LatSnapshot empty;
+  EXPECT_EQ(empty.percentile(0.99), 0u);
+}
+
+TEST(Latency, EagerP99BelowRendezvousP50AtOneMiB) {
+  // The acceptance check from the paper's protocol-cost argument: at 1 MiB an
+  // eager send's lifetime is one copy, while a rendezvous send cannot finish
+  // before the receiver shows up. Drive both worlds single-threaded; in the
+  // rendezvous world the receiver is deliberately late, so the send-side
+  // lifetime includes the handshake wait and its p50 must sit far above the
+  // eager p99.
+  constexpr int kBytes = 1 << 20;
+  constexpr auto kReceiverDelay = std::chrono::milliseconds(150);
+  std::vector<char> out(kBytes, 'e');
+  std::vector<char> in(kBytes, 0);
+
+  std::uint64_t eager_p99 = 0;
+  {
+    WorldOptions o = test::fast_opts();
+    o.eager_threshold = 2 * 1024 * 1024;  // 1 MiB goes eager
+    o.build.lat_sample_shift = 0;         // stamp every message
+    World w(2, o);
+    Engine& e0 = w.engine(0);
+    Engine& e1 = w.engine(1);
+    for (int i = 0; i < 40; ++i) {
+      Request sr = kRequestNull;
+      ASSERT_EQ(e0.isend(out.data(), kBytes, kChar, 1, i, kCommWorld, &sr), Err::Success);
+      ASSERT_EQ(e0.wait(&sr, nullptr), Err::Success);  // eager: completes at inject
+      ASSERT_EQ(e1.recv(in.data(), kBytes, kChar, 0, i, kCommWorld, nullptr),
+                Err::Success);
+    }
+    EXPECT_EQ(read_pvar(e0, "lat_send_eager_count"), 40u);
+    eager_p99 = read_pvar(e0, "lat_send_eager_p99_ns");
+  }
+
+  std::uint64_t rdv_p50 = 0;
+  {
+    WorldOptions o = test::fast_opts();  // default threshold: 1 MiB goes rendezvous
+    o.build.lat_sample_shift = 0;
+    World w(2, o);
+    Engine& e0 = w.engine(0);
+    Engine& e1 = w.engine(1);
+    for (int i = 0; i < 5; ++i) {
+      Request sr = kRequestNull;
+      Request rr = kRequestNull;
+      ASSERT_EQ(e0.isend(out.data(), kBytes, kChar, 1, i, kCommWorld, &sr), Err::Success);
+      std::this_thread::sleep_for(kReceiverDelay);  // receiver is late
+      ASSERT_EQ(e1.irecv(in.data(), kBytes, kChar, 0, i, kCommWorld, &rr), Err::Success);
+      e1.progress();  // match the RTS, answer with CTS
+      e0.progress();  // handle the CTS, ship the payload
+      ASSERT_EQ(e0.wait(&sr, nullptr), Err::Success);
+      e1.progress();  // deliver the payload
+      ASSERT_EQ(e1.wait(&rr, nullptr), Err::Success);
+      ASSERT_EQ(in[kBytes / 2], 'e');
+    }
+    EXPECT_EQ(read_pvar(e0, "lat_send_rdv_count"), 5u);
+    rdv_p50 = read_pvar(e0, "lat_send_rdv_p50_ns");
+  }
+
+  EXPECT_GT(eager_p99, 0u);
+  EXPECT_GE(rdv_p50,
+            static_cast<std::uint64_t>(
+                std::chrono::nanoseconds(kReceiverDelay).count()));
+  EXPECT_LT(eager_p99, rdv_p50);
+}
+
+TEST(Latency, DisabledBuildRecordsNothing) {
+  WorldOptions o = test::fast_opts();
+  o.build.counters = false;  // histogram tier follows the counter switch
+  World w(2, o);
+  w.run([&](Engine& e) {
+    int v = 4;
+    if (e.world_rank() == 0) {
+      e.send(&v, 1, kInt, 1, 0, kCommWorld);
+    } else {
+      e.recv(&v, 1, kInt, 0, 0, kCommWorld, nullptr);
+    }
+  });
+  EXPECT_EQ(read_pvar(w.engine(0), "lat_send_eager_count"), 0u);
+  EXPECT_EQ(read_pvar(w.engine(1), "lat_recv_eager_count"), 0u);
+  EXPECT_EQ(read_pvar(w.engine(0), "lat_send_eager_p99_ns"), 0u);
 }
 
 // --- trace ring --------------------------------------------------------------
@@ -549,6 +712,7 @@ TEST(Trace, DroppedEventsSurfaceThroughPvar) {
 
 TEST(StatsReport, TextAndJsonForms) {
   WorldOptions o = test::fast_opts();
+  o.build.lat_sample_shift = 0;  // stamp every message: latency block is populated
   World w(2, o);
   w.run([&](Engine& e) {
     int v = 9;
@@ -561,11 +725,25 @@ TEST(StatsReport, TextAndJsonForms) {
   const std::string text = w.stats_report(false);
   EXPECT_NE(text.find("rank 0"), std::string::npos);
   EXPECT_NE(text.find("vci_sends_eager"), std::string::npos);
+  EXPECT_NE(text.find("mpich/ch4"), std::string::npos);
+  EXPECT_NE(text.find("lat[send_eager]"), std::string::npos);
 
   const std::string json = w.stats_report(true);
   EXPECT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
   EXPECT_NE(json.find("\"vci_sends_eager\""), std::string::npos);
   EXPECT_NE(json.find("\"nranks\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"device\":\"mpich/ch4\""), std::string::npos);
+  // Per-(device, path) latency block: every instrumented path appears with
+  // count/p50/p99/max, and the traffic above lands in the eager paths.
+  EXPECT_NE(json.find("\"latency\":{"), std::string::npos);
+  for (std::size_t p = 0; p < obs::kNumLatPaths; ++p) {
+    const std::string key =
+        '"' + std::string(obs::to_string(static_cast<obs::LatPath>(p))) + "\":{\"count\":";
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_NE(json.find("\"p50_ns\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99_ns\":"), std::string::npos);
+  EXPECT_NE(json.find("\"max_ns\":"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,346 @@
+// hangdump: pretty-printer for lwmpi watchdog hang reports.
+//
+// The watchdog (src/obs/watchdog.hpp) diagnoses progress stalls and, when
+// given a report_path, writes the diagnosis as JSON. This tool renders that
+// file back into the human-readable form for postmortem reading -- the MPIR
+// message-queue-dump workflow, minus the debugger:
+//
+//   hangdump report.json     pretty-print a saved hang report
+//   hangdump --demo          force a live 2-rank deadlock, print its diagnosis
+//
+// The parser is a minimal recursive-descent JSON reader (same spirit as
+// tools/check_core.hpp): it handles exactly the value shapes obs::render_json
+// produces, and rejects anything malformed rather than guessing.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "obs/watchdog.hpp"
+#include "runtime/world.hpp"
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON DOM + parser
+// ---------------------------------------------------------------------------
+
+struct JValue {
+  enum class Kind { Null, Bool, Num, Str, Arr, Obj } kind = Kind::Null;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JValue> arr;
+  std::vector<std::pair<std::string, JValue>> obj;
+
+  const JValue* get(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  std::uint64_t u64() const { return static_cast<std::uint64_t>(num); }
+  long i64() const { return static_cast<long>(num); }
+};
+
+struct Parser {
+  const std::string& s;
+  std::size_t i = 0;
+  bool ok = true;
+
+  void ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r')) ++i;
+  }
+  bool lit(const char* t) {
+    const std::size_t n = std::strlen(t);
+    if (s.compare(i, n, t) != 0) return false;
+    i += n;
+    return true;
+  }
+  JValue value() {
+    ws();
+    JValue v;
+    if (!ok || i >= s.size()) {
+      ok = false;
+      return v;
+    }
+    const char c = s[i];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      v.kind = JValue::Kind::Str;
+      v.str = string();
+      return v;
+    }
+    if (lit("null")) return v;
+    if (lit("true")) {
+      v.kind = JValue::Kind::Bool;
+      v.b = true;
+      return v;
+    }
+    if (lit("false")) {
+      v.kind = JValue::Kind::Bool;
+      return v;
+    }
+    // number
+    char* end = nullptr;
+    v.num = std::strtod(s.c_str() + i, &end);
+    if (end == s.c_str() + i) {
+      ok = false;
+      return v;
+    }
+    v.kind = JValue::Kind::Num;
+    i = static_cast<std::size_t>(end - s.c_str());
+    return v;
+  }
+  std::string string() {
+    std::string out;
+    if (i >= s.size() || s[i] != '"') {
+      ok = false;
+      return out;
+    }
+    ++i;
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\' && i + 1 < s.size()) {
+        const char e = s[i + 1];
+        out += (e == 'n' ? '\n' : e == 't' ? '\t' : e);
+        i += 2;
+      } else {
+        out += s[i++];
+      }
+    }
+    if (i >= s.size()) {
+      ok = false;
+      return out;
+    }
+    ++i;  // closing quote
+    return out;
+  }
+  JValue array() {
+    JValue v;
+    v.kind = JValue::Kind::Arr;
+    ++i;  // '['
+    ws();
+    if (i < s.size() && s[i] == ']') {
+      ++i;
+      return v;
+    }
+    while (ok) {
+      v.arr.push_back(value());
+      ws();
+      if (i < s.size() && s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < s.size() && s[i] == ']') {
+        ++i;
+        return v;
+      }
+      ok = false;
+    }
+    return v;
+  }
+  JValue object() {
+    JValue v;
+    v.kind = JValue::Kind::Obj;
+    ++i;  // '{'
+    ws();
+    if (i < s.size() && s[i] == '}') {
+      ++i;
+      return v;
+    }
+    while (ok) {
+      ws();
+      std::string key = string();
+      ws();
+      if (i >= s.size() || s[i] != ':') {
+        ok = false;
+        return v;
+      }
+      ++i;
+      v.obj.emplace_back(std::move(key), value());
+      ws();
+      if (i < s.size() && s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < s.size() && s[i] == '}') {
+        ++i;
+        return v;
+      }
+      ok = false;
+    }
+    return v;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Report rendering
+// ---------------------------------------------------------------------------
+
+std::string fmt_ms(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1fms", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+void print_entry(const char* label, const JValue& e) {
+  const JValue* comm = e.get("comm");
+  std::printf("      %s comm=%s src=%ld tag=%ld bytes=%llu age=%s%s\n", label,
+              comm != nullptr ? comm->str.c_str() : "?",
+              e.get("src") != nullptr ? e.get("src")->i64() : 0,
+              e.get("tag") != nullptr ? e.get("tag")->i64() : 0,
+              static_cast<unsigned long long>(
+                  e.get("bytes") != nullptr ? e.get("bytes")->u64() : 0),
+              e.get("age_ns") != nullptr ? fmt_ms(e.get("age_ns")->u64()).c_str() : "?",
+              e.get("arrival_order") != nullptr && e.get("arrival_order")->b
+                  ? " [arrival-order]"
+                  : "");
+}
+
+int print_report(const JValue& root) {
+  const JValue* stuck = root.get("stuck");
+  const JValue* nranks = root.get("nranks");
+  if (stuck == nullptr || stuck->kind != JValue::Kind::Arr || nranks == nullptr) {
+    std::fprintf(stderr, "hangdump: not a watchdog report (missing stuck/nranks)\n");
+    return 1;
+  }
+  std::printf("=== lwmpi hang diagnosis: %zu of %ld rank(s) stuck ===\n", stuck->arr.size(),
+              nranks->i64());
+  for (const JValue& s : stuck->arr) {
+    const JValue* call = s.get("call");
+    std::printf("rank %ld stuck in %s (blocked %s, no progress for %s)\n",
+                s.get("rank") != nullptr ? s.get("rank")->i64() : -1,
+                call != nullptr ? call->str.c_str() : "?",
+                s.get("blocked_ns") != nullptr ? fmt_ms(s.get("blocked_ns")->u64()).c_str()
+                                               : "?",
+                s.get("stalled_ns") != nullptr ? fmt_ms(s.get("stalled_ns")->u64()).c_str()
+                                               : "?");
+    const JValue* snap = s.get("snapshot");
+    if (snap == nullptr) continue;
+    if (const JValue* oldest = snap->get("oldest");
+        oldest != nullptr && oldest->kind == JValue::Kind::Obj) {
+      std::printf("  oldest request: %s comm=%s peer=%ld tag=%ld bytes=%llu age=%s\n",
+                  oldest->get("kind") != nullptr ? oldest->get("kind")->str.c_str() : "?",
+                  oldest->get("comm") != nullptr ? oldest->get("comm")->str.c_str() : "?",
+                  oldest->get("peer") != nullptr ? oldest->get("peer")->i64() : 0,
+                  oldest->get("tag") != nullptr ? oldest->get("tag")->i64() : 0,
+                  static_cast<unsigned long long>(
+                      oldest->get("bytes") != nullptr ? oldest->get("bytes")->u64() : 0),
+                  oldest->get("age_ns") != nullptr
+                      ? fmt_ms(oldest->get("age_ns")->u64()).c_str()
+                      : "?");
+    }
+    if (const JValue* vcis = snap->get("vcis"); vcis != nullptr) {
+      for (const JValue& v : vcis->arr) {
+        const JValue* posted = v.get("posted");
+        const JValue* unexpected = v.get("unexpected");
+        const JValue* sendq = v.get("send_queue");
+        const std::size_t np = posted != nullptr ? posted->arr.size() : 0;
+        const std::size_t nu = unexpected != nullptr ? unexpected->arr.size() : 0;
+        const std::size_t nq = sendq != nullptr ? sendq->arr.size() : 0;
+        if (np + nu + nq == 0) continue;
+        std::printf("  vci %ld: posted=%zu unexpected=%zu sendq=%zu\n",
+                    v.get("vci") != nullptr ? v.get("vci")->i64() : -1, np, nu, nq);
+        if (posted != nullptr) {
+          for (const JValue& e : posted->arr) print_entry("posted:    ", e);
+        }
+        if (unexpected != nullptr) {
+          for (const JValue& e : unexpected->arr) print_entry("unexpected:", e);
+        }
+        if (sendq != nullptr) {
+          for (const JValue& e : sendq->arr) {
+            std::printf("      sendq:      dst=%ld tag=%ld bytes=%llu\n",
+                        e.get("dst") != nullptr ? e.get("dst")->i64() : 0,
+                        e.get("tag") != nullptr ? e.get("tag")->i64() : 0,
+                        static_cast<unsigned long long>(
+                            e.get("bytes") != nullptr ? e.get("bytes")->u64() : 0));
+          }
+        }
+      }
+    }
+    if (const JValue* wins = snap->get("windows"); wins != nullptr) {
+      for (const JValue& w : wins->arr) {
+        std::printf("  win %llu: epoch=%s acks=%llu deferred=%llu\n",
+                    static_cast<unsigned long long>(
+                        w.get("win_id") != nullptr ? w.get("win_id")->u64() : 0),
+                    w.get("epoch") != nullptr ? w.get("epoch")->str.c_str() : "?",
+                    static_cast<unsigned long long>(
+                        w.get("outstanding_acks") != nullptr
+                            ? w.get("outstanding_acks")->u64()
+                            : 0),
+                    static_cast<unsigned long long>(
+                        w.get("deferred_ops") != nullptr ? w.get("deferred_ops")->u64()
+                                                         : 0));
+      }
+    }
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// --demo: force a live deadlock and diagnose it
+// ---------------------------------------------------------------------------
+
+int run_demo() {
+  using namespace lwmpi;
+  std::printf("forcing a 2-rank tag-mismatch deadlock (rank 0 sends tag 7, rank 1 waits"
+              " on tag 42)...\n\n");
+  WorldOptions o;
+  o.profile = net::loopback();
+  o.ranks_per_node = 2;
+  World w(2, o);
+  obs::WatchdogOptions wo;
+  wo.stall_ns = 200'000'000;
+  wo.poll_ns = 20'000'000;
+  obs::Watchdog wd(w, wo);
+  w.run([&](Engine& e) {
+    char b = 1;
+    if (e.world_rank() == 0) {
+      // The mistake under diagnosis: wrong tag, so rank 1 never matches.
+      e.send(&b, 1, kChar, 1, 7, kCommWorld);
+      while (wd.fires() == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      // Rescue send so the demo terminates once diagnosed.
+      e.send(&b, 1, kChar, 1, 42, kCommWorld);
+    } else {
+      e.recv(&b, 1, kChar, 0, 42, kCommWorld, nullptr);
+    }
+  });
+  std::fputs(obs::render_text(wd.last_report()).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: hangdump <report.json> | hangdump --demo\n");
+    return 2;
+  }
+  if (std::strcmp(argv[1], "--demo") == 0) return run_demo();
+
+  std::ifstream f(argv[1]);
+  if (!f) {
+    std::fprintf(stderr, "hangdump: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::stringstream buf;
+  buf << f.rdbuf();
+  const std::string text = buf.str();
+  Parser p{text};
+  const JValue root = p.value();
+  if (!p.ok || root.kind != JValue::Kind::Obj) {
+    std::fprintf(stderr, "hangdump: %s is not valid JSON\n", argv[1]);
+    return 1;
+  }
+  return print_report(root);
+}
