@@ -2,9 +2,12 @@
 // (the paper's "IT" cluster with Intel Omni-Path). Expected shape: ~1.5x for
 // MPI_ISEND and ~4x for MPI_PUT from MPICH/Original to the best CH4 build,
 // capped by the fixed per-message network injection cost.
+//
+// Runs once per netmod backend (mailbox, rdma) and writes the per-backend
+// BENCH_fig3_<backend>.json artifacts the regression sentinel tracks.
 #include "bench/rate_figure.hpp"
 
 int main() {
-  return lwmpi::bench::run_rate_figure("Figure 3: message rates with OFI/PSM2 (simulated)",
-                                       lwmpi::net::psm2());
+  return lwmpi::bench::run_rate_figure_backends(
+      "Figure 3: message rates with OFI/PSM2 (simulated)", lwmpi::net::psm2(), "fig3");
 }

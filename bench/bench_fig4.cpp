@@ -1,8 +1,11 @@
 // Reproduces Figure 4: message rates with the UCX/EDR-like simulated fabric
 // (the paper's "Gomez" cluster with Mellanox EDR).
+//
+// Runs once per netmod backend (mailbox, rdma) and writes the per-backend
+// BENCH_fig4_<backend>.json artifacts the regression sentinel tracks.
 #include "bench/rate_figure.hpp"
 
 int main() {
-  return lwmpi::bench::run_rate_figure("Figure 4: message rates with UCX/EDR (simulated)",
-                                       lwmpi::net::ucx_edr());
+  return lwmpi::bench::run_rate_figure_backends(
+      "Figure 4: message rates with UCX/EDR (simulated)", lwmpi::net::ucx_edr(), "fig4");
 }

@@ -50,12 +50,13 @@ inline int default_messages(const net::Profile& p) { return p.blackhole ? 400000
 
 // --- MPI_ISEND issue rate ----------------------------------------------------
 inline double isend_rate(const net::Profile& profile, DeviceKind device, BuildConfig build,
-                         int messages) {
+                         int messages, const std::string& netmod = "mailbox") {
   WorldOptions o;
   o.profile = profile;
   o.device = device;
   o.build = build;
-  o.ranks_per_node = 1;  // force the netmod path
+  o.netmod = netmod;
+  o.ranks_per_node = 1;  // force the inter-node cost parameters
   const int nranks = profile.blackhole ? 1 : 2;
   const Rank target = profile.blackhole ? 0 : 1;
   World w(nranks, o);
@@ -96,11 +97,12 @@ inline double isend_rate(const net::Profile& profile, DeviceKind device, BuildCo
 
 // --- MPI_PUT issue rate -------------------------------------------------------
 inline double put_rate(const net::Profile& profile, DeviceKind device, BuildConfig build,
-                       int messages) {
+                       int messages, const std::string& netmod = "mailbox") {
   WorldOptions o;
   o.profile = profile;
   o.device = device;
   o.build = build;
+  o.netmod = netmod;
   o.ranks_per_node = 1;
   const int nranks = profile.blackhole ? 1 : 2;
   const Rank target = profile.blackhole ? 0 : 1;

@@ -1,6 +1,12 @@
 // Shared driver for the message-rate figures (3, 4, 5): run the five stack
 // variants for MPI_ISEND and MPI_PUT over a given network profile and print
 // the grouped horizontal bars the paper uses.
+//
+// Figures 3 and 4 now run per netmod backend: the paper measured the same
+// figure on two genuinely different injection semantics (OFI/PSM2 vs
+// UCX/EDR), and the backend axis is the reproduction's analogue. When an
+// `artifact` name is given the run also writes BENCH_<artifact>.json so the
+// bench regression sentinel can track per-backend rates (report-only units).
 #pragma once
 
 #include <algorithm>
@@ -10,14 +16,16 @@
 
 namespace lwmpi::bench {
 
-inline int run_rate_figure(const char* title, const net::Profile& profile) {
+inline int run_rate_figure(const char* title, const net::Profile& profile,
+                           const char* netmod = "mailbox",
+                           const char* artifact = nullptr) {
   print_header(title);
-  std::printf("profile: %s (inject %llu ns, shm %llu ns, latency %llu ns%s)\n",
+  std::printf("profile: %s (inject %llu ns, shm %llu ns, latency %llu ns%s), netmod: %s\n",
               profile.name.c_str(),
               static_cast<unsigned long long>(profile.inject_cost_ns),
               static_cast<unsigned long long>(profile.shm_inject_cost_ns),
               static_cast<unsigned long long>(profile.latency_ns),
-              profile.blackhole ? ", blackhole" : "");
+              profile.blackhole ? ", blackhole" : "", netmod);
   const int messages = default_messages(profile);
   std::printf("messages per measurement: %d (1 byte each)\n\n", messages);
 
@@ -36,8 +44,8 @@ inline int run_rate_figure(const char* title, const net::Profile& profile) {
     r.isend = 0.0;
     r.put = 0.0;
     for (int rep = 0; rep < kRepeats; ++rep) {
-      r.isend = std::max(r.isend, isend_rate(profile, v.device, v.build, messages));
-      r.put = std::max(r.put, put_rate(profile, v.device, v.build, messages));
+      r.isend = std::max(r.isend, isend_rate(profile, v.device, v.build, messages, netmod));
+      r.put = std::max(r.put, put_rate(profile, v.device, v.build, messages, netmod));
     }
     max_rate = std::max({max_rate, r.isend, r.put});
     rows.push_back(std::move(r));
@@ -61,7 +69,29 @@ inline int run_rate_figure(const char* title, const net::Profile& profile) {
   std::printf("\nbest ch4 vs original: isend %.2fx, put %.2fx\n",
               base.isend > 0 ? best.isend / base.isend : 0.0,
               base.put > 0 ? best.put / base.put : 0.0);
+
+  if (artifact != nullptr) {
+    JsonResult json(artifact);
+    for (const Row& r : rows) {
+      json.add(r.label + " isend", r.isend, "msg/s");
+      json.add(r.label + " put", r.put, "msg/s");
+    }
+    json.write();
+  }
   return 0;
+}
+
+// Figures 3/4: the same figure measured once per netmod backend, each run
+// emitting its own BENCH_<prefix>_<backend>.json artifact.
+inline int run_rate_figure_backends(const char* title, const net::Profile& profile,
+                                    const char* artifact_prefix) {
+  int rc = 0;
+  for (const char* netmod : {"mailbox", "rdma"}) {
+    const std::string t = std::string(title) + " [netmod " + netmod + "]";
+    const std::string artifact = std::string(artifact_prefix) + "_" + netmod;
+    rc |= run_rate_figure(t.c_str(), profile, netmod, artifact.c_str());
+  }
+  return rc;
 }
 
 }  // namespace lwmpi::bench

@@ -10,8 +10,8 @@ set -euo pipefail
 BUILD_DIR="${1:-build}"
 SOURCE_DIR="${2:-.}"
 
-for bin in bench/bench_table1 bench/bench_fig2 bench/bench_obs_overhead \
-           tools/bench_check; do
+for bin in bench/bench_table1 bench/bench_fig2 bench/bench_fig3 bench/bench_fig4 \
+           bench/bench_obs_overhead tools/bench_check; do
   if [[ ! -x "${BUILD_DIR}/${bin}" ]]; then
     echo "run_bench_regression: ${BUILD_DIR}/${bin} not built" >&2
     exit 2
@@ -24,9 +24,15 @@ trap 'rm -rf "${scratch}"' EXIT
 LWMPI_BENCH_DIR="${scratch}" "${BUILD_DIR}/bench/bench_table1" > /dev/null
 LWMPI_BENCH_DIR="${scratch}" "${BUILD_DIR}/bench/bench_fig2" > /dev/null
 
+# Per-backend rate figures (mailbox + rdma). Their msg/s entries are
+# report-only in bench_check; what the sentinel guards is the artifact schema
+# (every stack variant present, per backend) and the table1/fig2 bit-exactness.
+LWMPI_BENCH_DIR="${scratch}" "${BUILD_DIR}/bench/bench_fig3" > /dev/null
+LWMPI_BENCH_DIR="${scratch}" "${BUILD_DIR}/bench/bench_fig4" > /dev/null
+
 # The observability overhead gate is a timing bench, so it is judged by its
 # own <3% acceptance exit code, not by a baseline comparison in bench_check.
 LWMPI_BENCH_DIR="${scratch}" "${BUILD_DIR}/bench/bench_obs_overhead" > /dev/null
 
 exec "${BUILD_DIR}/tools/bench_check" "${SOURCE_DIR}/bench/baselines" "${scratch}" \
-  table1 fig2
+  table1 fig2 fig3_mailbox fig3_rdma fig4_mailbox fig4_rdma

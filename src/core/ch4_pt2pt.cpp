@@ -423,6 +423,11 @@ Err Engine::issue_send(const SendParams& p, const CommObject& c, Rank dst_world,
     rts->hdr.total_bytes = bytes;
     rts->hdr.origin_req = r;
     rts->hdr.seq = tseq;
+    // Offer zero-copy handoff when the backend can write into a registered
+    // remote buffer; the receiver accepts (CTS carries an rkey) only if its
+    // own buffer is contiguous and large enough. The send buffer need not be
+    // contiguous: the CTS handler packs first and writes the packed image.
+    rts->hdr.zcopy = fabric_.rdma_capable() ? 1 : 0;
     cost::charge(cost::Category::MandInject, cost::kMandInjectResidual);
     inject_or_queue(v, dst_world, rts);
   }

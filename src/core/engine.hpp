@@ -470,6 +470,7 @@ class Engine {
   void handle_packet(Vci& v, rt::Packet* pkt);
   void handle_rdv_cts(rt::Packet* pkt);
   void handle_rdv_data(rt::Packet* pkt);
+  void handle_rdv_done(rt::Packet* pkt);
   void handle_am(rt::Packet* pkt);
   void drain_send_queue(Vci& v);
   void complete_recv_from_eager(Vci& v, RequestSlot& slot, rt::Packet* pkt);

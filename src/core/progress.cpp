@@ -51,7 +51,13 @@ void Engine::progress() {
     std::unique_lock<std::recursive_mutex> lk(vc.mu, std::try_to_lock);
     if (!lk.owns_lock()) continue;
     drain_send_queue(vc);
-    while (rt::Packet* pkt = fabric_.poll(self_, v)) handle_packet(vc, pkt);
+    while (rt::Packet* pkt = fabric_.poll(self_, v)) {
+      handle_packet(vc, pkt);
+      // The packet is out of the lane (delivered, retained on the unexpected
+      // queue, or freed), so its eager-ring slot is free again. No-op on
+      // backends without credit flow control.
+      fabric_.credit_return(self_, v);
+    }
     drain_send_queue(vc);  // flush replies generated while handling packets
   }
 }
@@ -91,6 +97,9 @@ void Engine::handle_packet(Vci& v, rt::Packet* pkt) {
       return;
     case rt::PacketKind::RdvData:
       handle_rdv_data(pkt);
+      return;
+    case rt::PacketKind::RdvDone:
+      handle_rdv_done(pkt);
       return;
     case rt::PacketKind::Barrier:
       rt::PacketPool::free(pkt);
@@ -162,6 +171,14 @@ void Engine::start_rendezvous_recv(RequestSlot& slot, Request req_handle, rt::Pa
   cts->hdr.src_world = self_;
   cts->hdr.origin_req = rts->hdr.origin_req;
   cts->hdr.target_req = req_handle;
+  // Zero-copy handoff: when the sender offered it (RTS zcopy), the backend
+  // supports registered-buffer writes, and the data lands contiguously in the
+  // user buffer with no truncation, register the receive buffer and hand its
+  // rkey back in the CTS. The sender then rdma_writes straight into the user
+  // buffer -- no RdvData packets, no staging copy -- and signals with RdvDone.
+  if (rts->hdr.zcopy != 0 && total != 0 && !slot.stage_used && fabric_.rdma_capable()) {
+    cts->hdr.rkey = fabric_.register_memory(self_, slot.rbuf, total);
+  }
   fabric_.inject(self_, rts->hdr.src_world, cts);
   rt::PacketPool::free(rts);
 }
@@ -188,24 +205,44 @@ void Engine::handle_rdv_cts(rt::Packet* pkt) {
     src = packed.data();
   }
 
-  std::uint64_t offset = 0;
-  do {
-    const std::uint64_t n = std::min<std::uint64_t>(kRdvSegmentBytes, total - offset);
-    rt::Packet* d = rt::PacketPool::alloc();
-    d->hdr.kind = rt::PacketKind::RdvData;
-    d->hdr.seq = slot->trace_seq;
-    d->hdr.vci = pkt->hdr.vci;  // data segments follow the handshake's channel
-    d->hdr.src_world = self_;
-    d->hdr.target_req = target_req;
-    d->hdr.offset = offset;
-    d->hdr.total_bytes = total;
-    d->set_payload(src + offset, n);
+  if (pkt->hdr.rkey != 0 && fabric_.rdma_capable()) {
+    // Zero-copy path: the receiver registered its user buffer and sent the
+    // rkey. Register our side (cached), write the whole message in one
+    // one-sided operation, and trail it with an RdvDone control packet that
+    // carries the data's wire time so completion cannot overtake delivery.
+    fabric_.register_memory(self_, src, total);
+    fabric_.rdma_write(self_, dst, src, pkt->hdr.rkey, total);
+    rt::Packet* done = rt::PacketPool::alloc();
+    done->hdr.kind = rt::PacketKind::RdvDone;
+    done->hdr.seq = slot->trace_seq;
+    done->hdr.vci = pkt->hdr.vci;
+    done->hdr.src_world = self_;
+    done->hdr.target_req = target_req;
+    done->hdr.total_bytes = total;
     if (cfg_.trace && slot->trace_seq != 0) {
-      trace_msg(obs::trace::Ev::Inject, slot->trace_seq, d->hdr.vci, dst, 0, n);
+      trace_msg(obs::trace::Ev::Inject, slot->trace_seq, done->hdr.vci, dst, 0, total);
     }
-    fabric_.inject(self_, dst, d);
-    offset += n;
-  } while (offset < total);
+    fabric_.inject(self_, dst, done);
+  } else {
+    std::uint64_t offset = 0;
+    do {
+      const std::uint64_t n = std::min<std::uint64_t>(kRdvSegmentBytes, total - offset);
+      rt::Packet* d = rt::PacketPool::alloc();
+      d->hdr.kind = rt::PacketKind::RdvData;
+      d->hdr.seq = slot->trace_seq;
+      d->hdr.vci = pkt->hdr.vci;  // data segments follow the handshake's channel
+      d->hdr.src_world = self_;
+      d->hdr.target_req = target_req;
+      d->hdr.offset = offset;
+      d->hdr.total_bytes = total;
+      d->set_payload(src + offset, n);
+      if (cfg_.trace && slot->trace_seq != 0) {
+        trace_msg(obs::trace::Ev::Inject, slot->trace_seq, d->hdr.vci, dst, 0, n);
+      }
+      fabric_.inject(self_, dst, d);
+      offset += n;
+    } while (offset < total);
+  }
 
   // Origin-side completion: the data is out of the user buffer.
   if (cfg_.trace && slot->trace_seq != 0) {
@@ -268,6 +305,31 @@ void Engine::handle_rdv_data(rt::Packet* pkt) {
       trace_msg(obs::trace::Ev::Complete, slot->trace_seq, pkt->hdr.vci,
                 pkt->hdr.src_world, 0, take);
     }
+  }
+  rt::PacketPool::free(pkt);
+}
+
+void Engine::handle_rdv_done(rt::Packet* pkt) {
+  // Zero-copy rendezvous completion: the payload already landed in the user
+  // buffer via rdma_write (the MPSC hand-off of this packet orders those
+  // writes before us); only the request bookkeeping remains.
+  RequestSlot* slot = req_slot(pkt->hdr.target_req);
+  if (slot == nullptr || slot->kind != RequestSlot::Kind::RecvRdv) {
+    rt::PacketPool::free(pkt);
+    return;
+  }
+  slot->bytes_received = slot->bytes_expected;
+  slot->status.byte_count = slot->bytes_expected;
+  slot->status.error = slot->op_error;
+  cost::charge(cost::Category::MandRequest, cost::kMandCompletionCounter);
+  slot->complete.store(true, std::memory_order_release);
+  if (slot->post_ts != 0) {
+    Vci& v = *vcis_[request_vci(pkt->hdr.target_req)];
+    v.lat.record(obs::LatPath::RecvRdv, obs::lat_now_ns() - slot->post_ts);
+  }
+  if (cfg_.trace && slot->trace_seq != 0) {
+    trace_msg(obs::trace::Ev::Complete, slot->trace_seq, pkt->hdr.vci,
+              pkt->hdr.src_world, 0, slot->bytes_expected);
   }
   rt::PacketPool::free(pkt);
 }

@@ -1,74 +1,12 @@
 #include "net/fabric.hpp"
 
-#include "runtime/backoff.hpp"
-
 namespace lwmpi::net {
 
-Fabric::Fabric(int nranks, int ranks_per_node, Profile profile, int lanes_per_rank)
-    : nranks_(nranks),
-      ranks_per_node_(ranks_per_node < 1 ? 1 : ranks_per_node),
-      lanes_(lanes_per_rank < 1 ? 1 : lanes_per_rank),
-      profile_(std::move(profile)) {
-  boxes_.reserve(static_cast<std::size_t>(nranks_) * static_cast<std::size_t>(lanes_));
-  for (int i = 0; i < nranks_ * lanes_; ++i) boxes_.push_back(std::make_unique<Mailbox>());
-  meters_ = std::make_unique<RankMeter[]>(static_cast<std::size_t>(nranks_));
-}
+Fabric::Fabric(int nranks, int ranks_per_node, Profile profile, int lanes_per_rank,
+               std::string_view netmod)
+    : mod_(make_netmod(netmod, nranks, ranks_per_node, std::move(profile),
+                       lanes_per_rank)) {}
 
-Fabric::~Fabric() {
-  for (auto& box : boxes_) {
-    for (rt::Packet* p : box->staged) rt::PacketPool::free(p);
-    while (rt::Packet* p = box->queue.pop()) rt::PacketPool::free(p);
-  }
-}
-
-void Fabric::inject(Rank src, Rank dst, rt::Packet* p) noexcept {
-  const bool local = same_node(src, dst);
-  const std::uint64_t inject_cost =
-      local ? profile_.shm_inject_cost_ns : profile_.inject_cost_ns;
-  rt::spin_for_ns(inject_cost);
-
-  if (profile_.blackhole) {
-    dropped_.fetch_add(1, std::memory_order_relaxed);
-    rt::PacketPool::free(p);
-    return;
-  }
-
-  const std::uint64_t latency = local ? profile_.shm_latency_ns : profile_.latency_ns;
-  const std::uint64_t wire = profile_.serialization_ns(p->payload.size());
-  p->deliver_at_ns = (latency || wire) ? rt::now_ns() + latency + wire : 0;
-
-  const int lane = p->hdr.vci < lanes_ ? p->hdr.vci : 0;
-  Mailbox& box = *boxes_[index(dst, lane)];
-  box.injected.fetch_add(1, std::memory_order_release);
-  meters_[static_cast<std::size_t>(dst)].injected.fetch_add(1, std::memory_order_release);
-  box.queue.push(p);
-}
-
-void Fabric::charge_injection(Rank src, Rank dst) noexcept {
-  const bool local = same_node(src, dst);
-  rt::spin_for_ns(local ? profile_.shm_inject_cost_ns : profile_.inject_cost_ns);
-}
-
-rt::Packet* Fabric::poll(Rank self, int vci) noexcept {
-  Mailbox& box = *boxes_[index(self, vci)];
-  // Drain newly arrived packets into the staging deque so maturation does not
-  // reorder them relative to each other.
-  while (rt::Packet* p = box.queue.pop()) box.staged.push_back(p);
-  if (box.staged.empty()) return nullptr;
-  rt::Packet* front = box.staged.front();
-  if (front->deliver_at_ns != 0 && front->deliver_at_ns > rt::now_ns()) return nullptr;
-  box.staged.pop_front();
-  box.delivered.fetch_add(1, std::memory_order_relaxed);
-  meters_[static_cast<std::size_t>(self)].delivered.fetch_add(1, std::memory_order_relaxed);
-  return front;
-}
-
-bool Fabric::idle(Rank self) noexcept {
-  for (int v = 0; v < lanes_; ++v) {
-    Mailbox& box = *boxes_[index(self, v)];
-    if (!box.staged.empty() || !box.queue.empty()) return false;
-  }
-  return true;
-}
+Fabric::~Fabric() = default;
 
 }  // namespace lwmpi::net

@@ -1,134 +1,128 @@
-// The simulated fabric: per-(rank, vci) mailboxes plus the locality map.
+// The simulated fabric: a facade over a pluggable netmod backend.
 //
 // This is the reproduction's stand-in for the cluster interconnect. Ranks are
 // grouped into simulated nodes; intra-node traffic takes the shmmod cost
-// parameters and inter-node traffic the netmod parameters. Injection
-// busy-waits the profile's per-message cost (modeling NIC occupancy) and
-// stamps a maturation time (modeling wire latency); the receiving rank's
-// progress engine only sees a packet once it has matured.
+// parameters and inter-node traffic the netmod parameters. The transport
+// mechanism itself -- how injection, delivery, and flow control work -- lives
+// behind the Netmod interface (net/netmod.hpp): "mailbox" is the original
+// unbounded per-(rank, vci) MPSC transport, "rdma" models eager-over-RDMA-write
+// rings, a registration cache, and zero-copy rendezvous handoff.
 //
-// Each rank owns `lanes_per_rank` independent mailbox lanes -- one per
-// virtual communication interface (VCI). A packet's lane is selected by its
-// header's vci field, so traffic on different VCIs never contends on a shared
-// queue, mirroring MPICH's per-VCI netmod contexts.
+// Every call site in core/, rma/, obs/, and bench/ programs against this
+// facade, so swapping backends never touches the engine. The facade also owns
+// the vci bounds policy: an out-of-range lane index falls back to lane 0 on
+// every operation, symmetric with inject's long-standing behavior, so a
+// corrupted or miscomputed vci can skew a counter but never read out of
+// bounds.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <vector>
+#include <string_view>
 
 #include "common/types.hpp"
+#include "net/netmod.hpp"
 #include "net/profile.hpp"
-#include "runtime/mpsc_queue.hpp"
-#include "runtime/packet.hpp"
+
+namespace lwmpi::rt {
+struct Packet;
+}
 
 namespace lwmpi::net {
 
 class Fabric {
  public:
-  Fabric(int nranks, int ranks_per_node, Profile profile, int lanes_per_rank = 1);
-  ~Fabric();  // reclaims undelivered packets
+  // `netmod` selects the backend ("mailbox" or "rdma"); unknown names throw
+  // std::invalid_argument (see make_netmod).
+  Fabric(int nranks, int ranks_per_node, Profile profile, int lanes_per_rank = 1,
+         std::string_view netmod = "mailbox");
+  ~Fabric();  // the backend reclaims undelivered packets
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
-  int nranks() const noexcept { return nranks_; }
-  int ranks_per_node() const noexcept { return ranks_per_node_; }
-  int lanes_per_rank() const noexcept { return lanes_; }
-  int node_of(Rank r) const noexcept { return static_cast<int>(r) / ranks_per_node_; }
-  bool same_node(Rank a, Rank b) const noexcept { return node_of(a) == node_of(b); }
-  const Profile& profile() const noexcept { return profile_; }
+  std::string_view backend_name() const noexcept { return mod_->name(); }
+
+  int nranks() const noexcept { return mod_->nranks(); }
+  int ranks_per_node() const noexcept { return mod_->ranks_per_node(); }
+  int lanes_per_rank() const noexcept { return mod_->lanes_per_rank(); }
+  int node_of(Rank r) const noexcept { return mod_->node_of(r); }
+  bool same_node(Rank a, Rank b) const noexcept { return mod_->same_node(a, b); }
+  const Profile& profile() const noexcept { return mod_->profile(); }
 
   // Send `p` to rank `dst`, on the lane named by p->hdr.vci (out-of-range vci
   // falls back to lane 0). Takes ownership. Busy-waits the injection cost,
-  // stamps latency, and enqueues into the destination mailbox. In blackhole
-  // mode the packet is dropped at this boundary (Figure 5/6 methodology).
-  void inject(Rank src, Rank dst, rt::Packet* p) noexcept;
+  // stamps latency, and enqueues into the destination lane. In blackhole mode
+  // the packet is dropped at this boundary (Figure 5/6 methodology).
+  void inject(Rank src, Rank dst, rt::Packet* p) noexcept { mod_->inject(src, dst, p); }
 
   // Pay the per-message injection cost without transmitting anything. Used by
   // the ch4 direct (simulated-RDMA) RMA path: hardware still consumes a
   // descriptor slot per operation even though no software-visible packet flows.
-  void charge_injection(Rank src, Rank dst) noexcept;
+  void charge_injection(Rank src, Rank dst) noexcept { mod_->charge_injection(src, dst); }
 
   // Consume one matured packet from `self`'s lane `vci`, or nullptr. Must
   // only be called while holding the consuming side of that lane (the Engine
   // serializes on the owning VCI's lock).
-  rt::Packet* poll(Rank self, int vci = 0) noexcept;
+  rt::Packet* poll(Rank self, int vci = 0) noexcept { return mod_->poll(self, lane(vci)); }
 
   // Injected-minus-delivered count for one lane: a cheap lock-free test for
   // "is there possibly work on this lane" used by the progress poll set.
   std::uint64_t pending(Rank self, int vci) const noexcept {
-    const Mailbox& box = *boxes_[index(self, vci)];
-    return box.injected.load(std::memory_order_acquire) -
-           box.delivered.load(std::memory_order_relaxed);
+    return mod_->pending(self, lane(vci));
   }
 
-  // Aggregate of pending() over all of `self`'s lanes, maintained as a
-  // dedicated per-rank counter pair so an idle progress call costs two atomic
-  // loads total instead of two per lane.
-  std::uint64_t pending_any(Rank self) const noexcept {
-    const RankMeter& m = meters_[static_cast<std::size_t>(self)];
-    return m.injected.load(std::memory_order_acquire) -
-           m.delivered.load(std::memory_order_relaxed);
-  }
+  // Aggregate of pending() over all of `self`'s lanes, maintained by the
+  // backend as a dedicated per-rank counter pair so an idle progress call
+  // costs two atomic loads total instead of two per lane.
+  std::uint64_t pending_any(Rank self) const noexcept { return mod_->pending_any(self); }
 
   // True if no packet is currently visible for `self` on any lane.
-  bool idle(Rank self) noexcept;
+  bool idle(Rank self) noexcept { return mod_->idle(self); }
 
   // Aggregate counters over all of a rank's lanes.
   std::uint64_t injected(Rank r) const noexcept {
     std::uint64_t n = 0;
-    for (int v = 0; v < lanes_; ++v) {
-      n += boxes_[index(r, v)]->injected.load(std::memory_order_relaxed);
-    }
+    for (int v = 0; v < lanes_per_rank(); ++v) n += mod_->injected(r, v);
     return n;
   }
   std::uint64_t delivered(Rank r) const noexcept {
     std::uint64_t n = 0;
-    for (int v = 0; v < lanes_; ++v) {
-      n += boxes_[index(r, v)]->delivered.load(std::memory_order_relaxed);
-    }
+    for (int v = 0; v < lanes_per_rank(); ++v) n += mod_->delivered(r, v);
     return n;
   }
   // Per-lane counters (observability / pvar export).
   std::uint64_t injected(Rank r, int vci) const noexcept {
-    return boxes_[index(r, vci)]->injected.load(std::memory_order_relaxed);
+    return mod_->injected(r, lane(vci));
   }
   std::uint64_t delivered(Rank r, int vci) const noexcept {
-    return boxes_[index(r, vci)]->delivered.load(std::memory_order_relaxed);
+    return mod_->delivered(r, lane(vci));
   }
-  std::uint64_t dropped() const noexcept { return dropped_.load(std::memory_order_relaxed); }
+  std::uint64_t dropped() const noexcept { return mod_->dropped(); }
+
+  // --- RDMA-semantics extensions (forwarded; no-ops on non-rdma backends) -----
+  bool rdma_capable() const noexcept { return mod_->rdma_capable(); }
+  std::uint64_t register_memory(Rank self, const void* base, std::size_t bytes) {
+    return mod_->register_memory(self, base, bytes);
+  }
+  void rdma_write(Rank src, Rank dst, const void* from, std::uint64_t rkey,
+                  std::size_t bytes) noexcept {
+    mod_->rdma_write(src, dst, from, rkey, bytes);
+  }
+  void credit_return(Rank self, int vci) noexcept { mod_->credit_return(self, lane(vci)); }
+  std::uint64_t net_stat(NetStat s, Rank self, int vci = -1) const noexcept {
+    return mod_->stat(s, self, vci);
+  }
 
  private:
-  struct Mailbox {
-    rt::MpscQueue<rt::Packet> queue;
-    // Consumer-owned staging area for packets popped but not yet matured.
-    std::deque<rt::Packet*> staged;
-    std::atomic<std::uint64_t> injected{0};  // packets sent *to* this lane
-    std::atomic<std::uint64_t> delivered{0};
-  };
-
-  // Whole-rank counters backing pending_any(). Cache-line separated so two
-  // ranks' meters never false-share.
-  struct RankMeter {
-    alignas(64) std::atomic<std::uint64_t> injected{0};
-    std::atomic<std::uint64_t> delivered{0};
-  };
-
-  std::size_t index(Rank r, int vci) const noexcept {
-    return static_cast<std::size_t>(r) * static_cast<std::size_t>(lanes_) +
-           static_cast<std::size_t>(vci);
+  // The facade-wide vci bounds policy: anything outside [0, lanes) reads lane
+  // 0, matching inject's fallback, so no index computed from a packet header
+  // or caller argument can walk off the lane table.
+  int lane(int vci) const noexcept {
+    return vci >= 0 && vci < mod_->lanes_per_rank() ? vci : 0;
   }
 
-  const int nranks_;
-  const int ranks_per_node_;
-  const int lanes_;
-  const Profile profile_;
-  std::vector<std::unique_ptr<Mailbox>> boxes_;  // nranks x lanes, row-major
-  std::unique_ptr<RankMeter[]> meters_;          // one per rank
-  std::atomic<std::uint64_t> dropped_{0};
+  std::unique_ptr<Netmod> mod_;
 };
 
 }  // namespace lwmpi::net

@@ -1,0 +1,30 @@
+// Netmod backend factory. Each backend lives in its own translation unit and
+// exports an internal make_* function; this is the single name-to-backend
+// dispatch point the Fabric facade (and tests) go through.
+#include <stdexcept>
+#include <string>
+
+#include "net/netmod.hpp"
+
+namespace lwmpi::net {
+
+std::unique_ptr<Netmod> make_mailbox_netmod(int nranks, int ranks_per_node,
+                                            Profile profile, int lanes_per_rank);
+std::unique_ptr<Netmod> make_rdma_netmod(int nranks, int ranks_per_node, Profile profile,
+                                         int lanes_per_rank);
+
+std::unique_ptr<Netmod> make_netmod(std::string_view name, int nranks, int ranks_per_node,
+                                    Profile profile, int lanes_per_rank) {
+  if (name == "mailbox") {
+    return make_mailbox_netmod(nranks, ranks_per_node, std::move(profile), lanes_per_rank);
+  }
+  if (name == "rdma") {
+    return make_rdma_netmod(nranks, ranks_per_node, std::move(profile), lanes_per_rank);
+  }
+  // A silently substituted transport would invalidate every per-backend
+  // measurement downstream, so an unknown name is a hard error.
+  throw std::invalid_argument("lwmpi: unknown netmod '" + std::string(name) +
+                              "' (known: mailbox, rdma)");
+}
+
+}  // namespace lwmpi::net

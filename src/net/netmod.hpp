@@ -1,0 +1,146 @@
+// Pluggable network-module (netmod) interface.
+//
+// The paper's fig3/fig4 crossovers were measured on two genuinely different
+// injection semantics (OFI/PSM2 vs UCX/EDR). To let the reproduction re-derive
+// those crossovers per *mechanism* rather than per cost profile, the transport
+// behind the Fabric facade is a backend implementing this interface:
+//
+//   * "mailbox" -- the original transport: one unbounded MPSC mailbox per
+//     (rank, vci) lane, per-message injection cost, maturation latency.
+//   * "rdma"    -- RDMA-style semantics modeled on MPICH2-over-InfiniBand and
+//     pMR's connection-less endpoints: eager packets are RDMA-written into
+//     pre-registered per-(rank, vci) rings of bounded depth (senders consume
+//     credits, the receiving engine returns them after copy-out), large
+//     transfers move zero-copy via registered-buffer handoff, and buffer
+//     registration goes through an LRU cache over simulated pin/unpin costs.
+//
+// The interface is the contract the Engine's progress/pt2pt/RMA paths program
+// against: inject / charge_injection / poll / pending / pending_any / idle
+// plus per-lane traffic counters. RDMA-semantics extensions (registration,
+// one-sided write, credit return) default to "unsupported" so a backend only
+// implements what its mechanism provides; callers must gate zero-copy paths
+// on rdma_capable().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "common/types.hpp"
+#include "net/profile.hpp"
+
+namespace lwmpi::rt {
+struct Packet;
+}
+
+namespace lwmpi::net {
+
+// Backend-side statistics surfaced through the pvar registry (obs/pvar.cpp).
+// Backends without a given mechanism report 0 (the Netmod default).
+enum class NetStat : std::uint8_t {
+  RegCacheHit,       // registration resolved from the cache
+  RegCacheMiss,      // registration paid the pin cost
+  RegCacheEviction,  // LRU entry unpinned to make room
+  RingOccupancyHwm,  // per-(rank, vci) eager-ring occupancy high-water mark
+  RingStall,         // injections that waited for a ring credit
+  ZeroCopyWrite,     // rdma_write transfers issued by this rank
+};
+
+class Netmod {
+ public:
+  Netmod(int nranks, int ranks_per_node, Profile profile, int lanes_per_rank)
+      : nranks_(nranks),
+        ranks_per_node_(ranks_per_node < 1 ? 1 : ranks_per_node),
+        lanes_(lanes_per_rank < 1 ? 1 : lanes_per_rank),
+        profile_(std::move(profile)) {}
+  virtual ~Netmod() = default;
+  Netmod(const Netmod&) = delete;
+  Netmod& operator=(const Netmod&) = delete;
+
+  virtual std::string_view name() const noexcept = 0;
+
+  // --- mandatory transport operations ---------------------------------------
+  // Send `p` to rank `dst` on the lane named by p->hdr.vci; takes ownership.
+  // Pays the injection cost and stamps the maturation time.
+  virtual void inject(Rank src, Rank dst, rt::Packet* p) noexcept = 0;
+  // Pay the per-message injection cost without transmitting anything (the ch4
+  // direct/simulated-RDMA RMA path: the NIC consumes a descriptor slot even
+  // though no software-visible packet flows).
+  virtual void charge_injection(Rank src, Rank dst) noexcept = 0;
+  // Consume one matured packet from `self`'s lane `vci`, or nullptr. The
+  // caller must serialize consumers per lane (the Engine's VCI lock does).
+  virtual rt::Packet* poll(Rank self, int vci) noexcept = 0;
+  // Lock-free "is there possibly work" tests used by the progress poll set.
+  virtual std::uint64_t pending(Rank self, int vci) const noexcept = 0;
+  virtual std::uint64_t pending_any(Rank self) const noexcept = 0;
+  // True if no packet is currently visible for `self` on any lane.
+  virtual bool idle(Rank self) noexcept = 0;
+  // Per-lane traffic counters (observability / pvar export).
+  virtual std::uint64_t injected(Rank r, int vci) const noexcept = 0;
+  virtual std::uint64_t delivered(Rank r, int vci) const noexcept = 0;
+  // Packets dropped at the injection boundary (blackhole methodology).
+  virtual std::uint64_t dropped() const noexcept = 0;
+
+  // --- RDMA-semantics extensions (default: not provided) ---------------------
+  // True when the backend supports registered-buffer handoff: register_memory
+  // returns usable rkeys and rdma_write moves data without a staging copy.
+  virtual bool rdma_capable() const noexcept { return false; }
+  // Register [base, base+bytes) for remote access on behalf of `self`; pays
+  // the (cached) pin cost and returns an rkey token, or 0 if unsupported. The
+  // token is valid for the world's lifetime (windows/buffers are never
+  // unpinned mid-transfer in this simulation; eviction only re-pins later).
+  virtual std::uint64_t register_memory(Rank self, const void* base, std::size_t bytes) {
+    (void)self;
+    (void)base;
+    (void)bytes;
+    return 0;
+  }
+  // One-sided write of `bytes` from `from` into the remote region named by
+  // `rkey` (as returned by the peer's register_memory). Pays the injection
+  // cost; the data movement itself is the copy. Completion must still be
+  // signaled by the caller (an RdvDone control packet).
+  virtual void rdma_write(Rank src, Rank dst, const void* from, std::uint64_t rkey,
+                          std::size_t bytes) noexcept {
+    (void)src;
+    (void)dst;
+    (void)from;
+    (void)rkey;
+    (void)bytes;
+  }
+  // Return one eager-ring credit for `self`'s lane `vci` after the consuming
+  // engine has copied a polled packet out of the ring (core/progress.cpp).
+  virtual void credit_return(Rank self, int vci) noexcept {
+    (void)self;
+    (void)vci;
+  }
+  // Backend statistic, or 0 when the mechanism does not exist. `vci` is
+  // meaningful only for lane-scoped stats (RingOccupancyHwm); -1 sums lanes.
+  virtual std::uint64_t stat(NetStat s, Rank self, int vci) const noexcept {
+    (void)s;
+    (void)self;
+    (void)vci;
+    return 0;
+  }
+
+  // --- shared topology --------------------------------------------------------
+  int nranks() const noexcept { return nranks_; }
+  int ranks_per_node() const noexcept { return ranks_per_node_; }
+  int lanes_per_rank() const noexcept { return lanes_; }
+  int node_of(Rank r) const noexcept { return static_cast<int>(r) / ranks_per_node_; }
+  bool same_node(Rank a, Rank b) const noexcept { return node_of(a) == node_of(b); }
+  const Profile& profile() const noexcept { return profile_; }
+
+ protected:
+  const int nranks_;
+  const int ranks_per_node_;
+  const int lanes_;
+  const Profile profile_;
+};
+
+// Backend factory. Known names: "mailbox", "rdma". Unknown names are a hard
+// configuration error (std::invalid_argument) -- a silently substituted
+// transport would invalidate every per-backend measurement downstream.
+std::unique_ptr<Netmod> make_netmod(std::string_view name, int nranks, int ranks_per_node,
+                                    Profile profile, int lanes_per_rank);
+
+}  // namespace lwmpi::net

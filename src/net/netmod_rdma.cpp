@@ -1,0 +1,316 @@
+// "rdma" netmod: RDMA-style injection semantics, modeled on MPICH2 over
+// InfiniBand (Liu et al.) and pMR's connection-less endpoint design.
+//
+// Mechanisms, and how they differ from the mailbox transport:
+//
+//   * Connection-less endpoints: the only per-destination state is the
+//     destination's receive ring -- there is no per-peer connection object,
+//     queue pair, or handshake. Any rank may write to any other at any time.
+//   * Eager over RDMA write: every packet is "written" into a pre-registered
+//     per-(rank, vci) receive ring of bounded depth. Senders consume a ring
+//     credit per packet and busy-wait (with backoff) when the ring is full;
+//     the receiving engine returns the credit once it has copied the packet
+//     out (Netmod::credit_return, called from core/progress.cpp). Ring
+//     occupancy and credit stalls are exported as pvars.
+//   * Rendezvous zero-copy: register_memory pins buffers through an LRU
+//     registration cache (hit/miss/eviction pvars; misses busy-wait the
+//     profile's pin cost per page, evictions the unpin cost) and returns an
+//     rkey; rdma_write then moves the payload straight into the remote buffer
+//     with a single copy and no intermediate packet staging.
+//
+// The ring depth, pin cost, and cache capacity come from net::Profile
+// (rdma_ring_depth, pin_cost_ns_per_page, reg_cache_capacity), so cost
+// profiles keep owning the numbers while this backend owns the mechanism.
+#include <atomic>
+#include <cstring>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "net/netmod.hpp"
+#include "runtime/backoff.hpp"
+#include "runtime/packet.hpp"
+
+namespace lwmpi::net {
+
+namespace {
+
+constexpr std::uint64_t kPageShift = 12;  // 4 KiB pages, the common host size
+
+class RdmaNetmod final : public Netmod {
+ public:
+  RdmaNetmod(int nranks, int ranks_per_node, Profile profile, int lanes_per_rank)
+      : Netmod(nranks, ranks_per_node, std::move(profile), lanes_per_rank),
+        ring_depth_(profile_.rdma_ring_depth < 1 ? 1 : profile_.rdma_ring_depth) {
+    rings_.reserve(static_cast<std::size_t>(nranks_) * static_cast<std::size_t>(lanes_));
+    for (int i = 0; i < nranks_ * lanes_; ++i) {
+      rings_.push_back(std::make_unique<Ring>(ring_depth_));
+    }
+    ranks_ = std::make_unique<RankState[]>(static_cast<std::size_t>(nranks_));
+  }
+
+  ~RdmaNetmod() override {
+    for (auto& ring : rings_) {
+      for (rt::Packet* p : ring->staged) rt::PacketPool::free(p);
+      while (rt::Packet* p = ring->queue.pop()) rt::PacketPool::free(p);
+    }
+  }
+
+  std::string_view name() const noexcept override { return "rdma"; }
+
+  void inject(Rank src, Rank dst, rt::Packet* p) noexcept override {
+    const bool local = same_node(src, dst);
+    rt::spin_for_ns(local ? profile_.shm_inject_cost_ns : profile_.inject_cost_ns);
+
+    if (profile_.blackhole) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      rt::PacketPool::free(p);
+      return;
+    }
+
+    const std::uint64_t latency = local ? profile_.shm_latency_ns : profile_.latency_ns;
+    // An RdvDone control packet trails the one-sided data written by
+    // rdma_write: its own payload is empty, but it must not overtake the
+    // wire time of the data it confirms, so it carries that serialization.
+    const std::uint64_t wire_bytes = p->hdr.kind == rt::PacketKind::RdvDone
+                                         ? p->hdr.total_bytes
+                                         : p->payload.size();
+    const std::uint64_t wire = profile_.serialization_ns(wire_bytes);
+    p->deliver_at_ns = (latency || wire) ? rt::now_ns() + latency + wire : 0;
+
+    const int lane = p->hdr.vci < lanes_ ? p->hdr.vci : 0;
+    Ring& ring = *rings_[index(dst, lane)];
+    acquire_credit(ring, src);
+    ring.injected.fetch_add(1, std::memory_order_release);
+    ranks_[static_cast<std::size_t>(dst)].injected.fetch_add(1, std::memory_order_release);
+    ring.queue.push(p);
+  }
+
+  void charge_injection(Rank src, Rank dst) noexcept override {
+    const bool local = same_node(src, dst);
+    rt::spin_for_ns(local ? profile_.shm_inject_cost_ns : profile_.inject_cost_ns);
+  }
+
+  rt::Packet* poll(Rank self, int vci) noexcept override {
+    Ring& ring = *rings_[index(self, vci)];
+    while (rt::Packet* p = ring.queue.pop()) ring.staged.push_back(p);
+    if (ring.staged.empty()) return nullptr;
+    rt::Packet* front = ring.staged.front();
+    if (front->deliver_at_ns != 0 && front->deliver_at_ns > rt::now_ns()) return nullptr;
+    ring.staged.pop_front();
+    ring.delivered.fetch_add(1, std::memory_order_relaxed);
+    ranks_[static_cast<std::size_t>(self)].delivered.fetch_add(1, std::memory_order_relaxed);
+    // The credit is NOT returned here: the slot stays occupied until the
+    // engine has copied the packet out of the ring (credit_return).
+    return front;
+  }
+
+  std::uint64_t pending(Rank self, int vci) const noexcept override {
+    const Ring& ring = *rings_[index(self, vci)];
+    return ring.injected.load(std::memory_order_acquire) -
+           ring.delivered.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t pending_any(Rank self) const noexcept override {
+    const RankState& m = ranks_[static_cast<std::size_t>(self)];
+    return m.injected.load(std::memory_order_acquire) -
+           m.delivered.load(std::memory_order_relaxed);
+  }
+
+  bool idle(Rank self) noexcept override {
+    for (int v = 0; v < lanes_; ++v) {
+      Ring& ring = *rings_[index(self, v)];
+      if (!ring.staged.empty() || !ring.queue.empty()) return false;
+    }
+    return true;
+  }
+
+  std::uint64_t injected(Rank r, int vci) const noexcept override {
+    return rings_[index(r, vci)]->injected.load(std::memory_order_relaxed);
+  }
+  std::uint64_t delivered(Rank r, int vci) const noexcept override {
+    return rings_[index(r, vci)]->delivered.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped() const noexcept override {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  // --- RDMA extensions --------------------------------------------------------
+
+  bool rdma_capable() const noexcept override { return true; }
+
+  std::uint64_t register_memory(Rank self, const void* base, std::size_t bytes) override {
+    RankState& rs = ranks_[static_cast<std::size_t>(self)];
+    const std::uint64_t addr = reinterpret_cast<std::uint64_t>(base);
+    const std::uint64_t first_page = addr >> kPageShift;
+    const std::uint64_t last_page = (addr + (bytes == 0 ? 0 : bytes - 1)) >> kPageShift;
+    const std::uint64_t npages = last_page - first_page + 1;
+
+    std::uint64_t pin_pages = 0;
+    {
+      std::lock_guard<std::mutex> lk(rs.cache.mu);
+      auto it = rs.cache.by_page.find(first_page);
+      if (it != rs.cache.by_page.end() && it->second->last_page >= last_page) {
+        rs.reg_hits.fetch_add(1, std::memory_order_relaxed);
+        // LRU touch.
+        rs.cache.lru.splice(rs.cache.lru.begin(), rs.cache.lru, it->second);
+      } else {
+        rs.reg_misses.fetch_add(1, std::memory_order_relaxed);
+        pin_pages = npages;
+        if (it != rs.cache.by_page.end()) {
+          // Same base, longer range: grow the registration in place.
+          it->second->last_page = last_page;
+          rs.cache.lru.splice(rs.cache.lru.begin(), rs.cache.lru, it->second);
+        } else {
+          rs.cache.lru.push_front(RegEntry{first_page, last_page});
+          rs.cache.by_page[first_page] = rs.cache.lru.begin();
+          const std::size_t cap =
+              profile_.reg_cache_capacity < 1 ? 1
+                                              : static_cast<std::size_t>(
+                                                    profile_.reg_cache_capacity);
+          while (rs.cache.lru.size() > cap) {
+            const RegEntry victim = rs.cache.lru.back();
+            rs.cache.by_page.erase(victim.first_page);
+            rs.cache.lru.pop_back();
+            rs.reg_evictions.fetch_add(1, std::memory_order_relaxed);
+            // Unpinning walks the same page list as pinning but skips the
+            // kernel fault path; model it at half the pin cost.
+            rt::spin_for_ns((victim.last_page - victim.first_page + 1) *
+                            profile_.pin_cost_ns_per_page / 2);
+          }
+        }
+      }
+    }
+    if (pin_pages != 0) rt::spin_for_ns(pin_pages * profile_.pin_cost_ns_per_page);
+    return addr;
+  }
+
+  void rdma_write(Rank src, Rank dst, const void* from, std::uint64_t rkey,
+                  std::size_t bytes) noexcept override {
+    const bool local = same_node(src, dst);
+    rt::spin_for_ns(local ? profile_.shm_inject_cost_ns : profile_.inject_cost_ns);
+    ranks_[static_cast<std::size_t>(src)].zcopy_writes.fetch_add(1,
+                                                                 std::memory_order_relaxed);
+    // The one-sided data movement: one copy, straight into the registered
+    // remote buffer. No packet, no staging.
+    std::memcpy(reinterpret_cast<void*>(rkey), from, bytes);
+  }
+
+  void credit_return(Rank self, int vci) noexcept override {
+    const int lane = vci >= 0 && vci < lanes_ ? vci : 0;
+    rings_[index(self, lane)]->credits.fetch_add(1, std::memory_order_release);
+  }
+
+  std::uint64_t stat(NetStat s, Rank self, int vci) const noexcept override {
+    const RankState& rs = ranks_[static_cast<std::size_t>(self)];
+    switch (s) {
+      case NetStat::RegCacheHit: return rs.reg_hits.load(std::memory_order_relaxed);
+      case NetStat::RegCacheMiss: return rs.reg_misses.load(std::memory_order_relaxed);
+      case NetStat::RegCacheEviction:
+        return rs.reg_evictions.load(std::memory_order_relaxed);
+      case NetStat::RingStall: return rs.ring_stalls.load(std::memory_order_relaxed);
+      case NetStat::ZeroCopyWrite: return rs.zcopy_writes.load(std::memory_order_relaxed);
+      case NetStat::RingOccupancyHwm: {
+        if (vci >= 0 && vci < lanes_) {
+          return rings_[index(self, vci)]->occupancy_hwm.load(std::memory_order_relaxed);
+        }
+        std::uint64_t m = 0;
+        for (int v = 0; v < lanes_; ++v) {
+          const std::uint64_t h =
+              rings_[index(self, v)]->occupancy_hwm.load(std::memory_order_relaxed);
+          if (h > m) m = h;
+        }
+        return m;
+      }
+    }
+    return 0;
+  }
+
+ private:
+  // Bounded receive ring for one (rank, vci) endpoint lane. The MPSC queue
+  // carries the packets; `credits` is the free-slot count senders draw from.
+  struct Ring {
+    explicit Ring(int depth) : credits(depth) {}
+    rt::MpscQueue<rt::Packet> queue;
+    std::deque<rt::Packet*> staged;  // consumer-owned, matured-order staging
+    std::atomic<int> credits;
+    std::atomic<std::uint64_t> injected{0};
+    std::atomic<std::uint64_t> delivered{0};
+    std::atomic<std::uint64_t> occupancy_hwm{0};
+  };
+
+  struct RegEntry {
+    std::uint64_t first_page = 0;
+    std::uint64_t last_page = 0;
+  };
+
+  // LRU registration cache, keyed by the region's first page. One per rank
+  // (registrations belong to the process that owns the memory), guarded by a
+  // mutex because a rank's MPI calls may come from several user threads.
+  struct RegCache {
+    std::mutex mu;
+    std::list<RegEntry> lru;  // front = most recently used
+    std::unordered_map<std::uint64_t, std::list<RegEntry>::iterator> by_page;
+  };
+
+  // Per-rank endpoint state, cache-line separated across ranks.
+  struct alignas(64) RankState {
+    std::atomic<std::uint64_t> injected{0};  // pending_any meter (traffic *to* rank)
+    std::atomic<std::uint64_t> delivered{0};
+    std::atomic<std::uint64_t> reg_hits{0};
+    std::atomic<std::uint64_t> reg_misses{0};
+    std::atomic<std::uint64_t> reg_evictions{0};
+    std::atomic<std::uint64_t> ring_stalls{0};  // counted against the sender
+    std::atomic<std::uint64_t> zcopy_writes{0};
+    RegCache cache;
+  };
+
+  std::size_t index(Rank r, int vci) const noexcept {
+    return static_cast<std::size_t>(r) * static_cast<std::size_t>(lanes_) +
+           static_cast<std::size_t>(vci);
+  }
+
+  void acquire_credit(Ring& ring, Rank src) noexcept {
+    rt::Backoff backoff;
+    bool stalled = false;
+    for (;;) {
+      int c = ring.credits.load(std::memory_order_acquire);
+      while (c > 0) {
+        if (ring.credits.compare_exchange_weak(c, c - 1, std::memory_order_acquire,
+                                               std::memory_order_relaxed)) {
+          const std::uint64_t occ =
+              static_cast<std::uint64_t>(ring_depth_ - (c - 1));
+          std::uint64_t hwm = ring.occupancy_hwm.load(std::memory_order_relaxed);
+          while (occ > hwm && !ring.occupancy_hwm.compare_exchange_weak(
+                                  hwm, occ, std::memory_order_relaxed)) {
+          }
+          return;
+        }
+      }
+      if (!stalled) {
+        stalled = true;
+        ranks_[static_cast<std::size_t>(src)].ring_stalls.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+      backoff.pause();
+    }
+  }
+
+  const int ring_depth_;
+  std::vector<std::unique_ptr<Ring>> rings_;  // nranks x lanes, row-major
+  std::unique_ptr<RankState[]> ranks_;        // one per rank
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace
+
+std::unique_ptr<Netmod> make_rdma_netmod(int nranks, int ranks_per_node, Profile profile,
+                                         int lanes_per_rank) {
+  return std::make_unique<RdmaNetmod>(nranks, ranks_per_node, std::move(profile),
+                                      lanes_per_rank);
+}
+
+}  // namespace lwmpi::net

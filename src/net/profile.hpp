@@ -26,6 +26,14 @@ struct Profile {
   // Infinitely-fast-network methodology: the stack runs in full but packets
   // are dropped at the injection boundary instead of being transmitted.
   bool blackhole = false;
+  // --- rdma-backend parameters (ignored by the mailbox backend) -------------
+  // Cost to pin one 4 KiB page when a registration misses the cache (the
+  // get_user_pages + IOMMU-map path); unpinning on eviction costs half this.
+  std::uint64_t pin_cost_ns_per_page = 0;
+  // Registered-region entries the LRU registration cache holds per rank.
+  std::uint64_t reg_cache_capacity = 64;
+  // Credit depth of each pre-registered per-(rank, vci) eager receive ring.
+  int rdma_ring_depth = 1024;
 
   std::uint64_t serialization_ns(std::uint64_t bytes) const noexcept {
     if (bytes_per_us == 0) return 0;
@@ -51,6 +59,7 @@ inline Profile psm2() {
   p.latency_ns = 900;
   p.shm_latency_ns = 150;
   p.bytes_per_us = 12'000;  // ~12 GB/s
+  p.pin_cost_ns_per_page = 220;  // get_user_pages + IOMMU map, per 4 KiB page
   return p;
 }
 
@@ -63,6 +72,7 @@ inline Profile ucx_edr() {
   p.latency_ns = 800;
   p.shm_latency_ns = 150;
   p.bytes_per_us = 12'000;
+  p.pin_cost_ns_per_page = 180;  // mlx5 reg_mr is slightly cheaper than OPA's
   return p;
 }
 

@@ -117,6 +117,44 @@ const Entry kRegistry[] = {
      +[](Engine& e, int vci) { return e.world().fabric().injected(e.world_rank(), vci); }},
     {vci_counter("fabric_delivered", "packets delivered from this rank's fabric lane"),
      +[](Engine& e, int vci) { return e.world().fabric().delivered(e.world_rank(), vci); }},
+    // Fabric-wide blackhole drop count (infinitely-fast-network methodology).
+    // The counter is shared by every rank of the world, so per-rank reports
+    // repeat the same value; fig5/fig6 runs read it from rank 0.
+    {{"fabric_dropped", "packets dropped at the injection boundary (blackhole)",
+      PvarClass::Counter, PvarBind::Engine},
+     +[](Engine& e, int) { return e.world().fabric().dropped(); }},
+    // rdma-netmod statistics: all read 0 on backends without the mechanism.
+    {{"rdma_reg_cache_hits", "buffer registrations resolved from the cache",
+      PvarClass::Counter, PvarBind::Engine},
+     +[](Engine& e, int) {
+       return e.world().fabric().net_stat(net::NetStat::RegCacheHit, e.world_rank());
+     }},
+    {{"rdma_reg_cache_misses", "buffer registrations that paid the pin cost",
+      PvarClass::Counter, PvarBind::Engine},
+     +[](Engine& e, int) {
+       return e.world().fabric().net_stat(net::NetStat::RegCacheMiss, e.world_rank());
+     }},
+    {{"rdma_reg_cache_evictions", "LRU registrations unpinned to make room",
+      PvarClass::Counter, PvarBind::Engine},
+     +[](Engine& e, int) {
+       return e.world().fabric().net_stat(net::NetStat::RegCacheEviction, e.world_rank());
+     }},
+    {{"rdma_ring_occupancy_hwm", "eager receive-ring occupancy high-water mark",
+      PvarClass::Highwatermark, PvarBind::Vci},
+     +[](Engine& e, int vci) {
+       return e.world().fabric().net_stat(net::NetStat::RingOccupancyHwm, e.world_rank(),
+                                          vci);
+     }},
+    {{"rdma_ring_stalls", "injections that waited for an eager-ring credit",
+      PvarClass::Counter, PvarBind::Engine},
+     +[](Engine& e, int) {
+       return e.world().fabric().net_stat(net::NetStat::RingStall, e.world_rank());
+     }},
+    {{"rdma_zero_copy_writes", "one-sided zero-copy transfers issued by this rank",
+      PvarClass::Counter, PvarBind::Engine},
+     +[](Engine& e, int) {
+       return e.world().fabric().net_stat(net::NetStat::ZeroCopyWrite, e.world_rank());
+     }},
     {{"requests_live", "request-pool slots currently allocated", PvarClass::Level,
       PvarBind::Engine},
      +[](Engine& e, int) { return static_cast<std::uint64_t>(e.live_requests()); }},

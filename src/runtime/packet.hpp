@@ -37,6 +37,7 @@ enum class PacketKind : std::uint8_t {
   AmPscwPost,    // PSCW: target exposes its window to an origin
   AmPscwComplete,// PSCW: origin finished its access epoch
   Barrier,       // world-level runtime barrier (not MPI barrier)
+  RdvDone,       // zero-copy rendezvous: data landed via rdma_write (no payload)
 };
 
 // Matching mode for pt2pt packets.
@@ -63,6 +64,8 @@ struct PacketHeader {
   std::uint32_t dt_count = 0;       // target-side element count
   std::uint32_t lock_type = 0;      // LockType for lock messages
   std::uint64_t seq = 0;            // trace message id (0 = tracing off)
+  std::uint64_t rkey = 0;           // registered-buffer token (zero-copy rdv Cts)
+  std::uint8_t zcopy = 0;           // Rts: sender offers zero-copy handoff
 };
 
 struct Packet : MpscNode {

@@ -14,7 +14,8 @@ namespace lwmpi {
 World::World(int nranks, WorldOptions opts)
     : nranks_(nranks),
       opts_(std::move(opts)),
-      fabric_(nranks, opts_.ranks_per_node, opts_.profile, opts_.build.vcis()),
+      fabric_(nranks, opts_.ranks_per_node, opts_.profile, opts_.build.vcis(),
+              opts_.netmod),
       next_ctx_(kFirstDynamicCtx) {
   engines_.reserve(static_cast<std::size_t>(nranks_));
   for (int r = 0; r < nranks_; ++r) {
@@ -55,10 +56,11 @@ std::string World::stats_report(bool as_json) {
   std::ostringstream out;
   if (as_json) {
     out << "{\"nranks\":" << nranks_ << ",\"num_vcis\":" << nvcis << ",\"device\":\""
-        << to_string(opts_.device) << "\",\"ranks\":[";
+        << to_string(opts_.device) << "\",\"netmod\":\"" << fabric_.backend_name()
+        << "\",\"ranks\":[";
   } else {
     out << "=== lwmpi stats: " << nranks_ << " rank(s) x " << nvcis << " vci(s), "
-        << to_string(opts_.device) << " ===\n";
+        << to_string(opts_.device) << ", netmod " << fabric_.backend_name() << " ===\n";
   }
   for (int r = 0; r < nranks_; ++r) {
     Engine& e = *engines_[static_cast<std::size_t>(r)];

@@ -30,6 +30,10 @@ struct WindowGlobal;
 struct WorldOptions {
   int ranks_per_node = 16;
   net::Profile profile = net::loopback();
+  // Transport backend behind the Fabric facade: "mailbox" (default, the
+  // original simulated transport) or "rdma" (registration cache + eager
+  // rings + zero-copy rendezvous). Unknown names throw at World construction.
+  std::string netmod = "mailbox";
   DeviceKind device = DeviceKind::Ch4;
   BuildConfig build = {};
   std::size_t eager_threshold = 16 * 1024;

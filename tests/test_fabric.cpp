@@ -6,6 +6,7 @@
 #include "net/fabric.hpp"
 #include "net/profile.hpp"
 #include "runtime/backoff.hpp"
+#include "runtime/packet.hpp"
 
 namespace lwmpi::net {
 namespace {
@@ -160,6 +161,47 @@ TEST(Fabric, ChargeInjectionWithoutPacket) {
   f.charge_injection(0, 1);
   EXPECT_GE(rt::now_ns() - t0, 2'000'000u);
   EXPECT_EQ(f.poll(1), nullptr);  // nothing was transmitted
+}
+
+TEST(Fabric, DefaultBackendIsMailbox) {
+  Fabric f(2, 2, loopback());
+  EXPECT_EQ(f.backend_name(), "mailbox");
+}
+
+// Regression test: an out-of-range vci used to index straight into the lane
+// table on the poll/counter side (inject alone had the lane-0 fallback). The
+// facade now clamps every lane argument to lane 0.
+TEST(Fabric, OutOfRangeVciFallsBackToLaneZero) {
+  Fabric f(2, 2, loopback(), 2);
+  rt::Packet* p = make_packet(5);
+  p->hdr.vci = 7;  // out of range: inject falls back to lane 0
+  f.inject(0, 1, p);
+  EXPECT_EQ(f.pending(1, 7), f.pending(1, 0));
+  EXPECT_EQ(f.pending(1, -3), f.pending(1, 0));
+  EXPECT_EQ(f.injected(1, 99), f.injected(1, 0));
+  EXPECT_EQ(f.injected(1, 0), 1u);
+  // poll with an out-of-range lane reads lane 0 instead of walking off the
+  // lane table.
+  rt::Packet* got = f.poll(1, 42);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->hdr.tag, 5);
+  rt::PacketPool::free(got);
+  EXPECT_EQ(f.delivered(1, -1), 1u);
+  EXPECT_EQ(f.poll(1, 1), nullptr);  // in-range lanes unaffected
+  EXPECT_TRUE(f.idle(1));
+}
+
+TEST(Fabric, OutOfRangeVciGuardsApplyToRdmaBackendToo) {
+  Fabric f(2, 2, loopback(), 2, "rdma");
+  rt::Packet* p = make_packet(3);
+  p->hdr.vci = 200;
+  f.inject(0, 1, p);
+  EXPECT_EQ(f.pending(1, 31), 1u);
+  rt::Packet* got = f.poll(1, 31);
+  ASSERT_NE(got, nullptr);
+  rt::PacketPool::free(got);
+  f.credit_return(1, 31);  // clamped like every other lane argument
+  EXPECT_EQ(f.delivered(1, 31), 1u);
 }
 
 TEST(Backoff, SpinForNsWaitsAtLeastThatLong) {

@@ -68,7 +68,12 @@ int main(int argc, char** argv) {
   const std::string baseline_dir = pos[0];
   const std::string current_dir = pos[1];
   std::vector<std::string> names(pos.begin() + 2, pos.end());
-  if (names.empty()) names = {"table1", "fig2"};
+  if (names.empty()) {
+    // Deterministic benches plus the per-backend rate figures. The rate
+    // artifacts carry only report-only units (msg/s), so by default they
+    // guard schema (labels/units) rather than timing.
+    names = {"table1", "fig2", "fig3_mailbox", "fig3_rdma", "fig4_mailbox", "fig4_rdma"};
+  }
 
   bool all_ok = true;
   for (const std::string& name : names) {
