@@ -18,3 +18,11 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 # of the stripped one (timing bench -- runs after ctest so it gets a quiet
 # machine; its own exit code is the acceptance check).
 "${BUILD_DIR}/bench/bench_obs_overhead"
+
+# Causal-tier golden trace: the committed injected-delay timeline must still
+# analyze to a late_sender-dominated critical path (format + analyzer drift
+# guard; also covered by the ctest critpath_golden case, repeated here so the
+# tier-1 log shows the actual Table-1-style report).
+CRITPATH_OUT="$("${BUILD_DIR}/tools/critpath" bench/baselines/causal_golden.jsonl)"
+echo "${CRITPATH_OUT}"
+grep -q "late_sender" <<<"${CRITPATH_OUT}"

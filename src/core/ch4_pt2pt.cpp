@@ -515,9 +515,21 @@ Err Engine::post_recv_common(void* buf, int count, Datatype dt, Rank src, Tag ta
       v.lat.record(obs::LatPath::UnexpectedWait,
                    lat_t0 > arrived_ns ? lat_t0 - arrived_ns : 0);
     }
+    // Causal wait classification at the unexpected-hit site: the match
+    // happens now, at post time, so `now == posted`. The decomposition then
+    // naturally attributes the whole interval since the send stamp to this
+    // receiver being late (unless the sender's credit stall dominates).
+    obs::Wait wait = obs::Wait::None;
+    std::uint64_t wait_ns = 0;
+    if (lat_t0 != 0 && (*pkt)->hdr.send_ns != 0) {
+      wait = obs::classify_wait(lat_t0, (*pkt)->hdr.send_ns, (*pkt)->hdr.stall_ns,
+                                lat_t0, &wait_ns);
+      v.waits.record(wait, wait_ns);
+    }
     if (cfg_.trace && (*pkt)->hdr.seq != 0) {
       trace_msg(obs::trace::Ev::Match, (*pkt)->hdr.seq, (*pkt)->hdr.vci,
-                (*pkt)->hdr.src_world, (*pkt)->hdr.tag, (*pkt)->hdr.total_bytes);
+                (*pkt)->hdr.src_world, (*pkt)->hdr.tag, (*pkt)->hdr.total_bytes, wait,
+                wait_ns);
     }
     deliver_match(pr, *pkt);
   } else {

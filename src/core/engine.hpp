@@ -281,6 +281,10 @@ class Engine {
   const obs::VciLatency& vci_latency(int vci) const noexcept {
     return vcis_[static_cast<std::size_t>(vci)]->lat;
   }
+  // Per-channel wait-state histograms (obs/causal.hpp).
+  const obs::WaitBlock& vci_waits(int vci) const noexcept {
+    return vcis_[static_cast<std::size_t>(vci)]->waits;
+  }
 
   // --- introspection / hang diagnosis (obs/introspect.cpp) --------------------
   // Capture this rank's queues, in-flight requests, and RMA epoch state.
@@ -478,16 +482,23 @@ class Engine {
 
   // ---- observability internals ----
   // Record one message-lifecycle trace event on this rank. Callers gate on
-  // cfg_.trace so the disabled path costs a single predictable branch.
+  // cfg_.trace so the disabled path costs a single predictable branch. Every
+  // event snapshots the rank's Lamport clock (net::Fabric) so the causal
+  // analyzer can stitch per-rank rings into one globally-ordered timeline;
+  // Match events additionally carry their wait-state classification.
   void trace_msg(obs::trace::Ev kind, std::uint64_t seq, std::uint8_t vci, Rank peer,
-                 Tag tag, std::uint64_t bytes) noexcept {
+                 Tag tag, std::uint64_t bytes, obs::Wait wait = obs::Wait::None,
+                 std::uint64_t wait_ns = 0) noexcept {
     obs::trace::record(obs::trace::Event{.ts_ns = rt::now_ns(),
                                          .seq = seq,
                                          .bytes = bytes,
+                                         .lclock = fabric_.lclock(self_),
+                                         .wait_ns = wait_ns,
                                          .rank = self_,
                                          .peer = peer,
                                          .tag = tag,
                                          .vci = vci,
+                                         .wait = static_cast<std::uint8_t>(wait),
                                          .kind = kind});
   }
 

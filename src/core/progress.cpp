@@ -79,9 +79,21 @@ void Engine::handle_packet(Vci& v, rt::Packet* pkt) {
       if (auto pr = v.matcher.arrive(pkt)) {
         v.counters.inc(obs::VciCtr::PostedMatch);
         v.counters.dec(obs::VciCtr::PostedDepth);
+        // Causal wait classification at the posted-match site: decompose the
+        // interval between the first-ready side and now using the packet's
+        // causal header (send stamp + credit stall) against the receive's
+        // post stamp. Sampled: posted_ns is 0 outside the latency sample.
+        obs::Wait wait = obs::Wait::None;
+        std::uint64_t wait_ns = 0;
+        if (pr->posted_ns != 0 && pkt->hdr.send_ns != 0) {
+          wait = obs::classify_wait(pr->posted_ns, pkt->hdr.send_ns, pkt->hdr.stall_ns,
+                                    obs::lat_now_ns(), &wait_ns);
+          v.waits.record(wait, wait_ns);
+        }
         if (cfg_.trace && pkt->hdr.seq != 0) {
           trace_msg(obs::trace::Ev::Match, pkt->hdr.seq, pkt->hdr.vci,
-                    pkt->hdr.src_world, pkt->hdr.tag, pkt->hdr.total_bytes);
+                    pkt->hdr.src_world, pkt->hdr.tag, pkt->hdr.total_bytes, wait,
+                    wait_ns);
         }
         deliver_match(*pr, pkt);
       } else {
@@ -177,7 +189,22 @@ void Engine::start_rendezvous_recv(RequestSlot& slot, Request req_handle, rt::Pa
   // rkey back in the CTS. The sender then rdma_writes straight into the user
   // buffer -- no RdvData packets, no staging copy -- and signals with RdvDone.
   if (rts->hdr.zcopy != 0 && total != 0 && !slot.stage_used && fabric_.rdma_capable()) {
+    const std::uint64_t miss0 = fabric_.net_stat(net::NetStat::RegCacheMiss, self_);
+    const std::uint64_t t0 = obs::lat_now_ns();
     cts->hdr.rkey = fabric_.register_memory(self_, slot.rbuf, total);
+    // A cache miss just paid the pin cost on the message's critical path;
+    // record it as a reg-cache-miss wait (caller holds the VCI lock).
+    if (fabric_.net_stat(net::NetStat::RegCacheMiss, self_) != miss0) {
+      vcis_[request_vci(req_handle)]->waits.record(obs::Wait::RegCacheMiss,
+                                                   obs::lat_now_ns() - t0);
+    }
+  }
+  // The CTS is a cross-rank hop of this message's chain: record its Inject so
+  // the critical-path walk (and the Perfetto flow arrows) can follow
+  // RTS -> CTS -> data back through the handshake.
+  if (cfg_.trace && cts->hdr.seq != 0) {
+    trace_msg(obs::trace::Ev::Inject, cts->hdr.seq, cts->hdr.vci, rts->hdr.src_world,
+              rts->hdr.tag, 0);
   }
   fabric_.inject(self_, rts->hdr.src_world, cts);
   rt::PacketPool::free(rts);
@@ -210,8 +237,20 @@ void Engine::handle_rdv_cts(rt::Packet* pkt) {
     // rkey. Register our side (cached), write the whole message in one
     // one-sided operation, and trail it with an RdvDone control packet that
     // carries the data's wire time so completion cannot overtake delivery.
+    const std::uint64_t miss0 = fabric_.net_stat(net::NetStat::RegCacheMiss, self_);
+    const std::uint64_t t0 = obs::lat_now_ns();
     fabric_.register_memory(self_, src, total);
+    if (fabric_.net_stat(net::NetStat::RegCacheMiss, self_) != miss0) {
+      vcis_[request_vci(pkt->hdr.origin_req)]->waits.record(obs::Wait::RegCacheMiss,
+                                                            obs::lat_now_ns() - t0);
+    }
     fabric_.rdma_write(self_, dst, src, pkt->hdr.rkey, total);
+    // The one-sided landing bypasses the packet path entirely; give it its
+    // own lifecycle event so zcopy messages keep balanced spans.
+    if (cfg_.trace && slot->trace_seq != 0) {
+      trace_msg(obs::trace::Ev::ZcopyWrite, slot->trace_seq, pkt->hdr.vci, dst, 0,
+                total);
+    }
     rt::Packet* done = rt::PacketPool::alloc();
     done->hdr.kind = rt::PacketKind::RdvDone;
     done->hdr.seq = slot->trace_seq;

@@ -34,6 +34,7 @@
 #include "cost/meter.hpp"
 #include "cost/model.hpp"
 #include "match/match.hpp"
+#include "obs/causal.hpp"
 #include "obs/counters.hpp"
 #include "obs/histogram.hpp"
 #include "runtime/packet.hpp"
@@ -183,6 +184,9 @@ struct Vci {
   // instrumented path (obs/histogram.hpp). Recorded under `mu` (single
   // writer); merged across channels by the pvar/report readers.
   obs::VciLatency lat;
+  // Wait-state histograms for this channel, one log2 histogram per causal
+  // classification (obs/causal.hpp). Same writer discipline as `lat`.
+  obs::WaitBlock waits;
 
   // Introspection hook (obs/introspect.cpp): copy this channel's posted,
   // unexpected, and send-queue contents into `out`, with entry ages relative

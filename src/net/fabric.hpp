@@ -16,6 +16,7 @@
 // bounds.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string_view>
@@ -23,6 +24,8 @@
 #include "common/types.hpp"
 #include "net/netmod.hpp"
 #include "net/profile.hpp"
+#include "obs/histogram.hpp"
+#include "runtime/packet.hpp"
 
 namespace lwmpi::rt {
 struct Packet;
@@ -54,7 +57,19 @@ class Fabric {
   // falls back to lane 0). Takes ownership. Busy-waits the injection cost,
   // stamps latency, and enqueues into the destination lane. In blackhole mode
   // the packet is dropped at this boundary (Figure 5/6 methodology).
-  void inject(Rank src, Rank dst, rt::Packet* p) noexcept { mod_->inject(src, dst, p); }
+  //
+  // The facade stamps the causal header here -- Lamport tick plus send
+  // timestamp -- so both backends carry it without transport changes:
+  //   L := ++clock[src];  hdr.lclock = L;  hdr.send_ns = lat_now_ns().
+  void inject(Rank src, Rank dst, rt::Packet* p) noexcept {
+    if (src >= 0 && src < nranks()) {
+      p->hdr.lclock =
+          clock_[static_cast<std::size_t>(src)].fetch_add(1, std::memory_order_relaxed) +
+          1;
+    }
+    p->hdr.send_ns = obs::lat_now_ns();
+    mod_->inject(src, dst, p);
+  }
 
   // Pay the per-message injection cost without transmitting anything. Used by
   // the ch4 direct (simulated-RDMA) RMA path: hardware still consumes a
@@ -64,7 +79,28 @@ class Fabric {
   // Consume one matured packet from `self`'s lane `vci`, or nullptr. Must
   // only be called while holding the consuming side of that lane (the Engine
   // serializes on the owning VCI's lock).
-  rt::Packet* poll(Rank self, int vci = 0) noexcept { return mod_->poll(self, lane(vci)); }
+  //
+  // Merges the Lamport clock on delivery: clock[self] := max(clock[self],
+  // hdr.lclock + 1), so any event the receiver records after this poll carries
+  // a clock strictly greater than everything that happened-before the send.
+  rt::Packet* poll(Rank self, int vci = 0) noexcept {
+    rt::Packet* p = mod_->poll(self, lane(vci));
+    if (p != nullptr && p->hdr.lclock != 0 && self >= 0 && self < nranks()) {
+      auto& c = clock_[static_cast<std::size_t>(self)];
+      const std::uint64_t want = p->hdr.lclock + 1;
+      std::uint64_t cur = c.load(std::memory_order_relaxed);
+      while (cur < want &&
+             !c.compare_exchange_weak(cur, want, std::memory_order_relaxed)) {
+      }
+    }
+    return p;
+  }
+
+  // Current Lamport clock of `r` (causal trace events snapshot this).
+  std::uint64_t lclock(Rank r) const noexcept {
+    if (r < 0 || r >= nranks()) return 0;
+    return clock_[static_cast<std::size_t>(r)].load(std::memory_order_relaxed);
+  }
 
   // Injected-minus-delivered count for one lane: a cheap lock-free test for
   // "is there possibly work on this lane" used by the progress poll set.
@@ -123,6 +159,8 @@ class Fabric {
   }
 
   std::unique_ptr<Netmod> mod_;
+  // Per-rank Lamport logical clocks, ticked at inject and merged at poll.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> clock_;
 };
 
 }  // namespace lwmpi::net

@@ -43,6 +43,9 @@ enum class NetStat : std::uint8_t {
   RegCacheEviction,  // LRU entry unpinned to make room
   RingOccupancyHwm,  // per-(rank, vci) eager-ring occupancy high-water mark
   RingStall,         // injections that waited for a ring credit
+  RingStallNs,       // total ns injections busy-waited for a credit (vs sender)
+  RingCredits,       // current free credits on a (rank, vci) ring (-1 vci: min)
+  RegCacheSize,      // current LRU registration-cache entry count
   ZeroCopyWrite,     // rdma_write transfers issued by this rank
 };
 

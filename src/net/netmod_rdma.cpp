@@ -83,7 +83,11 @@ class RdmaNetmod final : public Netmod {
 
     const int lane = p->hdr.vci < lanes_ ? p->hdr.vci : 0;
     Ring& ring = *rings_[index(dst, lane)];
-    acquire_credit(ring, src);
+    const std::uint64_t stall = acquire_credit(ring, src);
+    // Carry the credit-stall duration in the causal header so the receiver's
+    // wait classifier can attribute the delay without reaching back into the
+    // backend (saturating: a >4s stall is a hang, not a classification case).
+    p->hdr.stall_ns = stall > UINT32_MAX ? UINT32_MAX : static_cast<std::uint32_t>(stall);
     ring.injected.fetch_add(1, std::memory_order_release);
     ranks_[static_cast<std::size_t>(dst)].injected.fetch_add(1, std::memory_order_release);
     ring.queue.push(p);
@@ -212,6 +216,26 @@ class RdmaNetmod final : public Netmod {
       case NetStat::RegCacheEviction:
         return rs.reg_evictions.load(std::memory_order_relaxed);
       case NetStat::RingStall: return rs.ring_stalls.load(std::memory_order_relaxed);
+      case NetStat::RingStallNs:
+        return rs.stall_ns_total.load(std::memory_order_relaxed);
+      case NetStat::RingCredits: {
+        // Free credits on one lane, or the scarcest lane when vci is -1 --
+        // hangdump wants "how close to credit exhaustion is this rank".
+        if (vci >= 0 && vci < lanes_) {
+          const int c = rings_[index(self, vci)]->credits.load(std::memory_order_relaxed);
+          return c < 0 ? 0 : static_cast<std::uint64_t>(c);
+        }
+        int m = ring_depth_;
+        for (int v = 0; v < lanes_; ++v) {
+          const int c = rings_[index(self, v)]->credits.load(std::memory_order_relaxed);
+          if (c < m) m = c;
+        }
+        return m < 0 ? 0 : static_cast<std::uint64_t>(m);
+      }
+      case NetStat::RegCacheSize: {
+        std::lock_guard<std::mutex> lk(rs.cache.mu);
+        return rs.cache.lru.size();
+      }
       case NetStat::ZeroCopyWrite: return rs.zcopy_writes.load(std::memory_order_relaxed);
       case NetStat::RingOccupancyHwm: {
         if (vci >= 0 && vci < lanes_) {
@@ -251,7 +275,7 @@ class RdmaNetmod final : public Netmod {
   // (registrations belong to the process that owns the memory), guarded by a
   // mutex because a rank's MPI calls may come from several user threads.
   struct RegCache {
-    std::mutex mu;
+    mutable std::mutex mu;  // mutable: const stat() readers take a size snapshot
     std::list<RegEntry> lru;  // front = most recently used
     std::unordered_map<std::uint64_t, std::list<RegEntry>::iterator> by_page;
   };
@@ -264,6 +288,7 @@ class RdmaNetmod final : public Netmod {
     std::atomic<std::uint64_t> reg_misses{0};
     std::atomic<std::uint64_t> reg_evictions{0};
     std::atomic<std::uint64_t> ring_stalls{0};  // counted against the sender
+    std::atomic<std::uint64_t> stall_ns_total{0};  // total credit-stall ns (vs sender)
     std::atomic<std::uint64_t> zcopy_writes{0};
     RegCache cache;
   };
@@ -273,9 +298,11 @@ class RdmaNetmod final : public Netmod {
            static_cast<std::size_t>(vci);
   }
 
-  void acquire_credit(Ring& ring, Rank src) noexcept {
+  // Draw one credit, busy-waiting (with backoff) while the ring is full.
+  // Returns the nanoseconds spent stalled (0 on the fast path).
+  std::uint64_t acquire_credit(Ring& ring, Rank src) noexcept {
     rt::Backoff backoff;
-    bool stalled = false;
+    std::uint64_t stall_start = 0;
     for (;;) {
       int c = ring.credits.load(std::memory_order_acquire);
       while (c > 0) {
@@ -287,11 +314,15 @@ class RdmaNetmod final : public Netmod {
           while (occ > hwm && !ring.occupancy_hwm.compare_exchange_weak(
                                   hwm, occ, std::memory_order_relaxed)) {
           }
-          return;
+          if (stall_start == 0) return 0;
+          const std::uint64_t stall = rt::now_ns() - stall_start;
+          ranks_[static_cast<std::size_t>(src)].stall_ns_total.fetch_add(
+              stall, std::memory_order_relaxed);
+          return stall;
         }
       }
-      if (!stalled) {
-        stalled = true;
+      if (stall_start == 0) {
+        stall_start = rt::now_ns();
         ranks_[static_cast<std::size_t>(src)].ring_stalls.fetch_add(
             1, std::memory_order_relaxed);
       }

@@ -162,6 +162,29 @@ obs::RankSnapshot Engine::snapshot() const {
     }
     s.windows.push_back(ws);
   }
+
+  // rdma credit state: how close each lane is to credit exhaustion, plus the
+  // registration cache -- the two stall sources unique to this backend. The
+  // block stays invalid (and unrendered) on backends without the mechanism.
+  if (fabric_.rdma_capable()) {
+    s.rdma.valid = true;
+    const int depth =
+        fabric_.profile().rdma_ring_depth < 1 ? 1 : fabric_.profile().rdma_ring_depth;
+    for (int v = 0; v < fabric_.lanes_per_rank(); ++v) {
+      obs::RdmaLaneSnap l;
+      l.vci = v;
+      l.credits_free = fabric_.net_stat(net::NetStat::RingCredits, self_, v);
+      l.ring_depth = static_cast<std::uint64_t>(depth);
+      l.occupancy_hwm = fabric_.net_stat(net::NetStat::RingOccupancyHwm, self_, v);
+      s.rdma.lanes.push_back(l);
+    }
+    s.rdma.reg_cache_size = fabric_.net_stat(net::NetStat::RegCacheSize, self_);
+    s.rdma.reg_hits = fabric_.net_stat(net::NetStat::RegCacheHit, self_);
+    s.rdma.reg_misses = fabric_.net_stat(net::NetStat::RegCacheMiss, self_);
+    s.rdma.reg_evictions = fabric_.net_stat(net::NetStat::RegCacheEviction, self_);
+    s.rdma.ring_stalls = fabric_.net_stat(net::NetStat::RingStall, self_);
+    s.rdma.ring_stall_ns = fabric_.net_stat(net::NetStat::RingStallNs, self_);
+  }
   return s;
 }
 
@@ -246,6 +269,18 @@ std::string render_text(const RankSnapshot& s) {
     o << "  win " << w.win_id << ": epoch=" << w.epoch << " acks=" << w.outstanding_acks
       << " deferred=" << w.pending_lock_ops << '\n';
   }
+  if (s.rdma.valid) {
+    o << "  rdma: reg_cache=" << s.rdma.reg_cache_size << " (hits=" << s.rdma.reg_hits
+      << " misses=" << s.rdma.reg_misses << " evictions=" << s.rdma.reg_evictions
+      << ") ring_stalls=" << s.rdma.ring_stalls << " (" << fmt_age(s.rdma.ring_stall_ns)
+      << ")\n";
+    for (const RdmaLaneSnap& l : s.rdma.lanes) {
+      o << "    ring vci=" << l.vci << ": credits=" << l.credits_free << "/"
+        << l.ring_depth << " occupancy_hwm=" << l.occupancy_hwm;
+      if (l.credits_free == 0) o << " [EXHAUSTED]";
+      o << '\n';
+    }
+  }
   return o.str();
 }
 
@@ -294,7 +329,24 @@ std::string render_json(const RankSnapshot& s) {
       << "\",\"outstanding_acks\":" << w.outstanding_acks
       << ",\"deferred_ops\":" << w.pending_lock_ops << '}';
   }
-  o << "]}";
+  o << "],\"rdma\":";
+  if (s.rdma.valid) {
+    o << "{\"reg_cache_size\":" << s.rdma.reg_cache_size
+      << ",\"reg_hits\":" << s.rdma.reg_hits << ",\"reg_misses\":" << s.rdma.reg_misses
+      << ",\"reg_evictions\":" << s.rdma.reg_evictions
+      << ",\"ring_stalls\":" << s.rdma.ring_stalls
+      << ",\"ring_stall_ns\":" << s.rdma.ring_stall_ns << ",\"lanes\":[";
+    for (std::size_t i = 0; i < s.rdma.lanes.size(); ++i) {
+      const RdmaLaneSnap& l = s.rdma.lanes[i];
+      o << (i == 0 ? "" : ",") << "{\"vci\":" << l.vci
+        << ",\"credits_free\":" << l.credits_free << ",\"ring_depth\":" << l.ring_depth
+        << ",\"occupancy_hwm\":" << l.occupancy_hwm << '}';
+    }
+    o << "]}";
+  } else {
+    o << "null";
+  }
+  o << '}';
   return o.str();
 }
 

@@ -77,6 +77,27 @@ struct PendingReqSnap {
   std::uint64_t age_ns = 0;
 };
 
+// rdma-backend credit and registration-cache state. `valid` is false on
+// backends without the mechanism (mailbox), and the renderers skip the block,
+// so snapshots stay backend-agnostic.
+struct RdmaLaneSnap {
+  int vci = 0;
+  std::uint64_t credits_free = 0;   // unconsumed eager-ring slots
+  std::uint64_t ring_depth = 0;     // configured ring capacity
+  std::uint64_t occupancy_hwm = 0;  // lifetime occupancy high-water mark
+};
+
+struct RdmaSnapshot {
+  bool valid = false;
+  std::vector<RdmaLaneSnap> lanes;
+  std::uint64_t reg_cache_size = 0;  // current LRU entries
+  std::uint64_t reg_hits = 0;
+  std::uint64_t reg_misses = 0;
+  std::uint64_t reg_evictions = 0;
+  std::uint64_t ring_stalls = 0;    // injections that waited for a credit
+  std::uint64_t ring_stall_ns = 0;  // total ns spent in those waits
+};
+
 // Everything Engine::snapshot() captures for one rank.
 struct RankSnapshot {
   Rank rank = 0;
@@ -86,6 +107,7 @@ struct RankSnapshot {
   PendingReqSnap oldest;
   std::vector<VciSnapshot> vcis;
   std::vector<WinSnapshot> windows;
+  RdmaSnapshot rdma;
 };
 
 // Human-readable multi-line dump ("rank 1: blocked in Wait for 1.2s ...").

@@ -72,6 +72,26 @@ constexpr PvarInfo lat_level(std::string_view name, std::string_view desc) {
   return {name, desc, PvarClass::Level, PvarBind::Engine};
 }
 
+// Wait-state histogram readers (obs/causal.hpp): fold one classification's
+// histogram across the engine's channels, same shape as the lat_* readers.
+LatSnapshot merged_waits(Engine& e, Wait w) {
+  LatSnapshot s;
+  for (int v = 0; v < e.num_vcis(); ++v) s.merge(e.vci_waits(v).of(w));
+  return s;
+}
+template <Wait W>
+std::uint64_t read_wait_count(Engine& e, int) {
+  return merged_waits(e, W).count;
+}
+template <Wait W>
+std::uint64_t read_wait_p99(Engine& e, int) {
+  return merged_waits(e, W).percentile(0.99);
+}
+template <Wait W>
+std::uint64_t read_wait_max(Engine& e, int) {
+  return merged_waits(e, W).max_ns;
+}
+
 const Entry kRegistry[] = {
     {vci_counter("vci_sends_eager", "sends issued on the eager path"),
      &read_vci_ctr<VciCtr::SendEager>},
@@ -211,6 +231,61 @@ const Entry kRegistry[] = {
     {{"lat_send_queue_wait_count", "send-queue residencies recorded", PvarClass::Counter,
       PvarBind::Engine},
      &read_lat_count<LatPath::SendQueueWait>},
+    // Causal wait-state distributions (obs/causal.hpp): every matched
+    // message's wait interval, classified by its dominant cause and merged
+    // over the engine's channels.
+    {{"wait_late_sender_count", "matches classified late-sender", PvarClass::Counter,
+      PvarBind::Engine},
+     &read_wait_count<Wait::LateSender>},
+    {lat_level("wait_late_sender_p99_ns", "late-sender wait p99 (ns)"),
+     &read_wait_p99<Wait::LateSender>},
+    {lat_level("wait_late_sender_max_ns", "late-sender wait max (ns)"),
+     &read_wait_max<Wait::LateSender>},
+    {{"wait_late_receiver_count", "matches classified late-receiver", PvarClass::Counter,
+      PvarBind::Engine},
+     &read_wait_count<Wait::LateReceiver>},
+    {lat_level("wait_late_receiver_p99_ns", "late-receiver wait p99 (ns)"),
+     &read_wait_p99<Wait::LateReceiver>},
+    {lat_level("wait_late_receiver_max_ns", "late-receiver wait max (ns)"),
+     &read_wait_max<Wait::LateReceiver>},
+    {{"wait_progress_starved_count", "matches classified progress-starved",
+      PvarClass::Counter, PvarBind::Engine},
+     &read_wait_count<Wait::ProgressStarved>},
+    {lat_level("wait_progress_starved_p99_ns", "progress-starved wait p99 (ns)"),
+     &read_wait_p99<Wait::ProgressStarved>},
+    {lat_level("wait_progress_starved_max_ns", "progress-starved wait max (ns)"),
+     &read_wait_max<Wait::ProgressStarved>},
+    {{"wait_credit_stalled_count", "matches classified credit-stalled",
+      PvarClass::Counter, PvarBind::Engine},
+     &read_wait_count<Wait::CreditStalled>},
+    {lat_level("wait_credit_stalled_p99_ns", "credit-stalled wait p99 (ns)"),
+     &read_wait_p99<Wait::CreditStalled>},
+    {lat_level("wait_credit_stalled_max_ns", "credit-stalled wait max (ns)"),
+     &read_wait_max<Wait::CreditStalled>},
+    {{"wait_reg_cache_miss_count", "zcopy registrations that paid the pin cost",
+      PvarClass::Counter, PvarBind::Engine},
+     &read_wait_count<Wait::RegCacheMiss>},
+    {lat_level("wait_reg_cache_miss_p99_ns", "reg-cache-miss wait p99 (ns)"),
+     &read_wait_p99<Wait::RegCacheMiss>},
+    {lat_level("wait_reg_cache_miss_max_ns", "reg-cache-miss wait max (ns)"),
+     &read_wait_max<Wait::RegCacheMiss>},
+    // rdma credit state (satellite of the causal tier): live ring credits and
+    // registration-cache size, so hangdump can show credit exhaustion.
+    {{"rdma_ring_credits", "free eager-ring credits (scarcest lane)", PvarClass::Level,
+      PvarBind::Vci},
+     +[](Engine& e, int vci) {
+       return e.world().fabric().net_stat(net::NetStat::RingCredits, e.world_rank(), vci);
+     }},
+    {{"rdma_ring_stall_ns", "total ns injections busy-waited for a credit",
+      PvarClass::Counter, PvarBind::Engine},
+     +[](Engine& e, int) {
+       return e.world().fabric().net_stat(net::NetStat::RingStallNs, e.world_rank());
+     }},
+    {{"rdma_reg_cache_size", "current registration-cache entry count", PvarClass::Level,
+      PvarBind::Engine},
+     +[](Engine& e, int) {
+       return e.world().fabric().net_stat(net::NetStat::RegCacheSize, e.world_rank());
+     }},
 };
 
 constexpr int kNumPvars = static_cast<int>(std::size(kRegistry));

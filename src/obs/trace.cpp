@@ -15,8 +15,17 @@ const char* to_string(Ev e) noexcept {
     case Ev::Inject: return "inject";
     case Ev::Deliver: return "deliver";
     case Ev::Complete: return "complete";
+    case Ev::ZcopyWrite: return "zcopy-write";
   }
   return "?";
+}
+
+Ev ev_from_string(std::string_view s) noexcept {
+  for (Ev e : {Ev::SendPost, Ev::RecvPost, Ev::Match, Ev::Inject, Ev::Deliver,
+               Ev::Complete, Ev::ZcopyWrite}) {
+    if (s == to_string(e)) return e;
+  }
+  return Ev::SendPost;
 }
 
 Ring::Ring(std::size_t min_capacity)
@@ -99,6 +108,7 @@ int stage_order(Ev e) noexcept {
     case Ev::RecvPost: return 0;
     case Ev::Inject: return 1;
     case Ev::Deliver: return 2;
+    case Ev::ZcopyWrite: return 2;
     case Ev::Match: return 3;
     case Ev::Complete: return 4;
   }
@@ -174,6 +184,30 @@ void export_chrome_json(std::ostream& os, std::span<const Event> events) {
        << ",";
     write_common(os, *chain.last, base);
     os << "}";
+  }
+
+  // Flow events per message: start at the first Inject, step through each
+  // Deliver (and the zcopy landing), finish at the last hop. Perfetto draws
+  // these as arrows between the per-rank (pid) tracks, so the RTS -> CTS ->
+  // RdvDone / rdma_write arcs of a rendezvous read as a cross-rank chain.
+  auto is_hop = [](Ev k) {
+    return k == Ev::Inject || k == Ev::Deliver || k == Ev::ZcopyWrite;
+  };
+  for (const auto& [seq, chain] : chains) {
+    std::vector<const Event*> hops;
+    for (const Event& e : sorted) {
+      if (e.seq == seq && is_hop(e.kind)) hops.push_back(&e);
+    }
+    if (hops.size() < 2) continue;
+    for (std::size_t i = 0; i < hops.size(); ++i) {
+      const char* ph = i == 0 ? "s" : (i + 1 == hops.size() ? "f" : "t");
+      sep();
+      os << "{\"name\":\"msg " << seq << "\",\"ph\":\"" << ph
+         << "\",\"cat\":\"flow\",\"id\":" << seq << ",";
+      if (ph[0] == 'f') os << "\"bp\":\"e\",";
+      write_common(os, *hops[i], base);
+      os << "}";
+    }
   }
 
   os << "]}";

@@ -21,6 +21,7 @@
 #include <memory>
 #include <ostream>
 #include <span>
+#include <string_view>
 #include <vector>
 
 namespace lwmpi::obs::trace {
@@ -32,18 +33,23 @@ enum class Ev : std::uint8_t {
   Inject,        // origin: packet handed to the fabric
   Deliver,       // target: packet surfaced by the fabric poll
   Complete,      // either side: request observable-complete
+  ZcopyWrite,    // origin: one-sided rdma_write landed the rendezvous payload
 };
 
 const char* to_string(Ev e) noexcept;
+Ev ev_from_string(std::string_view s) noexcept;
 
 struct Event {
-  std::uint64_t ts_ns = 0;  // rt::now_ns() at record time
-  std::uint64_t seq = 0;    // message id; 0 = not message-associated
-  std::uint64_t bytes = 0;  // payload size
-  std::int32_t rank = -1;   // recording rank
-  std::int32_t peer = -1;   // the other side (dst for sends, src for recvs)
+  std::uint64_t ts_ns = 0;   // rt::now_ns() at record time
+  std::uint64_t seq = 0;     // message id; 0 = not message-associated
+  std::uint64_t bytes = 0;   // payload size
+  std::uint64_t lclock = 0;  // recording rank's Lamport clock (net::Fabric)
+  std::uint64_t wait_ns = 0; // Match events: classified wait interval
+  std::int32_t rank = -1;    // recording rank
+  std::int32_t peer = -1;    // the other side (dst for sends, src for recvs)
   std::int32_t tag = 0;
   std::uint8_t vci = 0;
+  std::uint8_t wait = 0;     // Match events: obs::Wait classification (causal.hpp)
   Ev kind = Ev::SendPost;
 };
 
@@ -101,7 +107,10 @@ std::uint64_t next_seq() noexcept;
 // Write `events` as a Chrome about:tracing / Perfetto JSON document. Events
 // are sorted by timestamp (ties broken by lifecycle order), timestamps are
 // rebased to the earliest event, and each nonzero seq gets an async
-// begin/end pair spanning its first and last event.
+// begin/end pair spanning its first and last event plus a flow-event chain
+// (ph s/t/f) from each Inject to its Deliver, so cross-rank hops --
+// RTS -> CTS -> RdvDone and the zcopy landing -- render as arrows across the
+// per-rank (pid) tracks in Perfetto.
 void export_chrome_json(std::ostream& os, std::span<const Event> events);
 
 }  // namespace lwmpi::obs::trace

@@ -14,6 +14,8 @@
 #include <iostream>
 #include <sstream>
 
+#include "obs/causal.hpp"
+#include "obs/trace.hpp"
 #include "runtime/world.hpp"
 
 namespace lwmpi::obs {
@@ -131,6 +133,16 @@ void Watchdog::run() {
     if (!opts_.report_path.empty()) {
       std::ofstream f(opts_.report_path, std::ios::trunc);
       if (f) f << render_json(report) << '\n';
+    }
+    if (!opts_.causal_trace_path.empty()) {
+      // Ranks are stalled, not quiescent, so a racing producer could overwrite
+      // its ring's oldest events mid-collect; for a hang diagnosis a slightly
+      // frayed tail beats no timeline at all.
+      std::ofstream f(opts_.causal_trace_path, std::ios::trunc);
+      if (f) {
+        const std::vector<trace::Event> events = trace::collect_all();
+        causal::export_jsonl(f, events);
+      }
     }
     if (opts_.announce) std::cerr << render_text(report);
     if (opts_.on_hang) opts_.on_hang(report);

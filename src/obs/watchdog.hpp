@@ -93,6 +93,12 @@ struct WatchdogOptions {
   // When non-empty, each diagnosis is also written here as JSON (the format
   // tools/hangdump consumes). Overwritten per episode.
   std::string report_path;
+  // When non-empty, each diagnosis also dumps the merged causal trace (every
+  // rank's trace ring, globally ordered) here as JSONL -- the format
+  // tools/critpath consumes. Requires the world to be built with
+  // BuildConfig::trace; written per episode so a hung run still yields a
+  // critical-path-analyzable timeline.
+  std::string causal_trace_path;
   // Also print the text rendering to stderr when firing.
   bool announce = false;
 };

@@ -66,6 +66,12 @@ struct PacketHeader {
   std::uint64_t seq = 0;            // trace message id (0 = tracing off)
   std::uint64_t rkey = 0;           // registered-buffer token (zero-copy rdv Cts)
   std::uint8_t zcopy = 0;           // Rts: sender offers zero-copy handoff
+
+  // Causal header (observability tier 4, obs/causal.hpp). Stamped by the
+  // net::Fabric facade at the injection boundary so every backend carries it.
+  std::uint64_t send_ns = 0;        // obs::lat_now_ns() when injected
+  std::uint64_t lclock = 0;         // origin's Lamport clock after the inject tick
+  std::uint32_t stall_ns = 0;       // ns the injection busy-waited for a ring credit
 };
 
 struct Packet : MpscNode {

@@ -1,13 +1,16 @@
 #include "runtime/world.hpp"
 
 #include <exception>
+#include <fstream>
 #include <sstream>
 #include <thread>
 
 #include "core/engine.hpp"
+#include "obs/causal.hpp"
 #include "obs/histogram.hpp"
 #include "obs/pvar.hpp"
 #include "obs/table.hpp"
+#include "obs/trace.hpp"
 
 namespace lwmpi {
 
@@ -23,7 +26,17 @@ World::World(int nranks, WorldOptions opts)
   }
 }
 
-World::~World() = default;
+World::~World() {
+  // Teardown causal export: all rank threads have joined by now, so the
+  // per-rank trace rings are quiescent and the merge is exact.
+  if (opts_.build.trace && !opts_.causal_trace_path.empty()) {
+    std::ofstream f(opts_.causal_trace_path, std::ios::trunc);
+    if (f) {
+      const std::vector<obs::trace::Event> events = obs::trace::collect_all();
+      obs::causal::export_jsonl(f, events);
+    }
+  }
+}
 
 Engine& World::engine(Rank r) { return *engines_.at(static_cast<std::size_t>(r)); }
 

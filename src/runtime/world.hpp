@@ -37,6 +37,11 @@ struct WorldOptions {
   DeviceKind device = DeviceKind::Ch4;
   BuildConfig build = {};
   std::size_t eager_threshold = 16 * 1024;
+  // When non-empty (and the build has tracing on), World teardown stitches
+  // every rank's trace ring into one globally-ordered timeline and writes it
+  // here as JSONL -- the input format of tools/critpath. The watchdog can
+  // dump the same file mid-run on a hang (WatchdogOptions::causal_trace_path).
+  std::string causal_trace_path;
   // When > 0, the engine busy-waits `modeled instructions x this` per
   // operation on the send, receive, and put paths, turning the instruction
   // cost model into simulated CPU time. The application studies (Figures 7-8)

@@ -304,6 +304,79 @@ TEST(Introspect, RenderTextAndJsonForms) {
   EXPECT_EQ(in, 'r');
 }
 
+TEST(Introspect, RdmaSnapshotCarriesCreditAndRegCacheState) {
+  // On the rdma backend the snapshot must expose the two backend-specific
+  // stall sources -- ring credits and the registration cache -- so a hangdump
+  // shows whether a stuck sender is out of credits.
+  WorldOptions o = test::fast_opts();
+  o.netmod = "rdma";
+  o.ranks_per_node = 1;
+  o.profile.rdma_ring_depth = 4;
+  World w(2, o);
+  Engine& e0 = w.engine(0);
+  Engine& e1 = w.engine(1);
+
+  // Fill rank 1's ring without letting it progress: credits drain visibly.
+  char c = 'x';
+  for (int i = 0; i < 4; ++i) {
+    Request sr = kRequestNull;
+    ASSERT_EQ(e0.isend(&c, 1, kChar, 1, i, kCommWorld, &sr), Err::Success);
+    ASSERT_EQ(e0.wait(&sr, nullptr), Err::Success);
+  }
+
+  obs::RankSnapshot s = e1.snapshot();
+  ASSERT_TRUE(s.rdma.valid);
+  ASSERT_FALSE(s.rdma.lanes.empty());
+  EXPECT_EQ(s.rdma.lanes[0].ring_depth, 4u);
+  EXPECT_EQ(s.rdma.lanes[0].credits_free, 0u);  // all four slots consumed
+  EXPECT_EQ(s.rdma.lanes[0].occupancy_hwm, 4u);
+
+  const std::string text = obs::render_text(s);
+  EXPECT_NE(text.find("credits=0/4"), std::string::npos);
+  EXPECT_NE(text.find("[EXHAUSTED]"), std::string::npos);
+  const std::string json = obs::render_json(s);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"rdma\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"credits_free\":0"), std::string::npos);
+
+  // Drain, then check the credits recover and the reg-cache fields appear
+  // after a zero-copy rendezvous pins memory.
+  char in = 0;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(e1.recv(&in, 1, kChar, 0, i, kCommWorld, nullptr), Err::Success);
+  }
+  s = e1.snapshot();
+  EXPECT_EQ(s.rdma.lanes[0].credits_free, 4u);
+
+  const std::size_t big = 64 * 1024;
+  std::vector<char> out(big, 'y');
+  std::vector<char> got(big, 0);
+  Request sr = kRequestNull;
+  ASSERT_EQ(e0.isend(out.data(), static_cast<int>(big), kChar, 1, 9, kCommWorld, &sr),
+            Err::Success);
+  Request rr = kRequestNull;
+  ASSERT_EQ(e1.irecv(got.data(), static_cast<int>(big), kChar, 0, 9, kCommWorld, &rr),
+            Err::Success);
+  e1.progress();  // RTS -> CTS (registers the receive buffer)
+  e0.progress();  // CTS -> rdma_write + RdvDone (registers the send buffer)
+  ASSERT_EQ(e0.wait(&sr, nullptr), Err::Success);
+  e1.progress();
+  ASSERT_EQ(e1.wait(&rr, nullptr), Err::Success);
+  EXPECT_EQ(got[big - 1], 'y');
+
+  s = e1.snapshot();
+  EXPECT_GE(s.rdma.reg_cache_size, 1u);
+  EXPECT_GE(s.rdma.reg_misses, 1u);
+
+  // Mailbox worlds keep the block invalid and the renderers skip it.
+  WorldOptions om = test::fast_opts();
+  World wm(1, om);
+  const obs::RankSnapshot sm = wm.engine(0).snapshot();
+  EXPECT_FALSE(sm.rdma.valid);
+  EXPECT_EQ(obs::render_text(sm).find("rdma:"), std::string::npos);
+  EXPECT_NE(obs::render_json(sm).find("\"rdma\":null"), std::string::npos);
+}
+
 TEST(Introspect, WildcardReceiveRendersStars) {
   WorldOptions o = test::fast_opts();
   World w(2, o);

@@ -449,13 +449,15 @@ TEST(LatencyHist, BucketingAndPercentiles) {
   EXPECT_EQ(empty.percentile(0.99), 0u);
 }
 
-TEST(Latency, EagerP99BelowRendezvousP50AtOneMiB) {
-  // The acceptance check from the paper's protocol-cost argument: at 1 MiB an
-  // eager send's lifetime is one copy, while a rendezvous send cannot finish
-  // before the receiver shows up. Drive both worlds single-threaded; in the
-  // rendezvous world the receiver is deliberately late, so the send-side
-  // lifetime includes the handshake wait and its p50 must sit far above the
-  // eager p99.
+// The acceptance check from the paper's protocol-cost argument: at 1 MiB an
+// eager send's lifetime is one copy, while a rendezvous send cannot finish
+// before the receiver shows up. Drive both worlds single-threaded; in the
+// rendezvous world the receiver is deliberately late, so the send-side
+// lifetime includes the handshake wait and its p50 must sit far above the
+// eager p99. Parameterized over the netmod backend: the rdma rendezvous takes
+// the zero-copy CTS/rdma_write path, and its completion stamp must land in
+// the same lat_send_rdv histogram the mailbox staging path feeds.
+void check_eager_p99_below_rdv_p50(const std::string& netmod) {
   constexpr int kBytes = 1 << 20;
   constexpr auto kReceiverDelay = std::chrono::milliseconds(150);
   std::vector<char> out(kBytes, 'e');
@@ -464,6 +466,7 @@ TEST(Latency, EagerP99BelowRendezvousP50AtOneMiB) {
   std::uint64_t eager_p99 = 0;
   {
     WorldOptions o = test::fast_opts();
+    o.netmod = netmod;
     o.eager_threshold = 2 * 1024 * 1024;  // 1 MiB goes eager
     o.build.lat_sample_shift = 0;         // stamp every message
     World w(2, o);
@@ -483,6 +486,7 @@ TEST(Latency, EagerP99BelowRendezvousP50AtOneMiB) {
   std::uint64_t rdv_p50 = 0;
   {
     WorldOptions o = test::fast_opts();  // default threshold: 1 MiB goes rendezvous
+    o.netmod = netmod;
     o.build.lat_sample_shift = 0;
     World w(2, o);
     Engine& e0 = w.engine(0);
@@ -509,6 +513,14 @@ TEST(Latency, EagerP99BelowRendezvousP50AtOneMiB) {
             static_cast<std::uint64_t>(
                 std::chrono::nanoseconds(kReceiverDelay).count()));
   EXPECT_LT(eager_p99, rdv_p50);
+}
+
+TEST(Latency, EagerP99BelowRendezvousP50AtOneMiB) {
+  check_eager_p99_below_rdv_p50("mailbox");
+}
+
+TEST(Latency, EagerP99BelowRendezvousP50AtOneMiBRdma) {
+  check_eager_p99_below_rdv_p50("rdma");
 }
 
 TEST(Latency, DisabledBuildRecordsNothing) {
