@@ -30,9 +30,14 @@ LWMPI_BENCH_DIR="${scratch}" "${BUILD_DIR}/bench/bench_fig2" > /dev/null
 LWMPI_BENCH_DIR="${scratch}" "${BUILD_DIR}/bench/bench_fig3" > /dev/null
 LWMPI_BENCH_DIR="${scratch}" "${BUILD_DIR}/bench/bench_fig4" > /dev/null
 
-# The observability overhead gate is a timing bench, so it is judged by its
-# own <3% acceptance exit code, not by a baseline comparison in bench_check.
+# The observability overhead gates are timing benches, so they are judged by
+# their own acceptance exit codes (<3% counters, <1% telemetry sampler), not
+# by a baseline comparison in bench_check.
 LWMPI_BENCH_DIR="${scratch}" "${BUILD_DIR}/bench/bench_obs_overhead" > /dev/null
+
+# The telemetry pass also emits a Prometheus text exposition; lint it like
+# promtool would (name/label charsets, HELP/TYPE metadata, duplicate series).
+"${BUILD_DIR}/tools/bench_check" --promlint "${scratch}/telemetry.prom"
 
 exec "${BUILD_DIR}/tools/bench_check" "${SOURCE_DIR}/bench/baselines" "${scratch}" \
   table1 fig2 fig3_mailbox fig3_rdma fig4_mailbox fig4_rdma

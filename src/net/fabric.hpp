@@ -134,6 +134,13 @@ class Fabric {
   std::uint64_t delivered(Rank r, int vci) const noexcept {
     return mod_->delivered(r, lane(vci));
   }
+  // Per-lane payload byte counters (telemetry bytes/sec rates).
+  std::uint64_t injected_bytes(Rank r, int vci) const noexcept {
+    return mod_->injected_bytes(r, lane(vci));
+  }
+  std::uint64_t delivered_bytes(Rank r, int vci) const noexcept {
+    return mod_->delivered_bytes(r, lane(vci));
+  }
   std::uint64_t dropped() const noexcept { return mod_->dropped(); }
 
   // --- RDMA-semantics extensions (forwarded; no-ops on non-rdma backends) -----

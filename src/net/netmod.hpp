@@ -47,6 +47,7 @@ enum class NetStat : std::uint8_t {
   RingCredits,       // current free credits on a (rank, vci) ring (-1 vci: min)
   RegCacheSize,      // current LRU registration-cache entry count
   ZeroCopyWrite,     // rdma_write transfers issued by this rank
+  ZeroCopyBytes,     // payload bytes moved by those rdma_write transfers
 };
 
 class Netmod {
@@ -81,6 +82,18 @@ class Netmod {
   // Per-lane traffic counters (observability / pvar export).
   virtual std::uint64_t injected(Rank r, int vci) const noexcept = 0;
   virtual std::uint64_t delivered(Rank r, int vci) const noexcept = 0;
+  // Per-lane payload byte counters (telemetry bytes/sec rates). Backends that
+  // predate the telemetry plane may report 0; both in-tree backends count.
+  virtual std::uint64_t injected_bytes(Rank r, int vci) const noexcept {
+    (void)r;
+    (void)vci;
+    return 0;
+  }
+  virtual std::uint64_t delivered_bytes(Rank r, int vci) const noexcept {
+    (void)r;
+    (void)vci;
+    return 0;
+  }
   // Packets dropped at the injection boundary (blackhole methodology).
   virtual std::uint64_t dropped() const noexcept = 0;
 

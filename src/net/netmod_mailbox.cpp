@@ -57,6 +57,7 @@ class MailboxNetmod final : public Netmod {
     const int lane = p->hdr.vci < lanes_ ? p->hdr.vci : 0;
     Mailbox& box = *boxes_[index(dst, lane)];
     box.injected.fetch_add(1, std::memory_order_release);
+    box.injected_bytes.fetch_add(p->payload.size(), std::memory_order_relaxed);
     meters_[static_cast<std::size_t>(dst)].injected.fetch_add(1, std::memory_order_release);
     box.queue.push(p);
   }
@@ -76,6 +77,7 @@ class MailboxNetmod final : public Netmod {
     if (front->deliver_at_ns != 0 && front->deliver_at_ns > rt::now_ns()) return nullptr;
     box.staged.pop_front();
     box.delivered.fetch_add(1, std::memory_order_relaxed);
+    box.delivered_bytes.fetch_add(front->payload.size(), std::memory_order_relaxed);
     meters_[static_cast<std::size_t>(self)].delivered.fetch_add(1,
                                                                std::memory_order_relaxed);
     return front;
@@ -107,6 +109,12 @@ class MailboxNetmod final : public Netmod {
   std::uint64_t delivered(Rank r, int vci) const noexcept override {
     return boxes_[index(r, vci)]->delivered.load(std::memory_order_relaxed);
   }
+  std::uint64_t injected_bytes(Rank r, int vci) const noexcept override {
+    return boxes_[index(r, vci)]->injected_bytes.load(std::memory_order_relaxed);
+  }
+  std::uint64_t delivered_bytes(Rank r, int vci) const noexcept override {
+    return boxes_[index(r, vci)]->delivered_bytes.load(std::memory_order_relaxed);
+  }
   std::uint64_t dropped() const noexcept override {
     return dropped_.load(std::memory_order_relaxed);
   }
@@ -118,6 +126,8 @@ class MailboxNetmod final : public Netmod {
     std::deque<rt::Packet*> staged;
     std::atomic<std::uint64_t> injected{0};  // packets sent *to* this lane
     std::atomic<std::uint64_t> delivered{0};
+    std::atomic<std::uint64_t> injected_bytes{0};  // payload bytes, same scoping
+    std::atomic<std::uint64_t> delivered_bytes{0};
   };
 
   // Whole-rank counters backing pending_any(). Cache-line separated so two

@@ -89,6 +89,7 @@ class RdmaNetmod final : public Netmod {
     // backend (saturating: a >4s stall is a hang, not a classification case).
     p->hdr.stall_ns = stall > UINT32_MAX ? UINT32_MAX : static_cast<std::uint32_t>(stall);
     ring.injected.fetch_add(1, std::memory_order_release);
+    ring.injected_bytes.fetch_add(p->payload.size(), std::memory_order_relaxed);
     ranks_[static_cast<std::size_t>(dst)].injected.fetch_add(1, std::memory_order_release);
     ring.queue.push(p);
   }
@@ -106,6 +107,7 @@ class RdmaNetmod final : public Netmod {
     if (front->deliver_at_ns != 0 && front->deliver_at_ns > rt::now_ns()) return nullptr;
     ring.staged.pop_front();
     ring.delivered.fetch_add(1, std::memory_order_relaxed);
+    ring.delivered_bytes.fetch_add(front->payload.size(), std::memory_order_relaxed);
     ranks_[static_cast<std::size_t>(self)].delivered.fetch_add(1, std::memory_order_relaxed);
     // The credit is NOT returned here: the slot stays occupied until the
     // engine has copied the packet out of the ring (credit_return).
@@ -137,6 +139,12 @@ class RdmaNetmod final : public Netmod {
   }
   std::uint64_t delivered(Rank r, int vci) const noexcept override {
     return rings_[index(r, vci)]->delivered.load(std::memory_order_relaxed);
+  }
+  std::uint64_t injected_bytes(Rank r, int vci) const noexcept override {
+    return rings_[index(r, vci)]->injected_bytes.load(std::memory_order_relaxed);
+  }
+  std::uint64_t delivered_bytes(Rank r, int vci) const noexcept override {
+    return rings_[index(r, vci)]->delivered_bytes.load(std::memory_order_relaxed);
   }
   std::uint64_t dropped() const noexcept override {
     return dropped_.load(std::memory_order_relaxed);
@@ -196,8 +204,9 @@ class RdmaNetmod final : public Netmod {
                   std::size_t bytes) noexcept override {
     const bool local = same_node(src, dst);
     rt::spin_for_ns(local ? profile_.shm_inject_cost_ns : profile_.inject_cost_ns);
-    ranks_[static_cast<std::size_t>(src)].zcopy_writes.fetch_add(1,
-                                                                 std::memory_order_relaxed);
+    RankState& rs = ranks_[static_cast<std::size_t>(src)];
+    rs.zcopy_writes.fetch_add(1, std::memory_order_relaxed);
+    rs.zcopy_bytes.fetch_add(bytes, std::memory_order_relaxed);
     // The one-sided data movement: one copy, straight into the registered
     // remote buffer. No packet, no staging.
     std::memcpy(reinterpret_cast<void*>(rkey), from, bytes);
@@ -237,6 +246,7 @@ class RdmaNetmod final : public Netmod {
         return rs.cache.lru.size();
       }
       case NetStat::ZeroCopyWrite: return rs.zcopy_writes.load(std::memory_order_relaxed);
+      case NetStat::ZeroCopyBytes: return rs.zcopy_bytes.load(std::memory_order_relaxed);
       case NetStat::RingOccupancyHwm: {
         if (vci >= 0 && vci < lanes_) {
           return rings_[index(self, vci)]->occupancy_hwm.load(std::memory_order_relaxed);
@@ -263,6 +273,8 @@ class RdmaNetmod final : public Netmod {
     std::atomic<int> credits;
     std::atomic<std::uint64_t> injected{0};
     std::atomic<std::uint64_t> delivered{0};
+    std::atomic<std::uint64_t> injected_bytes{0};
+    std::atomic<std::uint64_t> delivered_bytes{0};
     std::atomic<std::uint64_t> occupancy_hwm{0};
   };
 
@@ -290,6 +302,7 @@ class RdmaNetmod final : public Netmod {
     std::atomic<std::uint64_t> ring_stalls{0};  // counted against the sender
     std::atomic<std::uint64_t> stall_ns_total{0};  // total credit-stall ns (vs sender)
     std::atomic<std::uint64_t> zcopy_writes{0};
+    std::atomic<std::uint64_t> zcopy_bytes{0};
     RegCache cache;
   };
 

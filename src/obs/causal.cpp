@@ -93,6 +93,7 @@ int stage_order(Ev e) noexcept {
     case Ev::ZcopyWrite: return 2;
     case Ev::Match: return 3;
     case Ev::Complete: return 4;
+    case Ev::Alert: return 5;
   }
   return 5;
 }

@@ -137,6 +137,16 @@ const Entry kRegistry[] = {
      +[](Engine& e, int vci) { return e.world().fabric().injected(e.world_rank(), vci); }},
     {vci_counter("fabric_delivered", "packets delivered from this rank's fabric lane"),
      +[](Engine& e, int vci) { return e.world().fabric().delivered(e.world_rank(), vci); }},
+    // Per-lane payload byte counters (telemetry bytes/sec rates derive from
+    // deltas of these).
+    {vci_counter("fabric_injected_bytes", "payload bytes injected toward this rank's lane"),
+     +[](Engine& e, int vci) {
+       return e.world().fabric().injected_bytes(e.world_rank(), vci);
+     }},
+    {vci_counter("fabric_delivered_bytes", "payload bytes delivered from this rank's lane"),
+     +[](Engine& e, int vci) {
+       return e.world().fabric().delivered_bytes(e.world_rank(), vci);
+     }},
     // Fabric-wide blackhole drop count (infinitely-fast-network methodology).
     // The counter is shared by every rank of the world, so per-rank reports
     // repeat the same value; fig5/fig6 runs read it from rank 0.
@@ -174,6 +184,11 @@ const Entry kRegistry[] = {
       PvarClass::Counter, PvarBind::Engine},
      +[](Engine& e, int) {
        return e.world().fabric().net_stat(net::NetStat::ZeroCopyWrite, e.world_rank());
+     }},
+    {{"rdma_zero_copy_bytes", "payload bytes moved by zero-copy rdma_write",
+      PvarClass::Counter, PvarBind::Engine},
+     +[](Engine& e, int) {
+       return e.world().fabric().net_stat(net::NetStat::ZeroCopyBytes, e.world_rank());
      }},
     {{"requests_live", "request-pool slots currently allocated", PvarClass::Level,
       PvarBind::Engine},

@@ -16,13 +16,14 @@ const char* to_string(Ev e) noexcept {
     case Ev::Deliver: return "deliver";
     case Ev::Complete: return "complete";
     case Ev::ZcopyWrite: return "zcopy-write";
+    case Ev::Alert: return "alert";
   }
   return "?";
 }
 
 Ev ev_from_string(std::string_view s) noexcept {
   for (Ev e : {Ev::SendPost, Ev::RecvPost, Ev::Match, Ev::Inject, Ev::Deliver,
-               Ev::Complete, Ev::ZcopyWrite}) {
+               Ev::Complete, Ev::ZcopyWrite, Ev::Alert}) {
     if (s == to_string(e)) return e;
   }
   return Ev::SendPost;
@@ -111,6 +112,7 @@ int stage_order(Ev e) noexcept {
     case Ev::ZcopyWrite: return 2;
     case Ev::Match: return 3;
     case Ev::Complete: return 4;
+    case Ev::Alert: return 5;
   }
   return 5;
 }

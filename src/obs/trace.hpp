@@ -34,6 +34,9 @@ enum class Ev : std::uint8_t {
   Deliver,       // target: packet surfaced by the fabric poll
   Complete,      // either side: request observable-complete
   ZcopyWrite,    // origin: one-sided rdma_write landed the rendezvous payload
+  Alert,         // telemetry sampler: an SLO rule fired (obs/sampler.hpp);
+                 // seq = 0 (not message-associated), tag = rule index,
+                 // bytes = observed value, wait_ns = threshold
 };
 
 const char* to_string(Ev e) noexcept;

@@ -15,10 +15,33 @@
 #include <sstream>
 
 #include "obs/causal.hpp"
+#include "obs/cvar.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "runtime/world.hpp"
 
 namespace lwmpi::obs {
+
+namespace {
+
+// Resolve the 0-means-default fields against the cvar registry, so
+// LWMPI_CVAR_WATCHDOG_STALL_MS / _POLL_MS retune every watchdog that did not
+// pin its thresholds explicitly.
+WatchdogOptions apply_cvar_defaults(WatchdogOptions opts) {
+  if (opts.stall_ns == 0) {
+    opts.stall_ns =
+        static_cast<std::uint64_t>(std::max<std::int64_t>(1, cvar(Cv::WatchdogStallMs))) *
+        1'000'000;
+  }
+  if (opts.poll_ns == 0) {
+    opts.poll_ns =
+        static_cast<std::uint64_t>(std::max<std::int64_t>(1, cvar(Cv::WatchdogPollMs))) *
+        1'000'000;
+  }
+  return opts;
+}
+
+}  // namespace
 
 std::string render_text(const HangReport& r) {
   std::ostringstream o;
@@ -42,12 +65,14 @@ std::string render_json(const HangReport& r) {
       << "\",\"blocked_ns\":" << s.blocked_ns << ",\"stalled_ns\":" << s.stalled_ns
       << ",\"snapshot\":" << render_json(s.snap) << '}';
   }
-  o << "]}";
+  o << "]";
+  if (!r.timeline_json.empty()) o << ",\"timeline\":" << r.timeline_json;
+  o << "}";
   return o.str();
 }
 
 Watchdog::Watchdog(World& world, WatchdogOptions opts)
-    : world_(world), opts_(std::move(opts)) {
+    : world_(world), opts_(apply_cvar_defaults(std::move(opts))) {
   thread_ = std::thread([this] { run(); });
 }
 
@@ -124,6 +149,9 @@ void Watchdog::run() {
       s.blocked_ns = s.snap.blocked_ns;
       s.stalled_ns = now - state[static_cast<std::size_t>(r)].last_change_ns;
       report.stuck.push_back(std::move(s));
+    }
+    if (opts_.sampler != nullptr) {
+      report.timeline_json = opts_.sampler->timeline_json(opts_.timeline_depth);
     }
     {
       std::lock_guard<std::mutex> lk(report_mu_);

@@ -7,6 +7,7 @@
 
 #include "core/engine.hpp"
 #include "obs/causal.hpp"
+#include "obs/cvar.hpp"
 #include "obs/histogram.hpp"
 #include "obs/pvar.hpp"
 #include "obs/table.hpp"
@@ -14,9 +15,34 @@
 
 namespace lwmpi {
 
+namespace {
+
+// Fold the startup-scope cvars (obs/cvar.hpp) into the options a World is
+// constructed with. Only *overridden* cvars (LWMPI_CVAR_* in the environment,
+// or an explicit LWMPI_T_cvar_write before construction) take effect, and
+// only over fields the caller left at their defaults -- so code that pins
+// `opts.netmod = "rdma"` or `build.trace = true` always wins, while a test
+// run under LWMPI_CVAR_TRACE_ENABLE=1 gets tracing everywhere without a
+// recompile.
+WorldOptions apply_cvars(WorldOptions opts) {
+  if (obs::cvar_overridden(obs::Cv::TraceEnable)) {
+    opts.build.trace = obs::cvar(obs::Cv::TraceEnable) != 0;
+  }
+  if (obs::cvar_overridden(obs::Cv::LatSampleShift)) {
+    const auto shift = obs::cvar(obs::Cv::LatSampleShift);
+    if (shift >= 0 && shift <= 63) opts.build.lat_sample_shift = static_cast<int>(shift);
+  }
+  if (obs::cvar_overridden(obs::Cv::NetmodDefault) && opts.netmod == "mailbox") {
+    opts.netmod = obs::cvar_str(obs::Cv::NetmodDefault);
+  }
+  return opts;
+}
+
+}  // namespace
+
 World::World(int nranks, WorldOptions opts)
     : nranks_(nranks),
-      opts_(std::move(opts)),
+      opts_(apply_cvars(std::move(opts))),
       fabric_(nranks, opts_.ranks_per_node, opts_.profile, opts_.build.vcis(),
               opts_.netmod),
       next_ctx_(kFirstDynamicCtx) {

@@ -33,6 +33,10 @@ struct WorldOptions {
   // Transport backend behind the Fabric facade: "mailbox" (default, the
   // original simulated transport) or "rdma" (registration cache + eager
   // rings + zero-copy rendezvous). Unknown names throw at World construction.
+  // Startup-scope cvars (obs/cvar.hpp) can override the *defaults* of this
+  // struct: LWMPI_CVAR_NETMOD_DEFAULT retargets a World that left `netmod`
+  // at "mailbox", LWMPI_CVAR_TRACE_ENABLE / LWMPI_CVAR_LAT_SAMPLE_SHIFT
+  // retune `build`. Explicitly-set fields always win.
   std::string netmod = "mailbox";
   DeviceKind device = DeviceKind::Ch4;
   BuildConfig build = {};

@@ -1,0 +1,577 @@
+// Telemetry plane (obs/cvar.hpp + obs/sampler.hpp): cvar registry semantics
+// (enumeration, scope enforcement, env binding), histogram snapshot/delta
+// boundary behavior, the sampler time series and its exports, SLO alerting
+// into the trace ring, the watchdog timeline embed, and -- under the
+// "telemetry" label the TSan preset includes -- the races that matter:
+// sampler start/stop against hot rank threads, ring overwrite under a 4-VCI
+// send loop, and cvar mutation mid-run.
+//
+// Cvars are process-global, so every test that writes one saves and restores
+// it; the env-binding test ends with a reload that re-seeds pure defaults.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/cvar.hpp"
+#include "obs/histogram.hpp"
+#include "obs/pvar.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
+#include "util.hpp"
+
+namespace lwmpi {
+namespace {
+
+// RAII save/restore for one numeric cvar (value only; the overridden flag is
+// sticky by design, and every restore below writes the pre-test value back so
+// later Startup consumers see unchanged numbers).
+class CvarGuard {
+ public:
+  explicit CvarGuard(obs::Cv v) : v_(v), saved_(obs::cvar(v)) {}
+  ~CvarGuard() { obs::cvar_set(v_, saved_); }
+
+ private:
+  obs::Cv v_;
+  std::int64_t saved_;
+};
+
+std::uint64_t read_pvar(Engine& e, const char* name) {
+  obs::PvarSession s;
+  EXPECT_EQ(obs::LWMPI_T_pvar_session_create(e, &s), Err::Success);
+  const int idx = obs::LWMPI_T_pvar_index(name);
+  EXPECT_GE(idx, 0) << "unknown pvar " << name;
+  std::uint64_t v = 0;
+  EXPECT_EQ(obs::LWMPI_T_pvar_read(s, idx, &v), Err::Success);
+  obs::LWMPI_T_pvar_session_free(&s);
+  return v;
+}
+
+// --- cvar registry ----------------------------------------------------------
+
+TEST(Cvar, RegistryEnumerates) {
+  ASSERT_EQ(obs::LWMPI_T_cvar_num(), obs::kNumCvars);
+  std::set<std::string> names;
+  for (int i = 0; i < obs::kNumCvars; ++i) {
+    obs::CvarInfo info;
+    ASSERT_EQ(obs::LWMPI_T_cvar_get_info(i, &info), Err::Success);
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_FALSE(info.desc.empty());
+    EXPECT_TRUE(names.insert(std::string(info.name)).second)
+        << "duplicate cvar name " << info.name;
+    // Name -> index is the inverse of get_info.
+    EXPECT_EQ(obs::LWMPI_T_cvar_index(info.name), i);
+  }
+  EXPECT_TRUE(names.count("sampler_interval_ms"));
+  EXPECT_TRUE(names.count("netmod_default"));
+  EXPECT_TRUE(names.count("slo_credit_stall_pct"));
+
+  obs::CvarInfo info;
+  EXPECT_EQ(obs::LWMPI_T_cvar_get_info(-1, &info), Err::Arg);
+  EXPECT_EQ(obs::LWMPI_T_cvar_get_info(obs::kNumCvars, &info), Err::Arg);
+  EXPECT_EQ(obs::LWMPI_T_cvar_get_info(0, nullptr), Err::Arg);
+  EXPECT_EQ(obs::LWMPI_T_cvar_index("no_such_cvar"), -1);
+
+  std::int64_t v = 0;
+  EXPECT_EQ(obs::LWMPI_T_cvar_read(-1, &v), Err::Arg);
+  EXPECT_EQ(obs::LWMPI_T_cvar_read(obs::kNumCvars, &v), Err::Arg);
+  EXPECT_EQ(obs::LWMPI_T_cvar_read(0, nullptr), Err::Arg);
+  EXPECT_EQ(obs::LWMPI_T_cvar_write(obs::kNumCvars, 1), Err::Arg);
+}
+
+TEST(Cvar, ScopeAndTypeEnforcement) {
+  // Constant scope: readable echo of kMaxVcis, writes rejected.
+  const int max_vcis = obs::LWMPI_T_cvar_index("max_vcis");
+  ASSERT_GE(max_vcis, 0);
+  std::int64_t v = 0;
+  ASSERT_EQ(obs::LWMPI_T_cvar_read(max_vcis, &v), Err::Success);
+  EXPECT_EQ(v, kMaxVcis);
+  EXPECT_EQ(obs::LWMPI_T_cvar_write(max_vcis, 99), Err::Arg);
+  ASSERT_EQ(obs::LWMPI_T_cvar_read(max_vcis, &v), Err::Success);
+  EXPECT_EQ(v, kMaxVcis);
+
+  // String/numeric access must not cross.
+  const int netmod = obs::LWMPI_T_cvar_index("netmod_default");
+  const int interval = obs::LWMPI_T_cvar_index("sampler_interval_ms");
+  ASSERT_GE(netmod, 0);
+  ASSERT_GE(interval, 0);
+  EXPECT_EQ(obs::LWMPI_T_cvar_write(netmod, 3), Err::Arg);
+  EXPECT_EQ(obs::LWMPI_T_cvar_read(netmod, &v), Err::Arg);
+  std::string s;
+  EXPECT_EQ(obs::LWMPI_T_cvar_read_str(interval, &s), Err::Arg);
+  EXPECT_EQ(obs::LWMPI_T_cvar_write_str(interval, "fast"), Err::Arg);
+
+  // String round-trip through the MPI_T-style surface and the typed helper.
+  const std::string saved = obs::cvar_str(obs::Cv::NetmodDefault);
+  ASSERT_EQ(obs::LWMPI_T_cvar_write_str(netmod, "rdma"), Err::Success);
+  ASSERT_EQ(obs::LWMPI_T_cvar_read_str(netmod, &s), Err::Success);
+  EXPECT_EQ(s, "rdma");
+  EXPECT_EQ(obs::cvar_str(obs::Cv::NetmodDefault), "rdma");
+  EXPECT_TRUE(obs::cvar_overridden(obs::Cv::NetmodDefault));
+  ASSERT_EQ(obs::LWMPI_T_cvar_write_str(netmod, saved), Err::Success);
+
+  // The report lists every cvar by name.
+  const std::string report = obs::cvar_report();
+  EXPECT_NE(report.find("sampler_interval_ms"), std::string::npos);
+  EXPECT_NE(report.find("max_vcis"), std::string::npos);
+  EXPECT_NE(report.find("constant"), std::string::npos);
+}
+
+TEST(Cvar, EnvBinding) {
+  EXPECT_EQ(obs::cvar_env_name(obs::Cv::SamplerIntervalMs),
+            "LWMPI_CVAR_SAMPLER_INTERVAL_MS");
+
+  ::setenv("LWMPI_CVAR_SAMPLER_INTERVAL_MS", "37", 1);
+  ::setenv("LWMPI_CVAR_SLO_UNEXPECTED_DEPTH", "junk", 1);  // ignored: not numeric
+  ::setenv("LWMPI_CVAR_WATCHDOG_POLL_MS", "12x", 1);       // ignored: trailing junk
+  ::setenv("LWMPI_CVAR_MAX_VCIS", "99", 1);                // ignored: Constant scope
+  obs::detail::cvar_reload_env_for_testing();
+
+  EXPECT_EQ(obs::cvar(obs::Cv::SamplerIntervalMs), 37);
+  EXPECT_TRUE(obs::cvar_overridden(obs::Cv::SamplerIntervalMs));
+  EXPECT_EQ(obs::cvar(obs::Cv::SloUnexpectedDepth), 0);
+  EXPECT_FALSE(obs::cvar_overridden(obs::Cv::SloUnexpectedDepth));
+  EXPECT_EQ(obs::cvar(obs::Cv::WatchdogPollMs), 20);
+  EXPECT_FALSE(obs::cvar_overridden(obs::Cv::WatchdogPollMs));
+  EXPECT_EQ(obs::cvar(obs::Cv::MaxVcis), kMaxVcis);
+  EXPECT_FALSE(obs::cvar_overridden(obs::Cv::MaxVcis));
+
+  // Dropping the binding restores the default on the next reload (and wipes
+  // any overridden flags earlier tests left behind -- deliberate hygiene).
+  ::unsetenv("LWMPI_CVAR_SAMPLER_INTERVAL_MS");
+  ::unsetenv("LWMPI_CVAR_SLO_UNEXPECTED_DEPTH");
+  ::unsetenv("LWMPI_CVAR_WATCHDOG_POLL_MS");
+  ::unsetenv("LWMPI_CVAR_MAX_VCIS");
+  obs::detail::cvar_reload_env_for_testing();
+  EXPECT_EQ(obs::cvar(obs::Cv::SamplerIntervalMs), 100);
+  EXPECT_FALSE(obs::cvar_overridden(obs::Cv::SamplerIntervalMs));
+}
+
+// --- histogram snapshot/delta -----------------------------------------------
+
+TEST(Histogram, SnapshotDeltaBoundaries) {
+  // Bucket 0 is unreachable: record(0) lands in bucket 1 (the |1 floor), so
+  // delta arithmetic never has to treat bucket 0 specially.
+  EXPECT_EQ(obs::LatencyHist::bucket_of(0), 1);
+  EXPECT_EQ(obs::LatencyHist::bucket_of(1), 1);
+  EXPECT_EQ(obs::LatencyHist::bucket_of(2), 2);
+  // Top bucket clamps: anything >= 2^47 ns.
+  EXPECT_EQ(obs::LatencyHist::bucket_of(std::uint64_t{1} << 47), obs::kLatBuckets - 1);
+  EXPECT_EQ(obs::LatencyHist::bucket_of(~std::uint64_t{0}), obs::kLatBuckets - 1);
+
+  obs::LatencyHist h;
+  h.record(0);
+  h.record(~std::uint64_t{0});
+  const obs::LatSnapshot before = h.snapshot();
+  EXPECT_EQ(before.count, 2u);
+  EXPECT_EQ(before.bucket[1], 1u);
+  EXPECT_EQ(before.bucket[obs::kLatBuckets - 1], 1u);
+  EXPECT_EQ(before.max_ns, ~std::uint64_t{0});
+
+  h.record(1000);
+  h.record(0);  // bucket 1 again: delta at the bottom boundary
+  const obs::LatSnapshot after = h.snapshot();
+  const obs::LatSnapshot d = after.delta(before);
+  EXPECT_EQ(d.count, 2u);
+  EXPECT_EQ(d.bucket[1], 1u);
+  EXPECT_EQ(d.bucket[obs::LatencyHist::bucket_of(1000)], 1u);
+  EXPECT_EQ(d.bucket[obs::kLatBuckets - 1], 0u);
+  // max_ns keeps the newer (cumulative) value: an upper bound for the clamp.
+  EXPECT_EQ(d.max_ns, after.max_ns);
+
+  // Saturating subtraction: a stale "newer" snapshot can never wrap.
+  const obs::LatSnapshot swapped = before.delta(after);
+  EXPECT_EQ(swapped.bucket[obs::LatencyHist::bucket_of(1000)], 0u);
+
+  // Percentile on the delta reflects only the interval's samples.
+  EXPECT_LE(d.percentile(0.5), 1u);
+  EXPECT_GE(d.percentile(1.0), 512u);  // the 1000ns sample's bucket bound
+}
+
+// --- sampler time series ----------------------------------------------------
+
+TEST(Sampler, TicksHistoryAndSequence) {
+  CvarGuard g(obs::Cv::SamplerIntervalMs);
+  obs::cvar_set(obs::Cv::SamplerIntervalMs, 1000);  // keep the thread quiet
+  World w(2, test::fast_opts());
+  obs::Sampler sampler(w);
+
+  w.run([&](Engine& e) {
+    int v = e.world_rank();
+    if (e.world_rank() == 0) {
+      for (int i = 0; i < 50; ++i) {
+        ASSERT_EQ(e.send(&v, 1, kInt, 1, i, kCommWorld), Err::Success);
+      }
+    } else {
+      for (int i = 0; i < 50; ++i) {
+        ASSERT_EQ(e.recv(&v, 1, kInt, 0, i, kCommWorld, nullptr), Err::Success);
+      }
+    }
+    e.barrier(kCommWorld);
+    if (e.world_rank() == 0) sampler.sample_now();
+    e.barrier(kCommWorld);
+  });
+
+  sampler.sample_now();
+  EXPECT_GE(sampler.ticks(), 2u);
+  for (Rank r = 0; r < 2; ++r) {
+    const std::vector<obs::RankSample> hist = sampler.history(r);
+    ASSERT_GE(hist.size(), 2u);
+    for (std::size_t i = 1; i < hist.size(); ++i) {
+      EXPECT_GT(hist[i].seq, hist[i - 1].seq);  // monotone tick numbers
+      EXPECT_GE(hist[i].t_ns, hist[i - 1].t_ns);
+    }
+    for (const obs::RankSample& s : hist) {
+      EXPECT_EQ(s.rank, r);
+      EXPECT_EQ(s.interval_ns, 1000u * 1'000'000u);
+      EXPECT_EQ(s.lanes.size(),
+                static_cast<std::size_t>(w.engine(r).num_vcis()));
+    }
+  }
+  // 50 sends happened between construction (baseline) and the first tick;
+  // the cumulative raw baselines must have turned them into a nonzero rate
+  // in at least one interval on the sending rank.
+  double total_rate = 0.0;
+  for (const obs::RankSample& s : sampler.history(0)) total_rate += s.sends_per_s;
+  EXPECT_GT(total_rate, 0.0);
+}
+
+TEST(Sampler, RuntimeIntervalChangeVisibleInJsonl) {
+  CvarGuard g(obs::Cv::SamplerIntervalMs);
+  World w(1, test::fast_opts());
+  obs::Sampler sampler(w);
+
+  // Acceptance criterion: a runtime cvar write observably changes the
+  // cadence recorded in the exported series. sample_now() echoes the live
+  // cvar into interval_ns, so two writes must yield two distinct echoes.
+  obs::cvar_set(obs::Cv::SamplerIntervalMs, 10);
+  sampler.sample_now();
+  obs::cvar_set(obs::Cv::SamplerIntervalMs, 40);
+  sampler.sample_now();
+
+  std::ostringstream os;
+  sampler.export_jsonl(os);
+  const std::string jsonl = os.str();
+  EXPECT_NE(jsonl.find("\"interval_ns\":10000000"), std::string::npos) << jsonl;
+  EXPECT_NE(jsonl.find("\"interval_ns\":40000000"), std::string::npos) << jsonl;
+
+  // Every line is one JSON object for one (rank, interval).
+  std::istringstream lines(jsonl);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    ++n;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"rank\":0"), std::string::npos);
+  }
+  EXPECT_GE(n, 2u);
+}
+
+TEST(Sampler, SloAlertFiresAndLandsInTraceRing) {
+  CvarGuard gi(obs::Cv::SamplerIntervalMs);
+  CvarGuard gd(obs::Cv::SloUnexpectedDepth);
+  obs::cvar_set(obs::Cv::SamplerIntervalMs, 1000);
+  obs::cvar_set(obs::Cv::SloUnexpectedDepth, 2);  // fire when depth > 2
+
+  WorldOptions o = test::fast_opts();
+  o.build.trace = true;
+  World w(2, o);
+  obs::trace::reset_all();
+  obs::Sampler sampler(w);
+
+  w.run([&](Engine& e) {
+    std::uint64_t v = 7;
+    if (e.world_rank() == 0) {
+      // Three eager sends rank 1 has not posted receives for: they must pile
+      // up on its unexpected queue. Distinct last tag marks "all arrived"
+      // (per-lane delivery is FIFO).
+      ASSERT_EQ(e.send(&v, 1, kUint64, 1, 5, kCommWorld), Err::Success);
+      ASSERT_EQ(e.send(&v, 1, kUint64, 1, 5, kCommWorld), Err::Success);
+      ASSERT_EQ(e.send(&v, 1, kUint64, 1, 9, kCommWorld), Err::Success);
+    } else {
+      bool flag = false;
+      while (!flag) {
+        ASSERT_EQ(e.iprobe(0, 9, kCommWorld, &flag, nullptr), Err::Success);
+        if (!flag) std::this_thread::yield();
+      }
+      sampler.sample_now();  // unexpected_depth == 3 > threshold 2
+      ASSERT_EQ(e.recv(&v, 1, kUint64, 0, 5, kCommWorld, nullptr), Err::Success);
+      ASSERT_EQ(e.recv(&v, 1, kUint64, 0, 5, kCommWorld, nullptr), Err::Success);
+      ASSERT_EQ(e.recv(&v, 1, kUint64, 0, 9, kCommWorld, nullptr), Err::Success);
+    }
+    e.barrier(kCommWorld);
+  });
+
+  EXPECT_GE(sampler.alerts_fired(), 1u);
+
+  // The alert must appear in rank 1's retained sample...
+  bool in_history = false;
+  for (const obs::RankSample& s : sampler.history(1)) {
+    for (const obs::Alert& a : s.alerts) {
+      if (std::string(a.rule) == "unexpected_depth") {
+        in_history = true;
+        EXPECT_GE(a.value, 3.0);
+        EXPECT_EQ(a.threshold, 2.0);
+        EXPECT_EQ(a.rank, 1);
+      }
+    }
+  }
+  EXPECT_TRUE(in_history);
+
+  // ...in the JSONL record shape...
+  std::ostringstream os;
+  sampler.export_jsonl(os);
+  EXPECT_NE(os.str().find("\"rule\":\"unexpected_depth\""), std::string::npos);
+
+  // ...and as a structured Ev::Alert in the trace ring, timestamped into the
+  // same timeline as the messages that caused it.
+  bool in_trace = false;
+  for (const obs::trace::Event& ev : obs::trace::collect_all()) {
+    if (ev.kind == obs::trace::Ev::Alert && ev.rank == 1) {
+      in_trace = true;
+      EXPECT_EQ(ev.seq, 0u);         // not message-associated
+      EXPECT_EQ(ev.tag, 1);          // rule index: unexpected_depth
+      EXPECT_GE(ev.bytes, 3u);       // observed value
+      EXPECT_EQ(ev.wait_ns, 2u);     // threshold at fire time
+    }
+  }
+  EXPECT_TRUE(in_trace);
+  obs::trace::reset_all();
+}
+
+TEST(Sampler, PrometheusExpositionShape) {
+  CvarGuard g(obs::Cv::SamplerIntervalMs);
+  obs::cvar_set(obs::Cv::SamplerIntervalMs, 1000);
+  World w(2, test::fast_opts());
+  obs::Sampler sampler(w);
+
+  w.run([&](Engine& e) {
+    int v = 1;
+    if (e.world_rank() == 0) {
+      for (int i = 0; i < 20; ++i) {
+        ASSERT_EQ(e.send(&v, 1, kInt, 1, i, kCommWorld), Err::Success);
+      }
+    } else {
+      for (int i = 0; i < 20; ++i) {
+        ASSERT_EQ(e.recv(&v, 1, kInt, 0, i, kCommWorld, nullptr), Err::Success);
+      }
+    }
+  });
+  sampler.sample_now();
+
+  const std::string prom = sampler.prometheus();
+  // Scalar gauges/counters.
+  EXPECT_NE(prom.find("# HELP lwmpi_sampler_interval_seconds"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE lwmpi_sampler_ticks_total counter"), std::string::npos);
+  EXPECT_NE(prom.find("lwmpi_alerts_total 0"), std::string::npos);
+  // Per-rank series for both ranks.
+  EXPECT_NE(prom.find("lwmpi_sends_per_second{rank=\"0\"}"), std::string::npos);
+  EXPECT_NE(prom.find("lwmpi_sends_per_second{rank=\"1\"}"), std::string::npos);
+  // Per-lane series carry both labels.
+  EXPECT_NE(prom.find("lwmpi_lane_unexpected_depth{rank=\"0\",vci=\"0\"}"),
+            std::string::npos);
+  // Cumulative wait-class counter with its class label.
+  EXPECT_NE(prom.find("lwmpi_wait_events_total{rank=\"0\",class=\""),
+            std::string::npos);
+  // Exactly one HELP line per metric name (promlint's duplicate-metadata rule).
+  std::size_t pos = 0, helps = 0;
+  const std::string key = "# HELP lwmpi_sends_per_second";
+  while ((pos = prom.find(key, pos)) != std::string::npos) {
+    ++helps;
+    pos += key.size();
+  }
+  EXPECT_EQ(helps, 1u);
+}
+
+TEST(Sampler, WatchdogEmbedsTimeline) {
+  CvarGuard g(obs::Cv::SamplerIntervalMs);
+  obs::cvar_set(obs::Cv::SamplerIntervalMs, 20);
+  WorldOptions o = test::fast_opts();
+  o.build.lat_sample_shift = 0;
+  World w(2, o);
+
+  // Declaration order is the lifetime contract: the sampler must outlive the
+  // watchdog that references it.
+  obs::Sampler sampler(w);
+  obs::WatchdogOptions wo;
+  wo.stall_ns = 150'000'000;
+  wo.poll_ns = 20'000'000;
+  wo.sampler = &sampler;
+  wo.timeline_depth = 8;
+  obs::Watchdog wd(w, wo);
+
+  w.run([&](Engine& e) {
+    char b = 1;
+    if (e.world_rank() == 0) {
+      ASSERT_EQ(e.send(&b, 1, kChar, 1, 7, kCommWorld), Err::Success);
+      while (wd.fires() == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      ASSERT_EQ(e.send(&b, 1, kChar, 1, 42, kCommWorld), Err::Success);
+    } else {
+      ASSERT_EQ(e.recv(&b, 1, kChar, 0, 42, kCommWorld, nullptr), Err::Success);
+    }
+  });
+
+  ASSERT_GE(wd.fires(), 1);
+  const obs::HangReport r = wd.last_report();
+  ASSERT_FALSE(r.timeline_json.empty());
+  // The embed is the render_json(RankSample) array shape, and the sampler ran
+  // long enough during the stall window to have recorded real intervals.
+  EXPECT_EQ(r.timeline_json.front(), '[');
+  EXPECT_EQ(r.timeline_json.back(), ']');
+  EXPECT_NE(r.timeline_json.find("\"unexpected_depth\""), std::string::npos);
+  // The hang JSON report carries it under "timeline" (hangdump --timeline).
+  const std::string json = obs::render_json(r);
+  EXPECT_NE(json.find("\"timeline\":["), std::string::npos);
+}
+
+// --- sampler-vs-engine races (the TSan bucket) ------------------------------
+
+// Hot 4-VCI traffic loop: both ranks dup the predefined comms and ping on
+// every lane, the workload the sampler races against in the tests below.
+void hot_vci_loop(Engine& e, int iters) {
+  const Comm comms[4] = {kComm1, kComm2, kComm3, kComm4};
+  for (Comm c : comms) {
+    ASSERT_EQ(e.comm_dup_predefined(kCommWorld, c), Err::Success);
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < iters; ++i) {
+    for (Comm c : comms) {
+      if (e.world_rank() == 0) {
+        ASSERT_EQ(e.send(&v, 1, kUint64, 1, 3, c), Err::Success);
+        ASSERT_EQ(e.recv(&v, 1, kUint64, 1, 4, c, nullptr), Err::Success);
+      } else {
+        ASSERT_EQ(e.recv(&v, 1, kUint64, 0, 3, c, nullptr), Err::Success);
+        ASSERT_EQ(e.send(&v, 1, kUint64, 0, 4, c), Err::Success);
+      }
+    }
+  }
+}
+
+TEST(SamplerRace, StartStopUnderLoad) {
+  CvarGuard g(obs::Cv::SamplerIntervalMs);
+  obs::cvar_set(obs::Cv::SamplerIntervalMs, 1);
+  World w(2, test::fast_opts());
+
+  // Construct and destroy samplers continuously while the rank threads are
+  // hot: every ctor spawns a sampling thread that reads the engines' relaxed
+  // counters, every dtor takes a final sample mid-traffic.
+  std::atomic<bool> done{false};
+  std::thread churn([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      obs::Sampler s(w);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      s.sample_now();
+    }
+  });
+
+  w.run([&](Engine& e) { hot_vci_loop(e, 150); });
+  done.store(true, std::memory_order_release);
+  churn.join();
+}
+
+TEST(SamplerRace, RingOverwriteUnderHotVciLoad) {
+  CvarGuard gi(obs::Cv::SamplerIntervalMs);
+  CvarGuard gr(obs::Cv::SamplerRingDepth);
+  obs::cvar_set(obs::Cv::SamplerIntervalMs, 1);
+  obs::cvar_set(obs::Cv::SamplerRingDepth, 4);  // Startup: read at construction
+
+  World w(2, test::fast_opts());
+  obs::Sampler sampler(w);
+  EXPECT_EQ(sampler.ring_depth(), 4u);
+
+  w.run([&](Engine& e) { hot_vci_loop(e, 400); });
+
+  // The 1ms cadence must have lapped the 4-deep ring: retention is bounded,
+  // overwrite-oldest, and the survivors are the newest contiguous ticks.
+  EXPECT_GT(sampler.ticks(), 4u);
+  for (Rank r = 0; r < 2; ++r) {
+    const std::vector<obs::RankSample> hist = sampler.history(r);
+    ASSERT_LE(hist.size(), 4u);
+    ASSERT_GE(hist.size(), 1u);
+    for (std::size_t i = 1; i < hist.size(); ++i) {
+      EXPECT_EQ(hist[i].seq, hist[i - 1].seq + 1);
+    }
+  }
+}
+
+TEST(SamplerRace, CvarMutationMidRun) {
+  CvarGuard gi(obs::Cv::SamplerIntervalMs);
+  CvarGuard gs(obs::Cv::SloUnexpectedGrowth);
+  obs::cvar_set(obs::Cv::SamplerIntervalMs, 1);
+
+  World w(2, test::fast_opts());
+  obs::Sampler sampler(w);
+
+  // Rank 0 retunes the sampler's runtime cvars from inside the run while the
+  // sampling thread re-reads them every tick: interval cadence flapping
+  // between 1ms and 5ms, an SLO rule toggling on and off.
+  w.run([&](Engine& e) {
+    const bool mutate = e.world_rank() == 0;
+    const Comm comms[4] = {kComm1, kComm2, kComm3, kComm4};
+    for (Comm c : comms) {
+      ASSERT_EQ(e.comm_dup_predefined(kCommWorld, c), Err::Success);
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 300; ++i) {
+      if (mutate) {
+        obs::cvar_set(obs::Cv::SamplerIntervalMs, (i & 1) != 0 ? 5 : 1);
+        obs::cvar_set(obs::Cv::SloUnexpectedGrowth, (i & 2) != 0 ? 1 : 0);
+      }
+      for (Comm c : comms) {
+        if (e.world_rank() == 0) {
+          ASSERT_EQ(e.send(&v, 1, kUint64, 1, 3, c), Err::Success);
+          ASSERT_EQ(e.recv(&v, 1, kUint64, 1, 4, c, nullptr), Err::Success);
+        } else {
+          ASSERT_EQ(e.recv(&v, 1, kUint64, 0, 3, c, nullptr), Err::Success);
+          ASSERT_EQ(e.send(&v, 1, kUint64, 0, 4, c), Err::Success);
+        }
+      }
+    }
+  });
+
+  EXPECT_GT(sampler.ticks(), 0u);
+}
+
+// --- fabric byte pvars -------------------------------------------------------
+
+TEST(Pvar, FabricByteCounters) {
+  // One rank per node so the pair actually crosses the fabric (same-node
+  // traffic takes shmmod and never touches the netmod byte counters).
+  WorldOptions o = test::fast_opts();
+  o.ranks_per_node = 1;
+  constexpr int kMsgs = 32;
+  constexpr std::uint64_t kBytes = kMsgs * sizeof(std::uint64_t);
+
+  test::spmd(2, [&](Engine& e) {
+    std::uint64_t v = 11;
+    if (e.world_rank() == 0) {
+      for (int i = 0; i < kMsgs; ++i) {
+        ASSERT_EQ(e.send(&v, 1, kUint64, 1, i, kCommWorld), Err::Success);
+      }
+      e.barrier(kCommWorld);
+    } else {
+      for (int i = 0; i < kMsgs; ++i) {
+        ASSERT_EQ(e.recv(&v, 1, kUint64, 0, i, kCommWorld, nullptr), Err::Success);
+      }
+      e.barrier(kCommWorld);
+      // Both counters are indexed by the *destination* lane: bytes injected
+      // toward this rank, and bytes its own polls delivered.
+      EXPECT_GE(read_pvar(e, "fabric_injected_bytes"), kBytes);
+      EXPECT_GE(read_pvar(e, "fabric_delivered_bytes"), kBytes);
+    }
+  }, o);
+}
+
+}  // namespace
+}  // namespace lwmpi

@@ -5,12 +5,18 @@
 // file back into the human-readable form for postmortem reading -- the MPIR
 // message-queue-dump workflow, minus the debugger:
 //
-//   hangdump report.json     pretty-print a saved hang report
-//   hangdump --demo          force a live 2-rank deadlock, print its diagnosis
+//   hangdump report.json              pretty-print a saved hang report
+//   hangdump --timeline report.json   also render the embedded sampler
+//                                     timeline (the last-N-intervals rate
+//                                     history a telemetry-attached watchdog
+//                                     records leading into the stall)
+//   hangdump --demo                   force a live 2-rank deadlock (with a
+//                                     sampler attached) and print its
+//                                     diagnosis plus timeline
 //
-// The parser is a minimal recursive-descent JSON reader (same spirit as
-// tools/check_core.hpp): it handles exactly the value shapes obs::render_json
-// produces, and rejects anything malformed rather than guessing.
+// The parser (tools/json_mini.hpp) is a minimal recursive-descent JSON
+// reader: it handles exactly the value shapes obs::render_json produces, and
+// rejects anything malformed rather than guessing.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -23,163 +29,15 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "obs/cvar.hpp"
+#include "obs/sampler.hpp"
 #include "obs/watchdog.hpp"
 #include "runtime/world.hpp"
+#include "tools/json_mini.hpp"
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Minimal JSON DOM + parser
-// ---------------------------------------------------------------------------
-
-struct JValue {
-  enum class Kind { Null, Bool, Num, Str, Arr, Obj } kind = Kind::Null;
-  bool b = false;
-  double num = 0.0;
-  std::string str;
-  std::vector<JValue> arr;
-  std::vector<std::pair<std::string, JValue>> obj;
-
-  const JValue* get(const std::string& key) const {
-    for (const auto& [k, v] : obj) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-  std::uint64_t u64() const { return static_cast<std::uint64_t>(num); }
-  long i64() const { return static_cast<long>(num); }
-};
-
-struct Parser {
-  const std::string& s;
-  std::size_t i = 0;
-  bool ok = true;
-
-  void ws() {
-    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r')) ++i;
-  }
-  bool lit(const char* t) {
-    const std::size_t n = std::strlen(t);
-    if (s.compare(i, n, t) != 0) return false;
-    i += n;
-    return true;
-  }
-  JValue value() {
-    ws();
-    JValue v;
-    if (!ok || i >= s.size()) {
-      ok = false;
-      return v;
-    }
-    const char c = s[i];
-    if (c == '{') return object();
-    if (c == '[') return array();
-    if (c == '"') {
-      v.kind = JValue::Kind::Str;
-      v.str = string();
-      return v;
-    }
-    if (lit("null")) return v;
-    if (lit("true")) {
-      v.kind = JValue::Kind::Bool;
-      v.b = true;
-      return v;
-    }
-    if (lit("false")) {
-      v.kind = JValue::Kind::Bool;
-      return v;
-    }
-    // number
-    char* end = nullptr;
-    v.num = std::strtod(s.c_str() + i, &end);
-    if (end == s.c_str() + i) {
-      ok = false;
-      return v;
-    }
-    v.kind = JValue::Kind::Num;
-    i = static_cast<std::size_t>(end - s.c_str());
-    return v;
-  }
-  std::string string() {
-    std::string out;
-    if (i >= s.size() || s[i] != '"') {
-      ok = false;
-      return out;
-    }
-    ++i;
-    while (i < s.size() && s[i] != '"') {
-      if (s[i] == '\\' && i + 1 < s.size()) {
-        const char e = s[i + 1];
-        out += (e == 'n' ? '\n' : e == 't' ? '\t' : e);
-        i += 2;
-      } else {
-        out += s[i++];
-      }
-    }
-    if (i >= s.size()) {
-      ok = false;
-      return out;
-    }
-    ++i;  // closing quote
-    return out;
-  }
-  JValue array() {
-    JValue v;
-    v.kind = JValue::Kind::Arr;
-    ++i;  // '['
-    ws();
-    if (i < s.size() && s[i] == ']') {
-      ++i;
-      return v;
-    }
-    while (ok) {
-      v.arr.push_back(value());
-      ws();
-      if (i < s.size() && s[i] == ',') {
-        ++i;
-        continue;
-      }
-      if (i < s.size() && s[i] == ']') {
-        ++i;
-        return v;
-      }
-      ok = false;
-    }
-    return v;
-  }
-  JValue object() {
-    JValue v;
-    v.kind = JValue::Kind::Obj;
-    ++i;  // '{'
-    ws();
-    if (i < s.size() && s[i] == '}') {
-      ++i;
-      return v;
-    }
-    while (ok) {
-      ws();
-      std::string key = string();
-      ws();
-      if (i >= s.size() || s[i] != ':') {
-        ok = false;
-        return v;
-      }
-      ++i;
-      v.obj.emplace_back(std::move(key), value());
-      ws();
-      if (i < s.size() && s[i] == ',') {
-        ++i;
-        continue;
-      }
-      if (i < s.size() && s[i] == '}') {
-        ++i;
-        return v;
-      }
-      ok = false;
-    }
-    return v;
-  }
-};
+using jsonmini::JValue;
 
 // ---------------------------------------------------------------------------
 // Report rendering
@@ -205,7 +63,54 @@ void print_entry(const char* label, const JValue& e) {
                   : "");
 }
 
-int print_report(const JValue& root) {
+double num_of(const JValue& o, const char* key) {
+  const JValue* v = o.get(key);
+  return v != nullptr ? v->num : 0.0;
+}
+
+// Pretty-print the sampler timeline block: one line per (interval, rank),
+// newest last, so the rate history reads top-to-bottom into the hang.
+void print_timeline(const JValue& timeline) {
+  if (timeline.kind != JValue::Kind::Arr || timeline.arr.empty()) {
+    std::printf("\n(no sampler timeline in this report)\n");
+    return;
+  }
+  std::printf("\n=== telemetry timeline: last %zu interval-sample(s) ===\n",
+              timeline.arr.size());
+  std::printf("%5s %4s %9s %10s %10s %6s %6s %7s %6s  %s\n", "seq", "rank", "dt",
+              "sends/s", "recvs/s", "uexq", "+uexq", "stall%", "idle%", "alerts");
+  for (const JValue& s : timeline.arr) {
+    const JValue* alerts = s.get("alerts");
+    std::string fired;
+    if (alerts != nullptr) {
+      for (const JValue& a : alerts->arr) {
+        const JValue* rule = a.get("rule");
+        if (rule == nullptr) continue;
+        if (!fired.empty()) fired += ' ';
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "%s(%.3g>%.3g)", rule->str.c_str(),
+                      num_of(a, "value"), num_of(a, "threshold"));
+        fired += buf;
+      }
+    }
+    std::printf("%5llu %4ld %9s %10.0f %10.0f %6llu %+6lld %6.1f%% %5.1f%%  %s\n",
+                static_cast<unsigned long long>(
+                    s.get("seq") != nullptr ? s.get("seq")->u64() : 0),
+                s.get("rank") != nullptr ? s.get("rank")->i64() : -1,
+                fmt_ms(s.get("dt_ns") != nullptr ? s.get("dt_ns")->u64() : 0).c_str(),
+                num_of(s, "sends_per_s"), num_of(s, "recvs_per_s"),
+                static_cast<unsigned long long>(
+                    s.get("unexpected_depth") != nullptr ? s.get("unexpected_depth")->u64()
+                                                         : 0),
+                static_cast<long long>(s.get("unexpected_growth") != nullptr
+                                           ? s.get("unexpected_growth")->i64()
+                                           : 0),
+                num_of(s, "credit_stall_pct"), num_of(s, "idle_pct"),
+                fired.empty() ? "-" : fired.c_str());
+  }
+}
+
+int print_report(const JValue& root, bool with_timeline) {
   const JValue* stuck = root.get("stuck");
   const JValue* nranks = root.get("nranks");
   if (stuck == nullptr || stuck->kind != JValue::Kind::Arr || nranks == nullptr) {
@@ -282,6 +187,15 @@ int print_report(const JValue& root) {
       }
     }
   }
+  if (with_timeline) {
+    const JValue* timeline = root.get("timeline");
+    if (timeline != nullptr) {
+      print_timeline(*timeline);
+    } else {
+      std::printf("\n(no sampler timeline in this report -- attach a Sampler via"
+                  " WatchdogOptions::sampler)\n");
+    }
+  }
   return 0;
 }
 
@@ -297,9 +211,14 @@ int run_demo() {
   o.profile = net::loopback();
   o.ranks_per_node = 2;
   World w(2, o);
+  // Telemetry sampler, declared before the watchdog so it outlives it; the
+  // watchdog embeds its last intervals into the diagnosis.
+  obs::cvar_set(obs::Cv::SamplerIntervalMs, 20);
+  obs::Sampler sampler(w);
   obs::WatchdogOptions wo;
   wo.stall_ns = 200'000'000;
   wo.poll_ns = 20'000'000;
+  wo.sampler = &sampler;
   obs::Watchdog wd(w, wo);
   w.run([&](Engine& e) {
     char b = 1;
@@ -315,32 +234,51 @@ int run_demo() {
       e.recv(&b, 1, kChar, 0, 42, kCommWorld, nullptr);
     }
   });
-  std::fputs(obs::render_text(wd.last_report()).c_str(), stdout);
+  const obs::HangReport report = wd.last_report();
+  std::fputs(obs::render_text(report).c_str(), stdout);
+  if (!report.timeline_json.empty()) {
+    bool ok = false;
+    const JValue timeline = jsonmini::parse(report.timeline_json, &ok);
+    if (ok) print_timeline(timeline);
+  }
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: hangdump <report.json> | hangdump --demo\n");
+  bool with_timeline = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--demo") == 0) return run_demo();
+    if (std::strcmp(argv[i], "--timeline") == 0) {
+      with_timeline = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      path = nullptr;  // too many positionals
+      break;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: hangdump [--timeline] <report.json> | hangdump --demo\n");
     return 2;
   }
-  if (std::strcmp(argv[1], "--demo") == 0) return run_demo();
 
-  std::ifstream f(argv[1]);
+  std::ifstream f(path);
   if (!f) {
-    std::fprintf(stderr, "hangdump: cannot open %s\n", argv[1]);
+    std::fprintf(stderr, "hangdump: cannot open %s\n", path);
     return 1;
   }
   std::stringstream buf;
   buf << f.rdbuf();
   const std::string text = buf.str();
-  Parser p{text};
-  const JValue root = p.value();
-  if (!p.ok || root.kind != JValue::Kind::Obj) {
-    std::fprintf(stderr, "hangdump: %s is not valid JSON\n", argv[1]);
+  bool ok = false;
+  const JValue root = jsonmini::parse(text, &ok);
+  if (!ok || root.kind != JValue::Kind::Obj) {
+    std::fprintf(stderr, "hangdump: %s is not valid JSON\n", path);
     return 1;
   }
-  return print_report(root);
+  return print_report(root, with_timeline);
 }

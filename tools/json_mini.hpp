@@ -1,0 +1,176 @@
+// Minimal JSON DOM + recursive-descent parser shared by the observability
+// tools (hangdump, lwmpi_top). Same spirit as tools/check_core.hpp: it
+// handles exactly the value shapes the lwmpi renderers produce (objects,
+// arrays, strings with \n/\t escapes, strtod numbers, true/false/null) and
+// rejects anything malformed rather than guessing. Not a general JSON
+// library -- no \uXXXX escapes, no exponent validation beyond strtod's.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace jsonmini {
+
+struct JValue {
+  enum class Kind { Null, Bool, Num, Str, Arr, Obj } kind = Kind::Null;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JValue> arr;
+  std::vector<std::pair<std::string, JValue>> obj;
+
+  const JValue* get(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  std::uint64_t u64() const { return static_cast<std::uint64_t>(num); }
+  long i64() const { return static_cast<long>(num); }
+};
+
+struct Parser {
+  const std::string& s;
+  std::size_t i = 0;
+  bool ok = true;
+
+  void ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r')) ++i;
+  }
+  bool lit(const char* t) {
+    const std::size_t n = std::strlen(t);
+    if (s.compare(i, n, t) != 0) return false;
+    i += n;
+    return true;
+  }
+  JValue value() {
+    ws();
+    JValue v;
+    if (!ok || i >= s.size()) {
+      ok = false;
+      return v;
+    }
+    const char c = s[i];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      v.kind = JValue::Kind::Str;
+      v.str = string();
+      return v;
+    }
+    if (lit("null")) return v;
+    if (lit("true")) {
+      v.kind = JValue::Kind::Bool;
+      v.b = true;
+      return v;
+    }
+    if (lit("false")) {
+      v.kind = JValue::Kind::Bool;
+      return v;
+    }
+    // number
+    char* end = nullptr;
+    v.num = std::strtod(s.c_str() + i, &end);
+    if (end == s.c_str() + i) {
+      ok = false;
+      return v;
+    }
+    v.kind = JValue::Kind::Num;
+    i = static_cast<std::size_t>(end - s.c_str());
+    return v;
+  }
+  std::string string() {
+    std::string out;
+    if (i >= s.size() || s[i] != '"') {
+      ok = false;
+      return out;
+    }
+    ++i;
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\' && i + 1 < s.size()) {
+        const char e = s[i + 1];
+        out += (e == 'n' ? '\n' : e == 't' ? '\t' : e);
+        i += 2;
+      } else {
+        out += s[i++];
+      }
+    }
+    if (i >= s.size()) {
+      ok = false;
+      return out;
+    }
+    ++i;  // closing quote
+    return out;
+  }
+  JValue array() {
+    JValue v;
+    v.kind = JValue::Kind::Arr;
+    ++i;  // '['
+    ws();
+    if (i < s.size() && s[i] == ']') {
+      ++i;
+      return v;
+    }
+    while (ok) {
+      v.arr.push_back(value());
+      ws();
+      if (i < s.size() && s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < s.size() && s[i] == ']') {
+        ++i;
+        return v;
+      }
+      ok = false;
+    }
+    return v;
+  }
+  JValue object() {
+    JValue v;
+    v.kind = JValue::Kind::Obj;
+    ++i;  // '{'
+    ws();
+    if (i < s.size() && s[i] == '}') {
+      ++i;
+      return v;
+    }
+    while (ok) {
+      ws();
+      std::string key = string();
+      ws();
+      if (i >= s.size() || s[i] != ':') {
+        ok = false;
+        return v;
+      }
+      ++i;
+      v.obj.emplace_back(std::move(key), value());
+      ws();
+      if (i < s.size() && s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < s.size() && s[i] == '}') {
+        ++i;
+        return v;
+      }
+      ok = false;
+    }
+    return v;
+  }
+};
+
+// Parse a complete document; sets *ok to whether the whole text was one
+// well-formed value.
+inline JValue parse(const std::string& text, bool* ok) {
+  Parser p{text};
+  JValue v = p.value();
+  if (ok != nullptr) *ok = p.ok;
+  return v;
+}
+
+}  // namespace jsonmini
