@@ -45,6 +45,16 @@
 // The telemetry pass emits its own BENCH_telemetry.json plus a Prometheus
 // text-exposition artifact that scripts/run_tier1.sh lints with
 // `bench_check --promlint`.
+// Since the aggregate profiler (obs/profiler.hpp), every top-level MPI entry
+// point opens a ProfScope: a thread-local depth check, a TSC stamp pair, and
+// three relaxed counter updates per user call when a profiler is attached --
+// one null test when not. The profiler pass pairs counters-on worlds with and
+// without an attached profiler and gates the tax at <2% (between the counter
+// tier's 3% and the passive sampler's 1%: ProfScope does strictly more work
+// per call than a counter hook but runs only at the user-call boundary, not
+// per packet). It emits BENCH_prof.json plus a profile.json artifact that
+// run_tier1.sh / the regression sentinel validate with
+// `bench_check --profcheck`.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -56,6 +66,7 @@
 
 #include "bench/harness.hpp"
 #include "obs/cvar.hpp"
+#include "obs/profiler.hpp"
 #include "obs/pvar.hpp"
 #include "obs/sampler.hpp"
 
@@ -70,11 +81,12 @@ constexpr int kRounds = 7;   // independently-constructed instance pairs
 
 // A 1-rank world whose engine the bench drives directly (self ping-pong:
 // isend -> recv -> wait, no thread handoff). `sampled` additionally attaches
-// a telemetry sampler at the default cadence for the instance's lifetime.
+// a telemetry sampler at the default cadence for the instance's lifetime;
+// `prof` attaches the aggregate profiler (ProfScope live on every call).
 class SelfWorld {
  public:
-  explicit SelfWorld(bool counters, bool sampled = false)
-      : w_(1, opts(counters)), e_(w_.engine(0)) {
+  explicit SelfWorld(bool counters, bool sampled = false, bool prof = false)
+      : w_(1, opts(counters, prof)), e_(w_.engine(0)) {
     if (sampled) sampler_ = std::make_unique<obs::Sampler>(w_);
     for (int i = 0; i < kWarmup; ++i) iter();
   }
@@ -87,13 +99,14 @@ class SelfWorld {
   }
 
  private:
-  static WorldOptions opts(bool counters) {
+  static WorldOptions opts(bool counters, bool prof) {
     WorldOptions o;
     o.profile = net::loopback();
     o.device = DeviceKind::Ch4;
     o.ranks_per_node = 1;
     o.build.counters = counters;
     o.build.trace = false;  // tracing off; the causal stamp still runs (see top)
+    o.prof = prof;
     return o;
   }
   void iter() {
@@ -142,18 +155,21 @@ std::string sample_stats_json(bench::JsonResult& jr) {
   return w.stats_report(true);
 }
 
+// The three instrumentation pairings this bench gates. Counters compares
+// stripped vs counter-instrumented builds; Sampler and Prof both run counters
+// on both sides and attach the named subsystem to the "on" side only.
+enum class Pair { Counters, Sampler, Prof };
+
 // One full measurement pass: kRounds instance pairs. Returns the lower-tercile
 // overhead ratio across pairs (the gate statistic -- a structural tax shows
 // up in all of them) and the median through `median_pct` (the typical value).
-// `sampler_pair` selects the telemetry pairing (counters on both sides, one
-// with an attached sampler) instead of the counters-on/off pairing.
 double measure_pct(double& best_off, double& best_on, double& median_pct,
-                   bool sampler_pair = false) {
+                   Pair pair = Pair::Counters) {
   std::vector<double> ratios;
   ratios.reserve(kRounds);
   for (int round = 0; round < kRounds; ++round) {
-    SelfWorld off_world(sampler_pair ? true : false, false);
-    SelfWorld on_world(true, sampler_pair);
+    SelfWorld off_world(pair != Pair::Counters, false, false);
+    SelfWorld on_world(true, pair == Pair::Sampler, pair == Pair::Prof);
     double round_off = std::numeric_limits<double>::infinity();
     double round_on = std::numeric_limits<double>::infinity();
     for (int s = 0; s < kSlices; ++s) {
@@ -207,6 +223,45 @@ std::string write_prom_artifact(bench::JsonResult& jr) {
   }
 }
 
+// Profiler-tier example artifact: a short phased 2-rank profiled run whose
+// profile.json lands next to the bench JSON (tier-1 validates it with
+// `bench_check --profcheck`). Reports the run's aggregate counts through the
+// JSON result and returns the artifact path.
+std::string write_profile_artifact(bench::JsonResult& jr) {
+  std::string path = "profile.json";
+  if (const char* dir = std::getenv("LWMPI_BENCH_DIR"); dir != nullptr && *dir != '\0') {
+    path = std::string(dir) + "/" + path;
+  }
+  WorldOptions o;
+  o.profile = net::loopback();
+  o.device = DeviceKind::Ch4;
+  o.ranks_per_node = 1;
+  o.prof = true;
+  o.prof_path = path;
+  {
+    World w(2, o);
+    w.phase_push("exchange");
+    w.run([](Engine& e) {
+      char b = 1;
+      if (e.world_rank() == 0) {
+        for (int i = 0; i < 500; ++i) e.send(&b, 1, kChar, 1, i % 16, kCommWorld);
+      } else {
+        for (int i = 0; i < 500; ++i) e.recv(&b, 1, kChar, 0, i % 16, kCommWorld, nullptr);
+      }
+    });
+    w.phase_pop();
+    const obs::Profiler* p = w.profiler();
+    jr.add("prof_matrix_packet_bytes",
+           static_cast<double>(p->matrix().total_packet_bytes()), "count");
+    const int exchange = w.profiler()->intern_phase("exchange");
+    jr.add("prof_exchange_sends",
+           static_cast<double>(p->rank(0).site_count(exchange, obs::Callsite::Send)),
+           "count");
+    // ~World writes the artifact at teardown.
+  }
+  return path;
+}
+
 }  // namespace
 
 int main() {
@@ -249,10 +304,10 @@ int main() {
   double tel_off = std::numeric_limits<double>::infinity();
   double tel_on = std::numeric_limits<double>::infinity();
   double tel_median = 0.0;
-  double tel_pct = measure_pct(tel_off, tel_on, tel_median, /*sampler_pair=*/true);
+  double tel_pct = measure_pct(tel_off, tel_on, tel_median, Pair::Sampler);
   for (int retry = 0; retry < 2 && tel_pct >= 1.0; ++retry) {
     double retry_median = 0.0;
-    const double retry_pct = measure_pct(tel_off, tel_on, retry_median, true);
+    const double retry_pct = measure_pct(tel_off, tel_on, retry_median, Pair::Sampler);
     if (retry_pct < tel_pct) {
       tel_pct = retry_pct;
       tel_median = retry_median;
@@ -275,5 +330,36 @@ int main() {
   tel.write();
   std::printf("prometheus exposition: %s\n", prom_path.c_str());
 
-  return pct < 3.0 && tel_pct < 1.0 ? 0 : 1;
+  // --- Profiler gate: attached aggregate profiler < 2% ----------------------
+  bench::print_header("aggregate profiler overhead (counters on, profiler attached vs not)");
+  double prof_off = std::numeric_limits<double>::infinity();
+  double prof_on = std::numeric_limits<double>::infinity();
+  double prof_median = 0.0;
+  double prof_pct = measure_pct(prof_off, prof_on, prof_median, Pair::Prof);
+  for (int retry = 0; retry < 2 && prof_pct >= 2.0; ++retry) {
+    double retry_median = 0.0;
+    const double retry_pct = measure_pct(prof_off, prof_on, retry_median, Pair::Prof);
+    if (retry_pct < prof_pct) {
+      prof_pct = retry_pct;
+      prof_median = retry_median;
+    }
+  }
+
+  std::printf("%-28s %10.1f ns/iter (best of %dx%d slices)\n", "profiler detached",
+              prof_off, kRounds, kSlices);
+  std::printf("%-28s %10.1f ns/iter (best of %dx%d slices)\n", "profiler attached",
+              prof_on, kRounds, kSlices);
+  std::printf("%-28s %+9.2f %%  (median %+.2f %%)  [acceptance: < 2%%]\n", "overhead",
+              prof_pct, prof_median);
+
+  bench::JsonResult prof("prof");
+  prof.add("pingpong_prof_off_ns", prof_off, "ns/iter");
+  prof.add("pingpong_prof_on_ns", prof_on, "ns/iter");
+  prof.add("prof_overhead_pct", prof_pct, "%");
+  prof.add("prof_overhead_median_pct", prof_median, "%");
+  const std::string profile_path = write_profile_artifact(prof);
+  prof.write();
+  std::printf("profile artifact: %s\n", profile_path.c_str());
+
+  return pct < 3.0 && tel_pct < 1.0 && prof_pct < 2.0 ? 0 : 1;
 }

@@ -31,13 +31,17 @@ LWMPI_BENCH_DIR="${scratch}" "${BUILD_DIR}/bench/bench_fig3" > /dev/null
 LWMPI_BENCH_DIR="${scratch}" "${BUILD_DIR}/bench/bench_fig4" > /dev/null
 
 # The observability overhead gates are timing benches, so they are judged by
-# their own acceptance exit codes (<3% counters, <1% telemetry sampler), not
-# by a baseline comparison in bench_check.
+# their own acceptance exit codes (<3% counters, <1% telemetry sampler, <2%
+# aggregate profiler), not by a baseline comparison in bench_check.
 LWMPI_BENCH_DIR="${scratch}" "${BUILD_DIR}/bench/bench_obs_overhead" > /dev/null
 
 # The telemetry pass also emits a Prometheus text exposition; lint it like
 # promtool would (name/label charsets, HELP/TYPE metadata, duplicate series).
 "${BUILD_DIR}/tools/bench_check" --promlint "${scratch}/telemetry.prom"
+
+# The profiler pass emits a profile.json artifact; validate its schema (the
+# lwmpi_prof input format) the same way.
+"${BUILD_DIR}/tools/bench_check" --profcheck "${scratch}/profile.json"
 
 exec "${BUILD_DIR}/tools/bench_check" "${SOURCE_DIR}/bench/baselines" "${scratch}" \
   table1 fig2 fig3_mailbox fig3_rdma fig4_mailbox fig4_rdma

@@ -15,15 +15,17 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
 # Observability overhead gates: the instrumented hot path must stay within 3%
-# of the stripped one, and an attached telemetry sampler within 1% of none
-# (timing bench -- runs after ctest so it gets a quiet machine; its own exit
-# code is the acceptance check). Artifacts go to a scratch dir so the repo
-# root stays clean; the emitted Prometheus exposition must pass the
-# promtool-style lint.
+# of the stripped one, an attached telemetry sampler within 1% of none, and an
+# attached aggregate profiler within 2% (timing bench -- runs after ctest so
+# it gets a quiet machine; its own exit code is the acceptance check).
+# Artifacts go to a scratch dir so the repo root stays clean; the emitted
+# Prometheus exposition must pass the promtool-style lint and the emitted
+# profile artifact the profile-JSON schema check.
 obs_scratch="$(mktemp -d)"
 trap 'rm -rf "${obs_scratch}"' EXIT
 LWMPI_BENCH_DIR="${obs_scratch}" "${BUILD_DIR}/bench/bench_obs_overhead"
 "${BUILD_DIR}/tools/bench_check" --promlint "${obs_scratch}/telemetry.prom"
+"${BUILD_DIR}/tools/bench_check" --profcheck "${obs_scratch}/profile.json"
 
 # Causal-tier golden trace: the committed injected-delay timeline must still
 # analyze to a late_sender-dominated critical path (format + analyzer drift

@@ -68,6 +68,7 @@ Err Engine::coll_recv(void* buf, int count, Datatype dt, Rank src, Tag tag, Comm
 // ---------------------------------------------------------------------------
 
 Err Engine::barrier(Comm comm) {
+  obs::ProfScope psc(prof_, obs::Callsite::Barrier, prof_vci(comm), 0);
   CommObject* c = comm_obj(comm);
   if (c == nullptr) return Err::Comm;
   const int p = c->map.size();
@@ -94,6 +95,7 @@ Err Engine::barrier(Comm comm) {
 // ---------------------------------------------------------------------------
 
 Err Engine::bcast(void* buf, int count, Datatype dt, Rank root, Comm comm) {
+  obs::ProfScope psc(prof_, obs::Callsite::Bcast, prof_vci(comm), prof_bytes(count, dt));
   CommObject* c = comm_obj(comm);
   if (c == nullptr) return Err::Comm;
   const int p = c->map.size();
@@ -135,6 +137,7 @@ Err Engine::bcast(void* buf, int count, Datatype dt, Rank root, Comm comm) {
 
 Err Engine::reduce(const void* sbuf, void* rbuf, int count, Datatype dt, ReduceOp op,
                    Rank root, Comm comm) {
+  obs::ProfScope psc(prof_, obs::Callsite::Reduce, prof_vci(comm), prof_bytes(count, dt));
   CommObject* c = comm_obj(comm);
   if (c == nullptr) return Err::Comm;
   const int p = c->map.size();
@@ -187,6 +190,8 @@ Err Engine::reduce(const void* sbuf, void* rbuf, int count, Datatype dt, ReduceO
 
 Err Engine::allreduce(const void* sbuf, void* rbuf, int count, Datatype dt, ReduceOp op,
                       Comm comm) {
+  obs::ProfScope psc(prof_, obs::Callsite::Allreduce, prof_vci(comm),
+                     prof_bytes(count, dt));
   CommObject* c = comm_obj(comm);
   if (c == nullptr) return Err::Comm;
   if (!is_builtin(dt)) return Err::Datatype;  // predefined ops need basic types
@@ -277,6 +282,8 @@ Err Engine::allreduce(const void* sbuf, void* rbuf, int count, Datatype dt, Redu
 
 Err Engine::gather(const void* sbuf, int scount, Datatype sdt, void* rbuf, int rcount,
                    Datatype rdt, Rank root, Comm comm) {
+  obs::ProfScope psc(prof_, obs::Callsite::Gather, prof_vci(comm),
+                     prof_bytes(scount, sdt));
   CommObject* c = comm_obj(comm);
   if (c == nullptr) return Err::Comm;
   const int p = c->map.size();
@@ -309,6 +316,8 @@ Err Engine::gather(const void* sbuf, int scount, Datatype sdt, void* rbuf, int r
 
 Err Engine::allgather(const void* sbuf, int scount, Datatype sdt, void* rbuf, int rcount,
                       Datatype rdt, Comm comm) {
+  obs::ProfScope psc(prof_, obs::Callsite::Allgather, prof_vci(comm),
+                     prof_bytes(scount, sdt));
   CommObject* c = comm_obj(comm);
   if (c == nullptr) return Err::Comm;
   const int p = c->map.size();
@@ -352,6 +361,8 @@ Err Engine::allgather(const void* sbuf, int scount, Datatype sdt, void* rbuf, in
 
 Err Engine::scatter(const void* sbuf, int scount, Datatype sdt, void* rbuf, int rcount,
                     Datatype rdt, Rank root, Comm comm) {
+  obs::ProfScope psc(prof_, obs::Callsite::Scatter, prof_vci(comm),
+                     prof_bytes(rcount, rdt));
   CommObject* c = comm_obj(comm);
   if (c == nullptr) return Err::Comm;
   const int p = c->map.size();
@@ -386,6 +397,8 @@ Err Engine::scatter(const void* sbuf, int scount, Datatype sdt, void* rbuf, int 
 
 Err Engine::alltoall(const void* sbuf, int scount, Datatype sdt, void* rbuf, int rcount,
                      Datatype rdt, Comm comm) {
+  obs::ProfScope psc(prof_, obs::Callsite::Alltoall, prof_vci(comm),
+                     prof_bytes(scount, sdt));
   CommObject* c = comm_obj(comm);
   if (c == nullptr) return Err::Comm;
   const int p = c->map.size();
@@ -429,6 +442,7 @@ Err Engine::alltoall(const void* sbuf, int scount, Datatype sdt, void* rbuf, int
 
 Err Engine::scan(const void* sbuf, void* rbuf, int count, Datatype dt, ReduceOp op,
                  Comm comm) {
+  obs::ProfScope psc(prof_, obs::Callsite::Scan, prof_vci(comm), prof_bytes(count, dt));
   CommObject* c = comm_obj(comm);
   if (c == nullptr) return Err::Comm;
   if (!is_builtin(dt)) return Err::Datatype;

@@ -21,6 +21,8 @@ constexpr Tag kTagReduceScatter = 12;
 Err Engine::gatherv(const void* sbuf, int scount, Datatype sdt, void* rbuf,
                     std::span<const int> rcounts, std::span<const int> displs, Datatype rdt,
                     Rank root, Comm comm) {
+  obs::ProfScope psc(prof_, obs::Callsite::Gatherv, prof_vci(comm),
+                     prof_bytes(scount, sdt));
   CommObject* c = comm_obj(comm);
   if (c == nullptr) return Err::Comm;
   const int p = c->map.size();
@@ -60,6 +62,8 @@ Err Engine::gatherv(const void* sbuf, int scount, Datatype sdt, void* rbuf,
 Err Engine::allgatherv(const void* sbuf, int scount, Datatype sdt, void* rbuf,
                        std::span<const int> rcounts, std::span<const int> displs,
                        Datatype rdt, Comm comm) {
+  obs::ProfScope psc(prof_, obs::Callsite::Allgatherv, prof_vci(comm),
+                     prof_bytes(scount, sdt));
   CommObject* c = comm_obj(comm);
   if (c == nullptr) return Err::Comm;
   const int p = c->map.size();
@@ -88,6 +92,8 @@ Err Engine::allgatherv(const void* sbuf, int scount, Datatype sdt, void* rbuf,
 Err Engine::scatterv(const void* sbuf, std::span<const int> scounts,
                      std::span<const int> displs, Datatype sdt, void* rbuf, int rcount,
                      Datatype rdt, Rank root, Comm comm) {
+  obs::ProfScope psc(prof_, obs::Callsite::Scatterv, prof_vci(comm),
+                     prof_bytes(rcount, rdt));
   CommObject* c = comm_obj(comm);
   if (c == nullptr) return Err::Comm;
   const int p = c->map.size();
@@ -126,6 +132,8 @@ Err Engine::scatterv(const void* sbuf, std::span<const int> scounts,
 
 Err Engine::reduce_scatter_block(const void* sbuf, void* rbuf, int count, Datatype dt_,
                                  ReduceOp op, Comm comm) {
+  obs::ProfScope psc(prof_, obs::Callsite::ReduceScatterBlock, prof_vci(comm),
+                     prof_bytes(count, dt_));
   CommObject* c = comm_obj(comm);
   if (c == nullptr) return Err::Comm;
   if (!is_builtin(dt_)) return Err::Datatype;

@@ -24,6 +24,12 @@ namespace lwmpi {
 
 Err Engine::isend(const void* buf, int count, Datatype dt, Rank dest, Tag tag, Comm comm,
                   Request* req) {
+  obs::ProfScope psc(prof_, obs::Callsite::Isend, prof_vci(comm), prof_bytes(count, dt));
+  return isend_impl(buf, count, dt, dest, tag, comm, req);
+}
+
+Err Engine::isend_impl(const void* buf, int count, Datatype dt, Rank dest, Tag tag, Comm comm,
+                       Request* req) {
   if (!cfg_.ipo) {
     cost::charge(cost::Category::CallOverhead, cost::kCallEntry + cost::kCallPmpiAliasSend);
   }
@@ -43,6 +49,12 @@ Err Engine::isend(const void* buf, int count, Datatype dt, Rank dest, Tag tag, C
 
 Err Engine::irecv(void* buf, int count, Datatype dt, Rank src, Tag tag, Comm comm,
                   Request* req) {
+  obs::ProfScope psc(prof_, obs::Callsite::Irecv, prof_vci(comm), prof_bytes(count, dt));
+  return irecv_impl(buf, count, dt, src, tag, comm, req);
+}
+
+Err Engine::irecv_impl(void* buf, int count, Datatype dt, Rank src, Tag tag, Comm comm,
+                       Request* req) {
   if (!cfg_.ipo) {
     cost::charge(cost::Category::CallOverhead, cost::kCallEntry + cost::kCallPmpiAliasSend);
   }
@@ -65,6 +77,8 @@ Err Engine::irecv(void* buf, int count, Datatype dt, Rank src, Tag tag, Comm com
 
 Err Engine::isend_global(const void* buf, int count, Datatype dt, Rank world_dest, Tag tag,
                          Comm comm, Request* req) {
+  obs::ProfScope psc(prof_, obs::Callsite::IsendGlobal, prof_vci(comm),
+                     prof_bytes(count, dt));
   if (!cfg_.ipo) {
     cost::charge(cost::Category::CallOverhead, cost::kCallEntry + cost::kCallPmpiAliasSend);
   }
@@ -92,6 +106,7 @@ Err Engine::isend_global(const void* buf, int count, Datatype dt, Rank world_des
 
 Err Engine::isend_npn(const void* buf, int count, Datatype dt, Rank dest, Tag tag, Comm comm,
                       Request* req) {
+  obs::ProfScope psc(prof_, obs::Callsite::IsendNpn, prof_vci(comm), prof_bytes(count, dt));
   if (!cfg_.ipo) {
     cost::charge(cost::Category::CallOverhead, cost::kCallEntry + cost::kCallPmpiAliasSend);
   }
@@ -118,6 +133,8 @@ Err Engine::isend_npn(const void* buf, int count, Datatype dt, Rank dest, Tag ta
 
 Err Engine::isend_noreq(const void* buf, int count, Datatype dt, Rank dest, Tag tag,
                         Comm comm) {
+  obs::ProfScope psc(prof_, obs::Callsite::IsendNoreq, prof_vci(comm),
+                     prof_bytes(count, dt));
   if (!cfg_.ipo) {
     cost::charge(cost::Category::CallOverhead, cost::kCallEntry + cost::kCallPmpiAliasSend);
   }
@@ -142,6 +159,7 @@ Err Engine::isend_noreq(const void* buf, int count, Datatype dt, Rank dest, Tag 
 }
 
 Err Engine::comm_waitall(Comm comm) {
+  obs::ProfScope psc(prof_, obs::Callsite::CommWaitall, prof_vci(comm), 0);
   CommObject* c = comm_obj(comm);
   if (c == nullptr) return Err::Comm;
   progress();  // flush the device send queue even if nothing is outstanding
@@ -158,6 +176,8 @@ Err Engine::comm_waitall(Comm comm) {
 
 Err Engine::isend_nomatch(const void* buf, int count, Datatype dt, Rank dest, Comm comm,
                           Request* req) {
+  obs::ProfScope psc(prof_, obs::Callsite::IsendNomatch, prof_vci(comm),
+                     prof_bytes(count, dt));
   if (!cfg_.ipo) {
     cost::charge(cost::Category::CallOverhead, cost::kCallEntry + cost::kCallPmpiAliasSend);
   }
@@ -181,6 +201,8 @@ Err Engine::isend_nomatch(const void* buf, int count, Datatype dt, Rank dest, Co
 }
 
 Err Engine::irecv_nomatch(void* buf, int count, Datatype dt, Comm comm, Request* req) {
+  obs::ProfScope psc(prof_, obs::Callsite::IrecvNomatch, prof_vci(comm),
+                     prof_bytes(count, dt));
   if (cfg_.error_checking) {
     if (Err e = check_comm(comm); !ok(e)) return e;
     if (Err e = check_count(count); !ok(e)) return e;
@@ -200,6 +222,8 @@ Err Engine::irecv_nomatch(void* buf, int count, Datatype dt, Comm comm, Request*
 // path touches no state that needs the VCI lock.
 Err Engine::isend_all_opts(const void* buf, int count, Datatype dt, Rank world_dest,
                            Comm comm) {
+  obs::ProfScope psc(prof_, obs::Callsite::IsendAllOpts, prof_vci(comm),
+                     prof_bytes(count, dt));
   CommObject& c = *comms_.at(handle_payload(comm));  // global-array slot load
   cost::charge(cost::Category::MandObject, cost::kAllOptsCtxLoad);
   cost::charge(cost::Category::MandRankmap, cost::kAllOptsAddrLoad);

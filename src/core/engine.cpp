@@ -45,6 +45,7 @@ Engine::Engine(World& world, Rank world_rank)
     vcis_.back()->matcher.set_stamp_arrivals(cfg_.counters);
   }
   eng_counters_.enabled = cfg_.counters;
+  if (obs::Profiler* p = world.profiler(); p != nullptr) prof_ = &p->rank(self_);
   init_world_comms();
 }
 
@@ -84,6 +85,7 @@ void Engine::init_world_comms() {
   CommObject& w = *comms_.at(handle_payload(kCommWorld));
   w.ctx = kWorldCtx;
   w.vci = assign_vci(handle_payload(kCommWorld), kWorldCtx);
+  world_vci_ = static_cast<int>(w.vci);
   w.rank = self_;
   w.map = comm::RankMap::identity(world_size());
   w.in_use.store(true, std::memory_order_release);
@@ -305,6 +307,15 @@ void Engine::release_request(Request r) noexcept {
 // ---------------------------------------------------------------------------
 
 Err Engine::wait(Request* req, Status* st) {
+  obs::ProfScope psc(prof_, obs::Callsite::Wait,
+                     (prof_ != nullptr && req != nullptr && *req != kRequestNull)
+                         ? static_cast<int>(request_vci(*req))
+                         : 0,
+                     0);
+  return wait_impl(req, st);
+}
+
+Err Engine::wait_impl(Request* req, Status* st) {
   if (req == nullptr) return Err::Request;
   if (*req == kRequestNull) {
     if (st != nullptr) *st = Status{};
@@ -324,7 +335,7 @@ Err Engine::wait(Request* req, Status* st) {
       if (st != nullptr) *st = Status{};  // inactive: trivially complete
       return Err::Success;
     }
-    return wait(&s->inner, st);
+    return wait_impl(&s->inner, st);
   }
   // Always advance the engine at least once: on the orig device an eager
   // send completes locally while its packet still sits in the software send
@@ -348,6 +359,11 @@ Err Engine::wait(Request* req, Status* st) {
 }
 
 Err Engine::test(Request* req, bool* flag, Status* st) {
+  obs::ProfScope psc(prof_, obs::Callsite::Test,
+                     (prof_ != nullptr && req != nullptr && *req != kRequestNull)
+                         ? static_cast<int>(request_vci(*req))
+                         : 0,
+                     0);
   if (req == nullptr || flag == nullptr) return Err::Request;
   if (*req == kRequestNull) {
     *flag = true;
@@ -379,6 +395,7 @@ Err Engine::test(Request* req, bool* flag, Status* st) {
 }
 
 Err Engine::waitall(std::span<Request> reqs, std::span<Status> sts) {
+  obs::ProfScope psc(prof_, obs::Callsite::Waitall, 0, 0);
   Err first = Err::Success;
   for (std::size_t i = 0; i < reqs.size(); ++i) {
     Status st;
@@ -390,6 +407,7 @@ Err Engine::waitall(std::span<Request> reqs, std::span<Status> sts) {
 }
 
 Err Engine::waitany(std::span<Request> reqs, int* index, Status* st) {
+  obs::ProfScope psc(prof_, obs::Callsite::Waitany, 0, 0);
   if (index == nullptr) return Err::Arg;
   bool any_active = false;
   for (const Request& r : reqs) {
@@ -418,6 +436,7 @@ Err Engine::waitany(std::span<Request> reqs, int* index, Status* st) {
 }
 
 Err Engine::testany(std::span<Request> reqs, int* index, bool* flag, Status* st) {
+  obs::ProfScope psc(prof_, obs::Callsite::Testany, 0, 0);
   if (index == nullptr || flag == nullptr) return Err::Arg;
   progress();
   bool any_active = false;
@@ -439,6 +458,7 @@ Err Engine::testany(std::span<Request> reqs, int* index, bool* flag, Status* st)
 }
 
 Err Engine::testall(std::span<Request> reqs, bool* flag, std::span<Status> sts) {
+  obs::ProfScope psc(prof_, obs::Callsite::Testall, 0, 0);
   if (flag == nullptr) return Err::Arg;
   progress();
   for (const Request& r : reqs) {
@@ -455,6 +475,11 @@ Err Engine::testall(std::span<Request> reqs, bool* flag, std::span<Status> sts) 
 }
 
 Err Engine::cancel(Request* req) {
+  obs::ProfScope psc(prof_, obs::Callsite::Cancel,
+                     (prof_ != nullptr && req != nullptr && *req != kRequestNull)
+                         ? static_cast<int>(request_vci(*req))
+                         : 0,
+                     0);
   if (req == nullptr || *req == kRequestNull) return Err::Request;
   RequestSlot* s = req_slot(*req);
   if (s == nullptr) return Err::Request;
@@ -479,6 +504,7 @@ Err Engine::cancel(Request* req) {
 // ---------------------------------------------------------------------------
 
 Err Engine::iprobe(Rank src, Tag tag, Comm comm, bool* flag, Status* st) {
+  obs::ProfScope psc(prof_, obs::Callsite::Iprobe, prof_vci(comm), 0);
   if (flag == nullptr) return Err::Arg;
   if (cfg_.error_checking) {
     if (Err e = check_comm(comm); !ok(e)) return e;
@@ -504,6 +530,7 @@ Err Engine::iprobe(Rank src, Tag tag, Comm comm, bool* flag, Status* st) {
 }
 
 Err Engine::probe(Rank src, Tag tag, Comm comm, Status* st) {
+  obs::ProfScope psc(prof_, obs::Callsite::Probe, prof_vci(comm), 0);
   bool flag = false;
   obs::BlockScope block(*this, "Probe");
   rt::Backoff backoff;
@@ -589,27 +616,36 @@ Err Engine::type_get_extent(Datatype dt, std::int64_t* lb, std::int64_t* extent)
 // Blocking pt2pt built on the nonblocking primitives
 // ---------------------------------------------------------------------------
 
+// The blocking wrappers call the _impl primitives directly: the outermost-wins
+// depth guard would suppress the nested scopes anyway, but skipping them also
+// skips their per-call ProfScope argument computation and TLS traffic (the
+// pingpong overhead gate measures exactly this path).
+
 Err Engine::send(const void* buf, int count, Datatype dt, Rank dest, Tag tag, Comm comm) {
+  obs::ProfScope psc(prof_, obs::Callsite::Send, prof_vci(comm), prof_bytes(count, dt));
   Request r = kRequestNull;
-  if (Err e = isend(buf, count, dt, dest, tag, comm, &r); !ok(e)) return e;
-  return wait(&r, nullptr);
+  if (Err e = isend_impl(buf, count, dt, dest, tag, comm, &r); !ok(e)) return e;
+  return wait_impl(&r, nullptr);
 }
 
 Err Engine::recv(void* buf, int count, Datatype dt, Rank src, Tag tag, Comm comm, Status* st) {
+  obs::ProfScope psc(prof_, obs::Callsite::Recv, prof_vci(comm), prof_bytes(count, dt));
   Request r = kRequestNull;
-  if (Err e = irecv(buf, count, dt, src, tag, comm, &r); !ok(e)) return e;
-  return wait(&r, st);
+  if (Err e = irecv_impl(buf, count, dt, src, tag, comm, &r); !ok(e)) return e;
+  return wait_impl(&r, st);
 }
 
 Err Engine::sendrecv(const void* sbuf, int scount, Datatype sdt, Rank dest, Tag stag,
                      void* rbuf, int rcount, Datatype rdt, Rank src, Tag rtag, Comm comm,
                      Status* st) {
+  obs::ProfScope psc(prof_, obs::Callsite::Sendrecv, prof_vci(comm),
+                     prof_bytes(scount, sdt) + prof_bytes(rcount, rdt));
   Request rr = kRequestNull;
   Request sr = kRequestNull;
-  if (Err e = irecv(rbuf, rcount, rdt, src, rtag, comm, &rr); !ok(e)) return e;
-  if (Err e = isend(sbuf, scount, sdt, dest, stag, comm, &sr); !ok(e)) return e;
-  if (Err e = wait(&sr, nullptr); !ok(e)) return e;
-  return wait(&rr, st);
+  if (Err e = irecv_impl(rbuf, rcount, rdt, src, rtag, comm, &rr); !ok(e)) return e;
+  if (Err e = isend_impl(sbuf, scount, sdt, dest, stag, comm, &sr); !ok(e)) return e;
+  if (Err e = wait_impl(&sr, nullptr); !ok(e)) return e;
+  return wait_impl(&rr, st);
 }
 
 }  // namespace lwmpi

@@ -286,6 +286,20 @@ class Engine {
     return vcis_[static_cast<std::size_t>(vci)]->waits;
   }
 
+  // --- aggregate profiler (obs/profiler.hpp) ----------------------------------
+  // This rank's profile accumulators, or nullptr when WorldOptions::prof is
+  // off (every hook then costs one null test).
+  obs::RankProf* prof() const noexcept { return prof_; }
+  // Pcontrol-style phase regions scoped to this rank; World::phase_push/pop
+  // applies the same to every rank at once. No-ops when profiling is off
+  // (a pop is then not even misuse-counted -- there is nowhere to count it).
+  void phase_push(std::string_view name) {
+    if (prof_ != nullptr) prof_->phase_push(name);
+  }
+  void phase_pop() noexcept {
+    if (prof_ != nullptr) prof_->phase_pop();
+  }
+
   // --- introspection / hang diagnosis (obs/introspect.cpp) --------------------
   // Capture this rank's queues, in-flight requests, and RMA epoch state.
   // Safe to call from another thread (the watchdog); takes each VCI's lock.
@@ -480,6 +494,35 @@ class Engine {
   void complete_recv_from_eager(Vci& v, RequestSlot& slot, rt::Packet* pkt);
   void start_rendezvous_recv(RequestSlot& slot, Request req_handle, rt::Packet* rts);
 
+  // Profiler-free bodies of the public entry points: the blocking wrappers
+  // (send/recv/sendrecv) compose these so only the user-facing call carries a
+  // ProfScope (outermost-wins would discard the nested scopes anyway; this
+  // also skips their argument computation on the latency-critical path).
+  Err isend_impl(const void* buf, int count, Datatype dt, Rank dest, Tag tag, Comm comm,
+                 Request* req);
+  Err irecv_impl(void* buf, int count, Datatype dt, Rank src, Tag tag, Comm comm,
+                 Request* req);
+  Err wait_impl(Request* req, Status* st);
+
+  // ---- aggregate-profiler internals ----
+  // ProfScope arguments, computed only when a profiler is attached so the
+  // disabled path pays a single branch and no datatype walk. The attached
+  // path matters too (the <2% bench_obs_overhead gate), so the overwhelmingly
+  // common cases stay inline and arithmetic-only: the world communicator's
+  // VCI is cached at init, and builtin datatype sizes come from handle bits.
+  int prof_vci(Comm comm) const noexcept {
+    if (prof_ == nullptr) return 0;
+    if (comm == kCommWorld) return world_vci_;
+    const int v = vci_of(comm);
+    return v < 0 ? 0 : v;
+  }
+  std::uint64_t prof_bytes(int count, Datatype dt) const {
+    if (prof_ == nullptr || count <= 0) return 0;
+    if (is_builtin(dt)) return static_cast<std::uint64_t>(count) * builtin_size(dt);
+    return static_cast<std::uint64_t>(dt::packed_size(types_, count, dt));
+  }
+  int prof_win_vci(Win win) noexcept;  // rma/rma.cpp (needs WindowLocal)
+
   // ---- observability internals ----
   // Record one message-lifecycle trace event on this rank. Callers gate on
   // cfg_.trace so the disabled path costs a single predictable branch. Every
@@ -561,6 +604,13 @@ class Engine {
   friend class obs::BlockScope;
   std::atomic<const char*> blocking_call_{nullptr};
   std::atomic<std::uint64_t> blocking_since_{0};
+  // Aggregate-profiler accumulators for this rank (obs/profiler.hpp); null
+  // when WorldOptions::prof is off. Owned by the World's Profiler.
+  obs::RankProf* prof_ = nullptr;
+  // VCI of kCommWorld, cached by init_world_comms so prof_vci's hot path
+  // (virtually all profiled traffic runs on the world communicator) skips the
+  // comm-object lookup.
+  int world_vci_ = 0;
 };
 
 }  // namespace lwmpi

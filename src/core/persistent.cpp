@@ -13,6 +13,8 @@ namespace lwmpi {
 
 Err Engine::send_init(const void* buf, int count, Datatype dt, Rank dest, Tag tag,
                       Comm comm, Request* req) {
+  obs::ProfScope psc(prof_, obs::Callsite::SendInit, prof_vci(comm),
+                     prof_bytes(count, dt));
   if (req == nullptr) return Err::Request;
   if (cfg_.error_checking) {
     if (Err e = check_comm(comm); !ok(e)) return e;
@@ -39,6 +41,8 @@ Err Engine::send_init(const void* buf, int count, Datatype dt, Rank dest, Tag ta
 
 Err Engine::recv_init(void* buf, int count, Datatype dt, Rank src, Tag tag, Comm comm,
                       Request* req) {
+  obs::ProfScope psc(prof_, obs::Callsite::RecvInit, prof_vci(comm),
+                     prof_bytes(count, dt));
   if (req == nullptr) return Err::Request;
   if (cfg_.error_checking) {
     if (Err e = check_comm(comm); !ok(e)) return e;
@@ -64,6 +68,11 @@ Err Engine::recv_init(void* buf, int count, Datatype dt, Rank src, Tag tag, Comm
 }
 
 Err Engine::start(Request* req) {
+  obs::ProfScope psc(prof_, obs::Callsite::Start,
+                     (prof_ != nullptr && req != nullptr && *req != kRequestNull)
+                         ? static_cast<int>(request_vci(*req))
+                         : 0,
+                     0);
   if (req == nullptr) return Err::Request;
   RequestSlot* s = req_slot(*req);
   if (s == nullptr) return Err::Request;
@@ -95,6 +104,7 @@ Err Engine::start(Request* req) {
 }
 
 Err Engine::startall(std::span<Request> reqs) {
+  obs::ProfScope psc(prof_, obs::Callsite::Startall, 0, 0);
   for (Request& r : reqs) {
     if (Err e = start(&r); !ok(e)) return e;
   }

@@ -25,6 +25,7 @@
 #include "net/netmod.hpp"
 #include "net/profile.hpp"
 #include "obs/histogram.hpp"
+#include "obs/profiler.hpp"
 #include "runtime/packet.hpp"
 
 namespace lwmpi::rt {
@@ -61,6 +62,12 @@ class Fabric {
   // The facade stamps the causal header here -- Lamport tick plus send
   // timestamp -- so both backends carry it without transport changes:
   //   L := ++clock[src];  hdr.lclock = L;  hdr.send_ns = lat_now_ns().
+  //
+  // The aggregate profiler's rank x rank communication matrix is stamped at
+  // the same boundary for the same reason. The stamp sits before the backend
+  // call (the backend frees the packet on drop paths), but set_profiler
+  // refuses blackhole worlds, so matrix bytes track the backends' own
+  // injected_bytes counters exactly (the profcheck invariant).
   void inject(Rank src, Rank dst, rt::Packet* p) noexcept {
     if (src >= 0 && src < nranks()) {
       p->hdr.lclock =
@@ -68,6 +75,7 @@ class Fabric {
           1;
     }
     p->hdr.send_ns = obs::lat_now_ns();
+    if (prof_ != nullptr) prof_->on_inject(src, dst, p->hdr.kind, p->payload.size());
     mod_->inject(src, dst, p);
   }
 
@@ -150,11 +158,20 @@ class Fabric {
   }
   void rdma_write(Rank src, Rank dst, const void* from, std::uint64_t rkey,
                   std::size_t bytes) noexcept {
+    if (prof_ != nullptr) prof_->on_rdma_write(src, dst, bytes);
     mod_->rdma_write(src, dst, from, rkey, bytes);
   }
   void credit_return(Rank self, int vci) noexcept { mod_->credit_return(self, lane(vci)); }
   std::uint64_t net_stat(NetStat s, Rank self, int vci = -1) const noexcept {
     return mod_->stat(s, self, vci);
+  }
+
+  // Attach the aggregate profiler's communication matrix (obs/profiler.hpp);
+  // World installs this when profiling is on. Blackhole worlds stay detached:
+  // their backends drop packets before counting bytes, and the matrix mirrors
+  // the backends' byte counters by construction.
+  void set_profiler(obs::Profiler* p) noexcept {
+    prof_ = (p != nullptr && !mod_->profile().blackhole) ? p : nullptr;
   }
 
  private:
@@ -168,6 +185,9 @@ class Fabric {
   std::unique_ptr<Netmod> mod_;
   // Per-rank Lamport logical clocks, ticked at inject and merged at poll.
   std::unique_ptr<std::atomic<std::uint64_t>[]> clock_;
+  // Aggregate-profiler hook (null when profiling is off): one predictable
+  // branch on the injection path, matching the counters discipline.
+  obs::Profiler* prof_ = nullptr;
 };
 
 }  // namespace lwmpi::net

@@ -1,10 +1,10 @@
 // Control-variable registry (obs/cvar.hpp).
 //
 // Storage is a process-global table of relaxed atomics, seeded lazily from the
-// environment on first access (magic-static init, thread-safe). The one
-// string-valued variable (netmod_default) keeps its value under a mutex --
-// string reads are rare (World construction), so the lock is off every hot
-// path.
+// environment on first access (magic-static init, thread-safe). String-valued
+// variables (netmod_default, prof_default_phase, prof_path) keep their values
+// under a mutex -- string reads are rare (World construction), so the lock is
+// off every hot path.
 #include "obs/cvar.hpp"
 
 #include <atomic>
@@ -41,7 +41,7 @@ constexpr CvarInfo kInfo[kNumCvars] = {
     {"watchdog_poll_ms", "default WatchdogOptions sampling period (ms)",
      CvarScope::Startup, false, 20},
     {"netmod_default", "default WorldOptions::netmod backend name",
-     CvarScope::Startup, true, 0},
+     CvarScope::Startup, true, 0, "mailbox"},
     {"slo_credit_stall_pct", "alert when interval credit-stall ratio exceeds (%; 0 = off)",
      CvarScope::Runtime, false, 0},
     {"slo_unexpected_depth", "alert when unexpected-queue depth exceeds (0 = off)",
@@ -52,6 +52,12 @@ constexpr CvarInfo kInfo[kNumCvars] = {
     {"slo_progress_idle_pct",
      "alert when interval progress-idle fraction exceeds (%; 0 = off)",
      CvarScope::Runtime, false, 0},
+    {"prof", "enable the aggregate profiler (WorldOptions::prof default)",
+     CvarScope::Startup, false, 0},
+    {"prof_default_phase", "name of the profiler's default phase (phase 0)",
+     CvarScope::Startup, true, 0, "main"},
+    {"prof_path", "World-teardown profile JSON artifact path (empty = no file)",
+     CvarScope::Startup, true, 0, ""},
     {"max_vcis", "compile-time per-rank VCI ceiling (echo)", CvarScope::Constant, false,
      kMaxVcis},
 };
@@ -59,8 +65,8 @@ constexpr CvarInfo kInfo[kNumCvars] = {
 struct Registry {
   std::atomic<std::int64_t> value[kNumCvars];
   std::atomic<bool> overridden[kNumCvars];
-  std::mutex str_mu;               // guards the string slots below
-  std::string netmod = "mailbox";  // Cv::NetmodDefault payload
+  std::mutex str_mu;              // guards the string slots below
+  std::string strs[kNumCvars];    // payloads of the is_string variables
 
   Registry() { load_env(); }
 
@@ -72,7 +78,7 @@ struct Registry {
     }
     {
       std::lock_guard<std::mutex> lk(str_mu);
-      netmod = "mailbox";
+      for (int i = 0; i < kNumCvars; ++i) strs[i] = std::string(kInfo[i].default_str);
     }
     for (int i = 0; i < kNumCvars; ++i) {
       if (kInfo[i].scope == CvarScope::Constant) continue;  // not env-bindable
@@ -81,7 +87,7 @@ struct Registry {
       if (raw == nullptr || *raw == '\0') continue;
       if (kInfo[i].is_string) {
         std::lock_guard<std::mutex> lk(str_mu);
-        netmod = raw;
+        strs[i] = raw;
         overridden[i].store(true, std::memory_order_relaxed);
       } else {
         char* end = nullptr;
@@ -138,7 +144,7 @@ Err LWMPI_T_cvar_read_str(int index, std::string* value) {
   if (bad_index(index) || value == nullptr || !kInfo[index].is_string) return Err::Arg;
   Registry& r = reg();
   std::lock_guard<std::mutex> lk(r.str_mu);
-  *value = r.netmod;
+  *value = r.strs[index];
   return Err::Success;
 }
 
@@ -148,7 +154,7 @@ Err LWMPI_T_cvar_write_str(int index, std::string_view value) {
   Registry& r = reg();
   {
     std::lock_guard<std::mutex> lk(r.str_mu);
-    r.netmod = std::string(value);
+    r.strs[index] = std::string(value);
   }
   r.overridden[index].store(true, std::memory_order_relaxed);
   return Err::Success;

@@ -57,6 +57,9 @@ enum class Cv : std::uint8_t {
   SloUnexpectedGrowth,    // Runtime: alert when unexpected depth grows by more
                           //          than this per interval (0 = off)
   SloProgressIdlePct,     // Runtime: alert when progress idle fraction exceeds (%; 0 = off)
+  Prof,                   // Startup: enable the aggregate profiler (WorldOptions::prof)
+  ProfDefaultPhase,       // Startup (string): name of phase 0 (default "main")
+  ProfPath,               // Startup (string): World-teardown profile JSON path
   MaxVcis,                // Constant: compile-time kMaxVcis echo (writes rejected)
   kCount,
 };
@@ -66,8 +69,9 @@ struct CvarInfo {
   std::string_view name;  // e.g. "sampler_interval_ms"
   std::string_view desc;
   CvarScope scope = CvarScope::Runtime;
-  bool is_string = false;       // string-valued (NetmodDefault); numeric otherwise
+  bool is_string = false;       // string-valued; numeric otherwise
   std::int64_t default_value = 0;  // numeric default (unused for strings)
+  std::string_view default_str = {};  // string default (unused for numerics)
 };
 
 // --- registry enumeration (MPI_T_cvar_* analogs) ----------------------------

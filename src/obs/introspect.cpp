@@ -81,6 +81,9 @@ obs::RankSnapshot Engine::snapshot() const {
   if (s.blocking_call != nullptr) {
     s.blocked_ns = age_of(now, blocking_since_ns());
   }
+  // A hang report is far more actionable when it names the application phase
+  // the rank was in (obs/profiler.hpp).
+  if (prof_ != nullptr) s.phase = prof_->owner().phase_name(prof_->cur_phase());
 
   // Reverse map matcher context ids to communicator handles: a communicator
   // owns ctx (pt2pt) and ctx + 1 (collective plane).
@@ -248,7 +251,9 @@ std::string render_text(const RankSnapshot& s) {
     o << "not in a blocking call";
   }
   o << " (" << s.live_requests << " live request" << (s.live_requests == 1 ? "" : "s")
-    << ")\n";
+    << ")";
+  if (!s.phase.empty()) o << " [phase " << s.phase << ']';
+  o << '\n';
   if (s.oldest.valid) {
     o << "  oldest: " << s.oldest.kind << " comm=" << comm_name(s.oldest.comm)
       << " peer=" << rank_name(s.oldest.peer) << " tag=" << tag_name(s.oldest.tag)
@@ -293,7 +298,13 @@ std::string render_json(const RankSnapshot& s) {
   } else {
     o << "null";
   }
-  o << ",\"blocked_ns\":" << s.blocked_ns << ",\"oldest\":";
+  o << ",\"blocked_ns\":" << s.blocked_ns << ",\"phase\":";
+  if (!s.phase.empty()) {
+    o << '"' << s.phase << '"';
+  } else {
+    o << "null";
+  }
+  o << ",\"oldest\":";
   if (s.oldest.valid) {
     o << "{\"kind\":\"" << s.oldest.kind << "\",\"comm\":\"" << comm_name(s.oldest.comm)
       << "\",\"peer\":" << s.oldest.peer << ",\"tag\":" << s.oldest.tag

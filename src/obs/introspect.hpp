@@ -104,6 +104,7 @@ struct RankSnapshot {
   std::size_t live_requests = 0;
   const char* blocking_call = nullptr;  // nullptr when not in a blocking MPI call
   std::uint64_t blocked_ns = 0;         // age of the blocking call (0 if none)
+  std::string phase;                    // profiler's current phase ("" = prof off)
   PendingReqSnap oldest;
   std::vector<VciSnapshot> vcis;
   std::vector<WinSnapshot> windows;

@@ -6,6 +6,7 @@
 #include "net/fabric.hpp"
 #include "obs/counters.hpp"
 #include "obs/histogram.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "runtime/world.hpp"
 
@@ -300,6 +301,60 @@ const Entry kRegistry[] = {
       PvarBind::Engine},
      +[](Engine& e, int) {
        return e.world().fabric().net_stat(net::NetStat::RegCacheSize, e.world_rank());
+     }},
+    // Aggregate-profiler pvars (obs/profiler.hpp): communication-matrix row /
+    // column sums for this rank plus phase and misuse state. All read 0 when
+    // profiling is off. prof_tx_bytes mirrors the fabric_injected_bytes sum
+    // by construction (the profcheck invariant).
+    {{"prof_tx_bytes", "packet payload bytes this rank injected (matrix row sum)",
+      PvarClass::Counter, PvarBind::Engine},
+     +[](Engine& e, int) -> std::uint64_t {
+       const Profiler* p = e.world().profiler();
+       return p == nullptr ? 0 : p->matrix().tx_bytes(e.world_rank());
+     }},
+    {{"prof_rx_bytes", "packet payload bytes addressed to this rank (matrix column sum)",
+      PvarClass::Counter, PvarBind::Engine},
+     +[](Engine& e, int) -> std::uint64_t {
+       const Profiler* p = e.world().profiler();
+       return p == nullptr ? 0 : p->matrix().rx_bytes(e.world_rank());
+     }},
+    {{"prof_tx_msgs", "packets this rank injected (matrix row sum)", PvarClass::Counter,
+      PvarBind::Engine},
+     +[](Engine& e, int) -> std::uint64_t {
+       const Profiler* p = e.world().profiler();
+       return p == nullptr ? 0 : p->matrix().tx_msgs(e.world_rank());
+     }},
+    {{"prof_rx_msgs", "packets addressed to this rank (matrix column sum)",
+      PvarClass::Counter, PvarBind::Engine},
+     +[](Engine& e, int) -> std::uint64_t {
+       const Profiler* p = e.world().profiler();
+       return p == nullptr ? 0 : p->matrix().rx_msgs(e.world_rank());
+     }},
+    {{"prof_zcopy_tx_bytes", "zero-copy rdma_write bytes this rank originated",
+      PvarClass::Counter, PvarBind::Engine},
+     +[](Engine& e, int) -> std::uint64_t {
+       const Profiler* p = e.world().profiler();
+       if (p == nullptr) return 0;
+       const Rank r = e.world_rank();
+       return p->matrix().tx_bytes(r, /*include_zcopy=*/true) - p->matrix().tx_bytes(r);
+     }},
+    {{"prof_phase_depth", "current profiler phase-stack depth", PvarClass::Level,
+      PvarBind::Engine},
+     +[](Engine& e, int) -> std::uint64_t {
+       const RankProf* rp = e.prof();
+       return rp == nullptr ? 0 : static_cast<std::uint64_t>(rp->phase_depth());
+     }},
+    {{"prof_pop_warnings", "phase pops on an empty stack (profiler misuse)",
+      PvarClass::Counter, PvarBind::Engine},
+     +[](Engine& e, int) -> std::uint64_t {
+       const RankProf* rp = e.prof();
+       return rp == nullptr ? 0 : rp->pop_warnings();
+     }},
+    {{"prof_phases", "distinct phase names interned by the profiler", PvarClass::Level,
+      PvarBind::Engine},
+     +[](Engine& e, int) -> std::uint64_t {
+       const Profiler* p = e.world().profiler();
+       return p == nullptr ? 0 : static_cast<std::uint64_t>(p->num_phases());
      }},
 };
 

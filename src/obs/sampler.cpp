@@ -18,6 +18,7 @@
 #include "core/engine.hpp"
 #include "obs/counters.hpp"
 #include "obs/cvar.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "runtime/world.hpp"
 
@@ -456,6 +457,51 @@ std::string Sampler::prometheus() const {
     for (std::size_t i = 0; i < kNumWaitStates; ++i) {
       o << "lwmpi_wait_events_total{rank=\"" << r << "\",class=\"" << wait_name(i)
         << "\"} " << raw_[r].waits[i] << '\n';
+    }
+  }
+
+  // Per-peer traffic from the aggregate profiler's communication matrix
+  // (cumulative; zero cells are skipped so the series count stays sparse even
+  // at large rank counts). Only present when WorldOptions::prof is on.
+  if (const Profiler* p = world_.profiler(); p != nullptr) {
+    const CommMatrix& m = p->matrix();
+    o << "# HELP lwmpi_prof_peer_bytes_total Payload bytes injected src->dst by class.\n"
+         "# TYPE lwmpi_prof_peer_bytes_total counter\n";
+    for (int src = 0; src < m.nranks(); ++src) {
+      for (int dst = 0; dst < m.nranks(); ++dst) {
+        for (std::size_t c = 0; c < kNumMsgClasses; ++c) {
+          const auto cls = static_cast<MsgClass>(c);
+          const std::uint64_t b = m.bytes(src, dst, cls);
+          if (b == 0) continue;
+          o << "lwmpi_prof_peer_bytes_total{rank=\"" << src << "\",peer=\"" << dst
+            << "\",class=\"" << to_string(cls) << "\"} " << b << '\n';
+        }
+      }
+    }
+    o << "# HELP lwmpi_prof_peer_msgs_total Messages injected src->dst by class.\n"
+         "# TYPE lwmpi_prof_peer_msgs_total counter\n";
+    for (int src = 0; src < m.nranks(); ++src) {
+      for (int dst = 0; dst < m.nranks(); ++dst) {
+        for (std::size_t c = 0; c < kNumMsgClasses; ++c) {
+          const auto cls = static_cast<MsgClass>(c);
+          const std::uint64_t n = m.count(src, dst, cls);
+          if (n == 0) continue;
+          o << "lwmpi_prof_peer_msgs_total{rank=\"" << src << "\",peer=\"" << dst
+            << "\",class=\"" << to_string(cls) << "\"} " << n << '\n';
+        }
+      }
+    }
+    o << "# HELP lwmpi_prof_phase_depth Profiler phase-stack depth per rank.\n"
+         "# TYPE lwmpi_prof_phase_depth gauge\n";
+    for (int r = 0; r < p->nranks(); ++r) {
+      o << "lwmpi_prof_phase_depth{rank=\"" << r << "\"} " << p->rank(r).phase_depth()
+        << '\n';
+    }
+    o << "# HELP lwmpi_prof_pop_warnings_total Phase pops on an empty stack.\n"
+         "# TYPE lwmpi_prof_pop_warnings_total counter\n";
+    for (int r = 0; r < p->nranks(); ++r) {
+      o << "lwmpi_prof_pop_warnings_total{rank=\"" << r << "\"} "
+        << p->rank(r).pop_warnings() << '\n';
     }
   }
 

@@ -71,6 +71,12 @@ const Engine::WindowLocal* Engine::win_obj(Win win) const noexcept {
   return const_cast<Engine*>(this)->win_obj(win);
 }
 
+int Engine::prof_win_vci(Win win) noexcept {
+  if (prof_ == nullptr) return 0;
+  const WindowLocal* w = win_obj(win);
+  return w == nullptr ? 0 : static_cast<int>(w->vci);
+}
+
 Err Engine::win_create(void* base, std::size_t bytes, int disp_unit, Comm comm, Win* win) {
   CommObject* c = comm_obj(comm);
   if (c == nullptr) return Err::Comm;
@@ -196,6 +202,8 @@ Err Engine::rma_check_epoch(const WindowLocal& w, Rank target) const noexcept {
 
 Err Engine::put(const void* origin, int origin_count, Datatype origin_dt, Rank target,
                 std::uint64_t target_disp, int target_count, Datatype target_dt, Win win) {
+  obs::ProfScope psc(prof_, obs::Callsite::Put, prof_win_vci(win),
+                     prof_bytes(origin_count, origin_dt));
   if (!cfg_.ipo) {
     cost::charge(cost::Category::CallOverhead, cost::kCallEntry + cost::kCallPmpiAliasRma);
   }
@@ -319,6 +327,8 @@ Err Engine::rma_am_put(WindowLocal& w, Win /*win*/, const void* origin, int ocou
 
 Err Engine::put_va(const void* origin, int origin_count, Datatype origin_dt, Rank target,
                    void* target_va, Win win) {
+  obs::ProfScope psc(prof_, obs::Callsite::PutVa, prof_win_vci(win),
+                     prof_bytes(origin_count, origin_dt));
   if (!cfg_.ipo) {
     cost::charge(cost::Category::CallOverhead, cost::kCallEntry + cost::kCallPmpiAliasRma);
   }
@@ -359,6 +369,8 @@ Err Engine::put_va(const void* origin, int origin_count, Datatype origin_dt, Ran
 
 Err Engine::get(void* origin, int origin_count, Datatype origin_dt, Rank target,
                 std::uint64_t target_disp, int target_count, Datatype target_dt, Win win) {
+  obs::ProfScope psc(prof_, obs::Callsite::Get, prof_win_vci(win),
+                     prof_bytes(origin_count, origin_dt));
   if (!cfg_.ipo) {
     cost::charge(cost::Category::CallOverhead, cost::kCallEntry + cost::kCallPmpiAliasRma);
   }
@@ -445,6 +457,8 @@ Err Engine::get(void* origin, int origin_count, Datatype origin_dt, Rank target,
 
 Err Engine::accumulate(const void* origin, int count, Datatype dt_, Rank target,
                        std::uint64_t target_disp, ReduceOp op, Win win) {
+  obs::ProfScope psc(prof_, obs::Callsite::Accumulate, prof_win_vci(win),
+                     prof_bytes(count, dt_));
   if (!cfg_.ipo) {
     cost::charge(cost::Category::CallOverhead, cost::kCallEntry + cost::kCallPmpiAliasRma);
   }
@@ -499,6 +513,8 @@ Err Engine::accumulate(const void* origin, int count, Datatype dt_, Rank target,
 
 Err Engine::get_accumulate(const void* origin, int count, Datatype dt_, void* result,
                            Rank target, std::uint64_t target_disp, ReduceOp op, Win win) {
+  obs::ProfScope psc(prof_, obs::Callsite::GetAccumulate, prof_win_vci(win),
+                     prof_bytes(count, dt_));
   WindowLocal* w = win_obj(win);
   VciGate gate(w == nullptr ? nullptr : vcis_[w->vci].get(), cfg_.thread_safety,
                cost::kThreadGateRma);
@@ -649,6 +665,7 @@ Err Engine::orig_flush_pending(WindowLocal& w, Win win, Rank target) {
 }
 
 Err Engine::win_fence(Win win) {
+  obs::ProfScope psc(prof_, obs::Callsite::WinFence, prof_win_vci(win), 0);
   WindowLocal* w = win_obj(win);
   if (w == nullptr) return Err::Win;
   obs::BlockScope block(*this, "Win_fence");
@@ -661,6 +678,7 @@ Err Engine::win_fence(Win win) {
 }
 
 Err Engine::win_flush(Rank target, Win win) {
+  obs::ProfScope psc(prof_, obs::Callsite::WinFlush, prof_win_vci(win), 0);
   WindowLocal* w = win_obj(win);
   if (w == nullptr) return Err::Win;
   vcis_[w->vci]->counters.inc(obs::VciCtr::RmaFlush);
@@ -671,6 +689,7 @@ Err Engine::win_flush(Rank target, Win win) {
 }
 
 Err Engine::win_flush_all(Win win) {
+  obs::ProfScope psc(prof_, obs::Callsite::WinFlush, prof_win_vci(win), 0);
   WindowLocal* w = win_obj(win);
   if (w == nullptr) return Err::Win;
   vcis_[w->vci]->counters.inc(obs::VciCtr::RmaFlush);
@@ -679,6 +698,7 @@ Err Engine::win_flush_all(Win win) {
 }
 
 Err Engine::win_lock(LockType type, Rank target, Win win) {
+  obs::ProfScope psc(prof_, obs::Callsite::WinLock, prof_win_vci(win), 0);
   WindowLocal* w = win_obj(win);
   if (w == nullptr) return Err::Win;
   if (target < 0 || target >= w->global->nranks) return Err::Rank;
@@ -728,6 +748,7 @@ Err Engine::win_lock(LockType type, Rank target, Win win) {
 }
 
 Err Engine::win_unlock(Rank target, Win win) {
+  obs::ProfScope psc(prof_, obs::Callsite::WinUnlock, prof_win_vci(win), 0);
   WindowLocal* w = win_obj(win);
   if (w == nullptr) return Err::Win;
   if (target < 0 || target >= w->global->nranks) return Err::Rank;
@@ -818,6 +839,7 @@ std::vector<Rank> group_world_ranks(Engine& eng, Group g) {
 }  // namespace
 
 Err Engine::win_post(Group group, Win win) {
+  obs::ProfScope psc(prof_, obs::Callsite::WinPost, prof_win_vci(win), 0);
   WindowLocal* w = win_obj(win);
   if (w == nullptr) return Err::Win;
   const std::vector<Rank> origins = group_world_ranks(*this, group);
@@ -839,6 +861,7 @@ Err Engine::win_post(Group group, Win win) {
 }
 
 Err Engine::win_start(Group group, Win win) {
+  obs::ProfScope psc(prof_, obs::Callsite::WinStart, prof_win_vci(win), 0);
   WindowLocal* w = win_obj(win);
   if (w == nullptr) return Err::Win;
   const std::vector<Rank> targets = group_world_ranks(*this, group);
@@ -857,6 +880,7 @@ Err Engine::win_start(Group group, Win win) {
 }
 
 Err Engine::win_complete(Win win) {
+  obs::ProfScope psc(prof_, obs::Callsite::WinComplete, prof_win_vci(win), 0);
   WindowLocal* w = win_obj(win);
   if (w == nullptr) return Err::Win;
   if (w->epoch.load(std::memory_order_relaxed) != WindowLocal::Epoch::Pscw) {
@@ -878,6 +902,7 @@ Err Engine::win_complete(Win win) {
 }
 
 Err Engine::win_wait(Win win) {
+  obs::ProfScope psc(prof_, obs::Callsite::WinWait, prof_win_vci(win), 0);
   WindowLocal* w = win_obj(win);
   if (w == nullptr) return Err::Win;
   const auto expected = static_cast<std::uint32_t>(w->pscw_exposure_group.size());

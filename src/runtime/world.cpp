@@ -35,6 +35,15 @@ WorldOptions apply_cvars(WorldOptions opts) {
   if (obs::cvar_overridden(obs::Cv::NetmodDefault) && opts.netmod == "mailbox") {
     opts.netmod = obs::cvar_str(obs::Cv::NetmodDefault);
   }
+  if (obs::cvar_overridden(obs::Cv::Prof)) {
+    opts.prof = obs::cvar(obs::Cv::Prof) != 0;
+  }
+  if (obs::cvar_overridden(obs::Cv::ProfDefaultPhase) && opts.prof_default_phase == "main") {
+    opts.prof_default_phase = obs::cvar_str(obs::Cv::ProfDefaultPhase);
+  }
+  if (obs::cvar_overridden(obs::Cv::ProfPath) && opts.prof_path.empty()) {
+    opts.prof_path = obs::cvar_str(obs::Cv::ProfPath);
+  }
   return opts;
 }
 
@@ -46,6 +55,11 @@ World::World(int nranks, WorldOptions opts)
       fabric_(nranks, opts_.ranks_per_node, opts_.profile, opts_.build.vcis(),
               opts_.netmod),
       next_ctx_(kFirstDynamicCtx) {
+  if (opts_.prof) {
+    profiler_ = std::make_unique<obs::Profiler>(nranks_, opts_.build.vcis(),
+                                                opts_.prof_default_phase);
+    fabric_.set_profiler(profiler_.get());
+  }
   engines_.reserve(static_cast<std::size_t>(nranks_));
   for (int r = 0; r < nranks_; ++r) {
     engines_.push_back(std::make_unique<Engine>(*this, static_cast<Rank>(r)));
@@ -62,6 +76,26 @@ World::~World() {
       obs::causal::export_jsonl(f, events);
     }
   }
+  // Teardown profile artifact: same quiescence argument as the causal export.
+  if (profiler_ != nullptr && !opts_.prof_path.empty()) {
+    profiler_->write_artifact(opts_.prof_path, fabric_.backend_name());
+  }
+}
+
+void World::phase_push(std::string_view name) {
+  if (profiler_ == nullptr) return;
+  const int id = profiler_->intern_phase(name);
+  for (int r = 0; r < nranks_; ++r) profiler_->rank(r).phase_push(id);
+}
+
+void World::phase_pop() {
+  if (profiler_ == nullptr) return;
+  for (int r = 0; r < nranks_; ++r) profiler_->rank(r).phase_pop();
+}
+
+std::string World::profile_report(bool as_json) {
+  if (profiler_ == nullptr) return {};
+  return profiler_->report(fabric_.backend_name(), as_json);
 }
 
 Engine& World::engine(Rank r) { return *engines_.at(static_cast<std::size_t>(r)); }

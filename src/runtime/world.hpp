@@ -13,6 +13,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -52,6 +53,15 @@ struct WorldOptions {
   // use 1.0 ns/instruction, matching a BG/Q-like in-order core at 1.6 GHz
   // with sub-1 IPC on this branchy code.
   double sim_ns_per_instruction = 0.0;
+  // Aggregate profiler (obs/profiler.hpp): phase regions, per-callsite
+  // statistics, and the rank x rank communication matrix. Seeded from the
+  // LWMPI_CVAR_PROF / _PROF_DEFAULT_PHASE / _PROF_PATH cvars when the caller
+  // leaves these at their defaults.
+  bool prof = false;
+  std::string prof_default_phase = "main";  // name of phase 0
+  // When profiling is on and this is non-empty, World teardown writes the
+  // versioned profile JSON artifact here (tools/lwmpi_prof input).
+  std::string prof_path;
 };
 
 class World {
@@ -76,6 +86,18 @@ class World {
   // consistent end-of-job picture.
   std::string stats_report(bool as_json = false);
 
+  // --- aggregate profiler (obs/profiler.hpp) ---------------------------------
+  // Null when WorldOptions::prof is off.
+  obs::Profiler* profiler() noexcept { return profiler_.get(); }
+  // MPI_Pcontrol-style phase regions applied to every rank at once (a single
+  // rank can scope its own phases through Engine::phase_push/pop). No-ops
+  // when profiling is off.
+  void phase_push(std::string_view name);
+  void phase_pop();
+  // Merged cross-rank profile report: per-phase max/mean MPI time and
+  // imbalance, top-k callsites, matrix hot spots. Empty when profiling is off.
+  std::string profile_report(bool as_json = false);
+
   // Global id allocators. Context ids are handed out in pairs: (ctx) for
   // pt2pt and (ctx + 1) for the collective plane of the same communicator.
   std::uint32_t alloc_context_pair() noexcept {
@@ -99,6 +121,9 @@ class World {
   const int nranks_;
   WorldOptions opts_;
   net::Fabric fabric_;
+  // Declared before engines_ so the profiler outlives the engines holding
+  // RankProf pointers into it.
+  std::unique_ptr<obs::Profiler> profiler_;
   std::vector<std::unique_ptr<Engine>> engines_;
   std::atomic<std::uint32_t> next_ctx_;
   std::atomic<std::uint32_t> next_win_{1};

@@ -163,14 +163,26 @@ int render_frame(const std::vector<JValue>& latest, std::uint64_t alerts_total,
 
 // Parse a JSONL telemetry file and keep the newest sample per rank (by seq)
 // plus the total alert count across all retained records.
+//
+// Only newline-terminated lines are consumed: the sampler appends records
+// while we read, so the final line may be truncated mid-append. Skipping it
+// (rather than feeding half a record to the parser) keeps --follow clean --
+// the completed line shows up on the next tick's re-read.
 bool load_jsonl(const char* path, std::vector<JValue>* latest,
                 std::uint64_t* alerts_total) {
   std::ifstream f(path);
   if (!f) return false;
   latest->clear();
   *alerts_total = 0;
+  std::ostringstream whole;
+  whole << f.rdbuf();
+  std::string text = std::move(whole).str();
+  const std::size_t last_nl = text.rfind('\n');
+  if (last_nl == std::string::npos) return true;  // nothing complete yet
+  text.resize(last_nl);  // drop the (possibly partial) unterminated tail
+  std::istringstream lines(std::move(text));
   std::string line;
-  while (std::getline(f, line)) {
+  while (std::getline(lines, line)) {
     if (line.empty()) continue;
     bool ok = false;
     JValue v = jsonmini::parse(line, &ok);
@@ -321,11 +333,13 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "lwmpi_top: cannot open %s\n", path);
       return 1;
     }
-    if (latest.empty()) {
+    if (latest.empty() && !follow) {
+      // --follow tolerates an empty read (file exists but no complete record
+      // yet, e.g. the writer is mid-append) and just waits for the next tick.
       std::fprintf(stderr, "lwmpi_top: no telemetry records in %s\n", path);
       return 1;
     }
-    render_frame(latest, alerts_total, tty && follow);
+    if (!latest.empty()) render_frame(latest, alerts_total, tty && follow);
     if (follow) std::this_thread::sleep_for(std::chrono::milliseconds(500));
   } while (follow);
   return 0;
