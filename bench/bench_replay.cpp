@@ -1,0 +1,106 @@
+// Trace-driven workload replay as a benchmark (apps/replay.hpp).
+//
+// The three committed bundles under bench/traces/ -- a 4-rank stencil halo
+// exchange, an 8-rank MD ghost exchange, and a 4-rank checkpoint-storm
+// incast -- are re-executed on both netmods at maximum throughput
+// (timescale 0). For every bundle x netmod cell the bench reports replay
+// throughput, the replay world's p99 receive latency from the histogram
+// tier, and its wait-state mix from the causal tier, and requires the
+// engine-level fidelity diff (sends/recvs/match totals vs the recording's
+// frozen headers) to be exact. Fabric totals are only required to match on
+// the netmod the bundle was recorded on; cross-netmod replays answer "what
+// would this app's communication do on the other transport", where
+// packetization legitimately differs.
+//
+// Run from the build tree: the trace directory defaults to
+// `<src>/bench/traces` via LWMPI_TRACE_DIR or argv[1], falling back to the
+// relative path for in-tree runs.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/replay.hpp"
+#include "bench/harness.hpp"
+
+using namespace lwmpi;
+
+namespace {
+
+const char* kBundles[] = {"stencil4", "md8", "storm4"};
+const char* kNetmods[] = {"mailbox", "rdma"};
+
+// What each replay world is asked to report back (apps/replay.hpp: _count
+// names are summed across ranks, percentile names report the worst rank).
+const std::vector<std::string> kCapture = {
+    "lat_recv_eager_p99_ns",        "lat_recv_rdv_p99_ns",
+    "wait_late_sender_count",       "wait_late_receiver_count",
+    "wait_progress_starved_count",  "wait_credit_stalled_count",
+};
+
+std::string trace_dir(int argc, char** argv) {
+  if (argc > 1) return argv[1];
+  if (const char* d = std::getenv("LWMPI_TRACE_DIR"); d != nullptr && *d != '\0') {
+    return d;
+  }
+  return "bench/traces";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_header("trace replay throughput (committed bundles, both netmods)");
+  const std::string dir = trace_dir(argc, argv);
+  bench::JsonResult jr("replay");
+  bool all_exact = true;
+
+  for (const char* bundle_name : kBundles) {
+    apps::TraceBundle bundle;
+    std::string err;
+    if (!apps::load_trace(dir + "/" + bundle_name, &bundle, &err)) {
+      std::fprintf(stderr, "bench_replay: %s\n", err.c_str());
+      return 1;
+    }
+    for (const char* netmod : kNetmods) {
+      apps::ReplayOptions opts;
+      opts.netmod = netmod;
+      opts.capture_pvars = kCapture;
+      const apps::ReplayResult res = apps::run_replay(bundle, opts);
+      const std::string cell = std::string(bundle_name) + "_" + netmod;
+      if (!res.ok || !res.fidelity_checked || !res.fidelity_ok ||
+          res.timeouts != 0) {
+        all_exact = false;
+        std::printf("%-24s FIDELITY MISMATCH (%zu diff(s), %llu timeout(s))\n",
+                    cell.c_str(), res.diffs.size(),
+                    static_cast<unsigned long long>(res.timeouts));
+        for (const std::string& d : res.diffs) std::printf("    %s\n", d.c_str());
+      }
+      const double secs = static_cast<double>(res.wall_ns) / 1e9;
+      const double rate =
+          secs > 0 ? static_cast<double>(res.replayed) / secs : 0.0;
+      std::printf("%-24s %10.0f ops/s  (%llu ops, %.2f ms, fabric %s)\n",
+                  cell.c_str(), rate,
+                  static_cast<unsigned long long>(res.replayed),
+                  static_cast<double>(res.wall_ns) / 1e6,
+                  res.fabric_checked ? (res.fabric_ok ? "exact" : "DIFFERS")
+                                     : "n/a");
+      jr.add(cell + "_ops_per_sec", rate, "ops/s");
+      jr.add(cell + "_replayed", static_cast<double>(res.replayed), "count");
+      jr.add(cell + "_skipped", static_cast<double>(res.skipped), "count");
+      jr.add(cell + "_timeouts", static_cast<double>(res.timeouts), "count");
+      jr.add(cell + "_fidelity_exact",
+             res.fidelity_checked && res.fidelity_ok ? 1.0 : 0.0, "bool");
+      for (const auto& [name, value] : res.pvars) {
+        jr.add(cell + "_" + name, static_cast<double>(value),
+               name.ends_with("_ns") ? "ns" : "count");
+      }
+    }
+  }
+
+  jr.write();
+  if (!all_exact) {
+    std::fprintf(stderr, "bench_replay: fidelity gate failed\n");
+    return 1;
+  }
+  return 0;
+}

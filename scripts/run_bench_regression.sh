@@ -11,7 +11,7 @@ BUILD_DIR="${1:-build}"
 SOURCE_DIR="${2:-.}"
 
 for bin in bench/bench_table1 bench/bench_fig2 bench/bench_fig3 bench/bench_fig4 \
-           bench/bench_obs_overhead tools/bench_check; do
+           bench/bench_obs_overhead bench/bench_replay tools/bench_check; do
   if [[ ! -x "${BUILD_DIR}/${bin}" ]]; then
     echo "run_bench_regression: ${BUILD_DIR}/${bin} not built" >&2
     exit 2
@@ -42,6 +42,13 @@ LWMPI_BENCH_DIR="${scratch}" "${BUILD_DIR}/bench/bench_obs_overhead" > /dev/null
 # The profiler pass emits a profile.json artifact; validate its schema (the
 # lwmpi_prof input format) the same way.
 "${BUILD_DIR}/tools/bench_check" --profcheck "${scratch}/profile.json"
+
+# Trace replay of the committed bundles: the bench's exit code enforces
+# engine-exact fidelity on every bundle x netmod cell, and the artifact it
+# writes must pass the replay schema check.
+LWMPI_BENCH_DIR="${scratch}" "${BUILD_DIR}/bench/bench_replay" \
+  "${SOURCE_DIR}/bench/traces" > /dev/null
+"${BUILD_DIR}/tools/bench_check" --replaycheck "${scratch}/BENCH_replay.json"
 
 exec "${BUILD_DIR}/tools/bench_check" "${SOURCE_DIR}/bench/baselines" "${scratch}" \
   table1 fig2 fig3_mailbox fig3_rdma fig4_mailbox fig4_rdma

@@ -27,6 +27,12 @@ LWMPI_BENCH_DIR="${obs_scratch}" "${BUILD_DIR}/bench/bench_obs_overhead"
 "${BUILD_DIR}/tools/bench_check" --promlint "${obs_scratch}/telemetry.prom"
 "${BUILD_DIR}/tools/bench_check" --profcheck "${obs_scratch}/profile.json"
 
+# Trace replay: re-execute the committed bundles on both netmods (the bench's
+# own exit code enforces engine-exact fidelity and zero timeouts), then
+# validate the emitted BENCH_replay.json artifact schema.
+LWMPI_BENCH_DIR="${obs_scratch}" "${BUILD_DIR}/bench/bench_replay" bench/traces
+"${BUILD_DIR}/tools/bench_check" --replaycheck "${obs_scratch}/BENCH_replay.json"
+
 # Causal-tier golden trace: the committed injected-delay timeline must still
 # analyze to a late_sender-dominated critical path (format + analyzer drift
 # guard; also covered by the ctest critpath_golden case, repeated here so the

@@ -17,6 +17,7 @@
 #include "core/engine.hpp"
 #include "cost/meter.hpp"
 #include "cost/model.hpp"
+#include "obs/recorder.hpp"
 #include "obs/watchdog.hpp"
 
 namespace lwmpi {
@@ -69,6 +70,7 @@ Err Engine::coll_recv(void* buf, int count, Datatype dt, Rank src, Tag tag, Comm
 
 Err Engine::barrier(Comm comm) {
   obs::ProfScope psc(prof_, obs::Callsite::Barrier, prof_vci(comm), 0);
+  obs::RecScope rsc(rec_, obs::Callsite::Barrier, 0, 0, rec_vci(comm), 0);
   CommObject* c = comm_obj(comm);
   if (c == nullptr) return Err::Comm;
   const int p = c->map.size();
@@ -96,6 +98,11 @@ Err Engine::barrier(Comm comm) {
 
 Err Engine::bcast(void* buf, int count, Datatype dt, Rank root, Comm comm) {
   obs::ProfScope psc(prof_, obs::Callsite::Bcast, prof_vci(comm), prof_bytes(count, dt));
+  // Collectives record the root in the peer field and the builtin element
+  // size in the tag field so replay can rebuild (count, datatype) and hit the
+  // same internal algorithm splits (see RecOp).
+  obs::RecScope rsc(rec_, obs::Callsite::Bcast, root, rec_esize(dt), rec_vci(comm),
+                    rec_bytes(count, dt));
   CommObject* c = comm_obj(comm);
   if (c == nullptr) return Err::Comm;
   const int p = c->map.size();
@@ -138,6 +145,8 @@ Err Engine::bcast(void* buf, int count, Datatype dt, Rank root, Comm comm) {
 Err Engine::reduce(const void* sbuf, void* rbuf, int count, Datatype dt, ReduceOp op,
                    Rank root, Comm comm) {
   obs::ProfScope psc(prof_, obs::Callsite::Reduce, prof_vci(comm), prof_bytes(count, dt));
+  obs::RecScope rsc(rec_, obs::Callsite::Reduce, root, rec_esize(dt), rec_vci(comm),
+                    rec_bytes(count, dt));
   CommObject* c = comm_obj(comm);
   if (c == nullptr) return Err::Comm;
   const int p = c->map.size();
@@ -192,6 +201,8 @@ Err Engine::allreduce(const void* sbuf, void* rbuf, int count, Datatype dt, Redu
                       Comm comm) {
   obs::ProfScope psc(prof_, obs::Callsite::Allreduce, prof_vci(comm),
                      prof_bytes(count, dt));
+  obs::RecScope rsc(rec_, obs::Callsite::Allreduce, 0, rec_esize(dt), rec_vci(comm),
+                    rec_bytes(count, dt));
   CommObject* c = comm_obj(comm);
   if (c == nullptr) return Err::Comm;
   if (!is_builtin(dt)) return Err::Datatype;  // predefined ops need basic types
@@ -284,6 +295,8 @@ Err Engine::gather(const void* sbuf, int scount, Datatype sdt, void* rbuf, int r
                    Datatype rdt, Rank root, Comm comm) {
   obs::ProfScope psc(prof_, obs::Callsite::Gather, prof_vci(comm),
                      prof_bytes(scount, sdt));
+  obs::RecScope rsc(rec_, obs::Callsite::Gather, root, rec_esize(sdt), rec_vci(comm),
+                    rec_bytes(scount, sdt));
   CommObject* c = comm_obj(comm);
   if (c == nullptr) return Err::Comm;
   const int p = c->map.size();
@@ -318,6 +331,8 @@ Err Engine::allgather(const void* sbuf, int scount, Datatype sdt, void* rbuf, in
                       Datatype rdt, Comm comm) {
   obs::ProfScope psc(prof_, obs::Callsite::Allgather, prof_vci(comm),
                      prof_bytes(scount, sdt));
+  obs::RecScope rsc(rec_, obs::Callsite::Allgather, 0, rec_esize(sdt), rec_vci(comm),
+                    rec_bytes(scount, sdt));
   CommObject* c = comm_obj(comm);
   if (c == nullptr) return Err::Comm;
   const int p = c->map.size();
@@ -363,6 +378,8 @@ Err Engine::scatter(const void* sbuf, int scount, Datatype sdt, void* rbuf, int 
                     Datatype rdt, Rank root, Comm comm) {
   obs::ProfScope psc(prof_, obs::Callsite::Scatter, prof_vci(comm),
                      prof_bytes(rcount, rdt));
+  obs::RecScope rsc(rec_, obs::Callsite::Scatter, root, rec_esize(rdt), rec_vci(comm),
+                    rec_bytes(rcount, rdt));
   CommObject* c = comm_obj(comm);
   if (c == nullptr) return Err::Comm;
   const int p = c->map.size();
@@ -399,6 +416,8 @@ Err Engine::alltoall(const void* sbuf, int scount, Datatype sdt, void* rbuf, int
                      Datatype rdt, Comm comm) {
   obs::ProfScope psc(prof_, obs::Callsite::Alltoall, prof_vci(comm),
                      prof_bytes(scount, sdt));
+  obs::RecScope rsc(rec_, obs::Callsite::Alltoall, 0, rec_esize(sdt), rec_vci(comm),
+                    rec_bytes(scount, sdt));
   CommObject* c = comm_obj(comm);
   if (c == nullptr) return Err::Comm;
   const int p = c->map.size();
@@ -443,6 +462,8 @@ Err Engine::alltoall(const void* sbuf, int scount, Datatype sdt, void* rbuf, int
 Err Engine::scan(const void* sbuf, void* rbuf, int count, Datatype dt, ReduceOp op,
                  Comm comm) {
   obs::ProfScope psc(prof_, obs::Callsite::Scan, prof_vci(comm), prof_bytes(count, dt));
+  obs::RecScope rsc(rec_, obs::Callsite::Scan, 0, rec_esize(dt), rec_vci(comm),
+                    rec_bytes(count, dt));
   CommObject* c = comm_obj(comm);
   if (c == nullptr) return Err::Comm;
   if (!is_builtin(dt)) return Err::Datatype;

@@ -9,6 +9,7 @@
 #include "core/engine.hpp"
 #include "cost/meter.hpp"
 #include "cost/model.hpp"
+#include "obs/recorder.hpp"
 
 namespace lwmpi {
 
@@ -23,6 +24,10 @@ Err Engine::gatherv(const void* sbuf, int scount, Datatype sdt, void* rbuf,
                     Rank root, Comm comm) {
   obs::ProfScope psc(prof_, obs::Callsite::Gatherv, prof_vci(comm),
                      prof_bytes(scount, sdt));
+  // The per-rank count vectors are not captured, so replay skip-counts the
+  // v-collectives; the record still documents the call in the timeline.
+  obs::RecScope rsc(rec_, obs::Callsite::Gatherv, root, rec_esize(sdt), rec_vci(comm),
+                    rec_bytes(scount, sdt));
   CommObject* c = comm_obj(comm);
   if (c == nullptr) return Err::Comm;
   const int p = c->map.size();
@@ -64,6 +69,8 @@ Err Engine::allgatherv(const void* sbuf, int scount, Datatype sdt, void* rbuf,
                        Datatype rdt, Comm comm) {
   obs::ProfScope psc(prof_, obs::Callsite::Allgatherv, prof_vci(comm),
                      prof_bytes(scount, sdt));
+  obs::RecScope rsc(rec_, obs::Callsite::Allgatherv, 0, rec_esize(sdt), rec_vci(comm),
+                    rec_bytes(scount, sdt));
   CommObject* c = comm_obj(comm);
   if (c == nullptr) return Err::Comm;
   const int p = c->map.size();
@@ -94,6 +101,8 @@ Err Engine::scatterv(const void* sbuf, std::span<const int> scounts,
                      Datatype rdt, Rank root, Comm comm) {
   obs::ProfScope psc(prof_, obs::Callsite::Scatterv, prof_vci(comm),
                      prof_bytes(rcount, rdt));
+  obs::RecScope rsc(rec_, obs::Callsite::Scatterv, root, rec_esize(rdt), rec_vci(comm),
+                    rec_bytes(rcount, rdt));
   CommObject* c = comm_obj(comm);
   if (c == nullptr) return Err::Comm;
   const int p = c->map.size();
@@ -134,6 +143,8 @@ Err Engine::reduce_scatter_block(const void* sbuf, void* rbuf, int count, Dataty
                                  ReduceOp op, Comm comm) {
   obs::ProfScope psc(prof_, obs::Callsite::ReduceScatterBlock, prof_vci(comm),
                      prof_bytes(count, dt_));
+  obs::RecScope rsc(rec_, obs::Callsite::ReduceScatterBlock, 0, rec_esize(dt_),
+                    rec_vci(comm), rec_bytes(count, dt_));
   CommObject* c = comm_obj(comm);
   if (c == nullptr) return Err::Comm;
   if (!is_builtin(dt_)) return Err::Datatype;

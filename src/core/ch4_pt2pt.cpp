@@ -12,6 +12,7 @@
 #include "core/engine.hpp"
 #include "cost/meter.hpp"
 #include "cost/model.hpp"
+#include "obs/recorder.hpp"
 #include "obs/watchdog.hpp"
 #include "runtime/backoff.hpp"
 #include "runtime/world.hpp"
@@ -25,7 +26,11 @@ namespace lwmpi {
 Err Engine::isend(const void* buf, int count, Datatype dt, Rank dest, Tag tag, Comm comm,
                   Request* req) {
   obs::ProfScope psc(prof_, obs::Callsite::Isend, prof_vci(comm), prof_bytes(count, dt));
-  return isend_impl(buf, count, dt, dest, tag, comm, req);
+  obs::RecScope rsc(rec_, obs::Callsite::Isend, dest, tag, rec_vci(comm),
+                    rec_bytes(count, dt));
+  const Err e = isend_impl(buf, count, dt, dest, tag, comm, req);
+  if (ok(e)) rsc.bind_req(req);
+  return e;
 }
 
 Err Engine::isend_impl(const void* buf, int count, Datatype dt, Rank dest, Tag tag, Comm comm,
@@ -50,7 +55,11 @@ Err Engine::isend_impl(const void* buf, int count, Datatype dt, Rank dest, Tag t
 Err Engine::irecv(void* buf, int count, Datatype dt, Rank src, Tag tag, Comm comm,
                   Request* req) {
   obs::ProfScope psc(prof_, obs::Callsite::Irecv, prof_vci(comm), prof_bytes(count, dt));
-  return irecv_impl(buf, count, dt, src, tag, comm, req);
+  obs::RecScope rsc(rec_, obs::Callsite::Irecv, src, tag, rec_vci(comm),
+                    rec_bytes(count, dt));
+  const Err e = irecv_impl(buf, count, dt, src, tag, comm, req);
+  if (ok(e)) rsc.bind_req(req);
+  return e;
 }
 
 Err Engine::irecv_impl(void* buf, int count, Datatype dt, Rank src, Tag tag, Comm comm,
@@ -79,6 +88,8 @@ Err Engine::isend_global(const void* buf, int count, Datatype dt, Rank world_des
                          Comm comm, Request* req) {
   obs::ProfScope psc(prof_, obs::Callsite::IsendGlobal, prof_vci(comm),
                      prof_bytes(count, dt));
+  obs::RecScope rsc(rec_, obs::Callsite::IsendGlobal, world_dest, tag, rec_vci(comm),
+                    rec_bytes(count, dt));
   if (!cfg_.ipo) {
     cost::charge(cost::Category::CallOverhead, cost::kCallEntry + cost::kCallPmpiAliasSend);
   }
@@ -101,12 +112,16 @@ Err Engine::isend_global(const void* buf, int count, Datatype dt, Rank world_des
                .tag = tag,
                .comm = comm,
                .dest_is_world = true};
-  return device_isend(p, req);
+  const Err e = device_isend(p, req);
+  if (ok(e)) rsc.bind_req(req);
+  return e;
 }
 
 Err Engine::isend_npn(const void* buf, int count, Datatype dt, Rank dest, Tag tag, Comm comm,
                       Request* req) {
   obs::ProfScope psc(prof_, obs::Callsite::IsendNpn, prof_vci(comm), prof_bytes(count, dt));
+  obs::RecScope rsc(rec_, obs::Callsite::IsendNpn, dest, tag, rec_vci(comm),
+                    rec_bytes(count, dt));
   if (!cfg_.ipo) {
     cost::charge(cost::Category::CallOverhead, cost::kCallEntry + cost::kCallPmpiAliasSend);
   }
@@ -128,13 +143,17 @@ Err Engine::isend_npn(const void* buf, int count, Datatype dt, Rank dest, Tag ta
                .tag = tag,
                .comm = comm,
                .skip_proc_null_check = true};
-  return device_isend(p, req);
+  const Err e = device_isend(p, req);
+  if (ok(e)) rsc.bind_req(req);
+  return e;
 }
 
 Err Engine::isend_noreq(const void* buf, int count, Datatype dt, Rank dest, Tag tag,
                         Comm comm) {
   obs::ProfScope psc(prof_, obs::Callsite::IsendNoreq, prof_vci(comm),
                      prof_bytes(count, dt));
+  obs::RecScope rsc(rec_, obs::Callsite::IsendNoreq, dest, tag, rec_vci(comm),
+                    rec_bytes(count, dt));
   if (!cfg_.ipo) {
     cost::charge(cost::Category::CallOverhead, cost::kCallEntry + cost::kCallPmpiAliasSend);
   }
@@ -160,6 +179,7 @@ Err Engine::isend_noreq(const void* buf, int count, Datatype dt, Rank dest, Tag 
 
 Err Engine::comm_waitall(Comm comm) {
   obs::ProfScope psc(prof_, obs::Callsite::CommWaitall, prof_vci(comm), 0);
+  obs::RecScope rsc(rec_, obs::Callsite::CommWaitall, 0, 0, rec_vci(comm), 0);
   CommObject* c = comm_obj(comm);
   if (c == nullptr) return Err::Comm;
   progress();  // flush the device send queue even if nothing is outstanding
@@ -178,6 +198,8 @@ Err Engine::isend_nomatch(const void* buf, int count, Datatype dt, Rank dest, Co
                           Request* req) {
   obs::ProfScope psc(prof_, obs::Callsite::IsendNomatch, prof_vci(comm),
                      prof_bytes(count, dt));
+  obs::RecScope rsc(rec_, obs::Callsite::IsendNomatch, dest, 0, rec_vci(comm),
+                    rec_bytes(count, dt));
   if (!cfg_.ipo) {
     cost::charge(cost::Category::CallOverhead, cost::kCallEntry + cost::kCallPmpiAliasSend);
   }
@@ -197,20 +219,26 @@ Err Engine::isend_nomatch(const void* buf, int count, Datatype dt, Rank dest, Co
                .tag = 0,
                .comm = comm,
                .match_mode = rt::MatchMode::ArrivalOrder};
-  return device_isend(p, req);
+  const Err e = device_isend(p, req);
+  if (ok(e)) rsc.bind_req(req);
+  return e;
 }
 
 Err Engine::irecv_nomatch(void* buf, int count, Datatype dt, Comm comm, Request* req) {
   obs::ProfScope psc(prof_, obs::Callsite::IrecvNomatch, prof_vci(comm),
                      prof_bytes(count, dt));
+  obs::RecScope rsc(rec_, obs::Callsite::IrecvNomatch, kAnySource, 0, rec_vci(comm),
+                    rec_bytes(count, dt));
   if (cfg_.error_checking) {
     if (Err e = check_comm(comm); !ok(e)) return e;
     if (Err e = check_count(count); !ok(e)) return e;
     if (Err e = check_buffer(buf, count); !ok(e)) return e;
     if (Err e = check_datatype(dt); !ok(e)) return e;
   }
-  return post_recv_common(buf, count, dt, kAnySource, kAnyTag, comm,
-                          rt::MatchMode::ArrivalOrder, false, req);
+  const Err e = post_recv_common(buf, count, dt, kAnySource, kAnyTag, comm,
+                                 rt::MatchMode::ArrivalOrder, false, req);
+  if (ok(e)) rsc.bind_req(req);
+  return e;
 }
 
 // All proposals combined: the 16-instruction minimal path. `comm` must be a
@@ -224,6 +252,8 @@ Err Engine::isend_all_opts(const void* buf, int count, Datatype dt, Rank world_d
                            Comm comm) {
   obs::ProfScope psc(prof_, obs::Callsite::IsendAllOpts, prof_vci(comm),
                      prof_bytes(count, dt));
+  obs::RecScope rsc(rec_, obs::Callsite::IsendAllOpts, world_dest, 0, rec_vci(comm),
+                    rec_bytes(count, dt));
   CommObject& c = *comms_.at(handle_payload(comm));  // global-array slot load
   cost::charge(cost::Category::MandObject, cost::kAllOptsCtxLoad);
   cost::charge(cost::Category::MandRankmap, cost::kAllOptsAddrLoad);

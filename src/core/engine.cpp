@@ -6,6 +6,7 @@
 
 #include "cost/meter.hpp"
 #include "cost/model.hpp"
+#include "obs/recorder.hpp"
 #include "obs/watchdog.hpp"
 #include "runtime/backoff.hpp"
 #include "runtime/world.hpp"
@@ -46,6 +47,7 @@ Engine::Engine(World& world, Rank world_rank)
   }
   eng_counters_.enabled = cfg_.counters;
   if (obs::Profiler* p = world.profiler(); p != nullptr) prof_ = &p->rank(self_);
+  if (obs::Recorder* rec = world.recorder(); rec != nullptr) rec_ = &rec->rank(self_);
   init_world_comms();
 }
 
@@ -312,6 +314,11 @@ Err Engine::wait(Request* req, Status* st) {
                          ? static_cast<int>(request_vci(*req))
                          : 0,
                      0);
+  // Link resolved at entry: wait_impl nulls the handle on completion.
+  const Request h = rec_link(req);
+  obs::RecScope rsc(rec_, obs::Callsite::Wait, 0, 0,
+                    h != kRequestNull ? static_cast<std::uint8_t>(request_vci(h)) : 0, 0,
+                    h);
   return wait_impl(req, st);
 }
 
@@ -364,6 +371,21 @@ Err Engine::test(Request* req, bool* flag, Status* st) {
                          ? static_cast<int>(request_vci(*req))
                          : 0,
                      0);
+  // Success-gated: only a test that actually completed a request is a
+  // replayable op, so the record is emitted at exit. The handle must be
+  // captured first (completion nulls it), and the body lives in test_impl
+  // because the persistent path recurses.
+  const Request h = rec_link(req);
+  obs::RecScope rsc(rec_);
+  const Err e = test_impl(req, flag, st);
+  if (ok(e) && flag != nullptr && *flag && h != kRequestNull) {
+    rsc.record_exit(static_cast<std::uint8_t>(obs::Callsite::Test), 0, 0,
+                    static_cast<std::uint8_t>(request_vci(h)), 0, h);
+  }
+  return e;
+}
+
+Err Engine::test_impl(Request* req, bool* flag, Status* st) {
   if (req == nullptr || flag == nullptr) return Err::Request;
   if (*req == kRequestNull) {
     *flag = true;
@@ -379,7 +401,7 @@ Err Engine::test(Request* req, bool* flag, Status* st) {
       if (st != nullptr) *st = Status{};
       return Err::Success;
     }
-    return test(&s->inner, flag, st);
+    return test_impl(&s->inner, flag, st);
   }
   progress();
   if (!s->complete.load(std::memory_order_acquire)) {
@@ -396,6 +418,15 @@ Err Engine::test(Request* req, bool* flag, Status* st) {
 
 Err Engine::waitall(std::span<Request> reqs, std::span<Status> sts) {
   obs::ProfScope psc(prof_, obs::Callsite::Waitall, 0, 0);
+  // Header record (bytes = array length) plus one WaitItem follower per live
+  // request, pushed at entry while the handles still resolve to their issuers.
+  obs::RecScope rsc(rec_, obs::Callsite::Waitall, 0, 0, 0,
+                    static_cast<std::uint32_t>(reqs.size()));
+  if (rsc.armed()) {
+    for (const Request& r : reqs) {
+      if (r != kRequestNull) rsc.aux(obs::kRecKindWaitItem, 0, 0, 0, 0, r);
+    }
+  }
   Err first = Err::Success;
   for (std::size_t i = 0; i < reqs.size(); ++i) {
     Status st;
@@ -408,6 +439,7 @@ Err Engine::waitall(std::span<Request> reqs, std::span<Status> sts) {
 
 Err Engine::waitany(std::span<Request> reqs, int* index, Status* st) {
   obs::ProfScope psc(prof_, obs::Callsite::Waitany, 0, 0);
+  obs::RecScope rsc(rec_);  // success-gated: recorded when a request completes
   if (index == nullptr) return Err::Arg;
   bool any_active = false;
   for (const Request& r : reqs) {
@@ -428,6 +460,8 @@ Err Engine::waitany(std::span<Request> reqs, int* index, Status* st) {
       if (s == nullptr) return Err::Request;
       if (slot_ready(*s)) {
         *index = static_cast<int>(i);
+        rsc.record_exit(static_cast<std::uint8_t>(obs::Callsite::Waitany), 0, 0, 0, 0,
+                        reqs[i]);
         return wait(&reqs[i], st);
       }
     }
@@ -437,6 +471,7 @@ Err Engine::waitany(std::span<Request> reqs, int* index, Status* st) {
 
 Err Engine::testany(std::span<Request> reqs, int* index, bool* flag, Status* st) {
   obs::ProfScope psc(prof_, obs::Callsite::Testany, 0, 0);
+  obs::RecScope rsc(rec_);  // success-gated, like test()
   if (index == nullptr || flag == nullptr) return Err::Arg;
   progress();
   bool any_active = false;
@@ -448,6 +483,8 @@ Err Engine::testany(std::span<Request> reqs, int* index, bool* flag, Status* st)
     if (slot_ready(*s)) {
       *index = static_cast<int>(i);
       *flag = true;
+      rsc.record_exit(static_cast<std::uint8_t>(obs::Callsite::Testany), 0, 0, 0, 0,
+                      reqs[i]);
       return wait(&reqs[i], st);
     }
   }
@@ -459,6 +496,7 @@ Err Engine::testany(std::span<Request> reqs, int* index, bool* flag, Status* st)
 
 Err Engine::testall(std::span<Request> reqs, bool* flag, std::span<Status> sts) {
   obs::ProfScope psc(prof_, obs::Callsite::Testall, 0, 0);
+  obs::RecScope rsc(rec_);  // success-gated: recorded only when all complete
   if (flag == nullptr) return Err::Arg;
   progress();
   for (const Request& r : reqs) {
@@ -471,6 +509,13 @@ Err Engine::testall(std::span<Request> reqs, bool* flag, std::span<Status> sts) 
     }
   }
   *flag = true;
+  if (rsc.armed()) {
+    rsc.record_exit(static_cast<std::uint8_t>(obs::Callsite::Testall), 0, 0, 0,
+                    static_cast<std::uint32_t>(reqs.size()));
+    for (const Request& r : reqs) {
+      if (r != kRequestNull) rsc.aux(obs::kRecKindWaitItem, 0, 0, 0, 0, r);
+    }
+  }
   return waitall(reqs, sts);  // everything is complete: reap without blocking
 }
 
@@ -480,6 +525,10 @@ Err Engine::cancel(Request* req) {
                          ? static_cast<int>(request_vci(*req))
                          : 0,
                      0);
+  const Request h = rec_link(req);
+  obs::RecScope rsc(rec_, obs::Callsite::Cancel, 0, 0,
+                    h != kRequestNull ? static_cast<std::uint8_t>(request_vci(h)) : 0, 0,
+                    h);
   if (req == nullptr || *req == kRequestNull) return Err::Request;
   RequestSlot* s = req_slot(*req);
   if (s == nullptr) return Err::Request;
@@ -505,6 +554,7 @@ Err Engine::cancel(Request* req) {
 
 Err Engine::iprobe(Rank src, Tag tag, Comm comm, bool* flag, Status* st) {
   obs::ProfScope psc(prof_, obs::Callsite::Iprobe, prof_vci(comm), 0);
+  obs::RecScope rsc(rec_);  // success-gated: only a hit is a replayable op
   if (flag == nullptr) return Err::Arg;
   if (cfg_.error_checking) {
     if (Err e = check_comm(comm); !ok(e)) return e;
@@ -526,11 +576,16 @@ Err Engine::iprobe(Rank src, Tag tag, Comm comm, bool* flag, Status* st) {
     st->byte_count = h->total_bytes;
     st->error = Err::Success;
   }
+  if (h != nullptr) {
+    rsc.record_exit(static_cast<std::uint8_t>(obs::Callsite::Iprobe), src, tag,
+                    rec_vci(comm), 0);
+  }
   return Err::Success;
 }
 
 Err Engine::probe(Rank src, Tag tag, Comm comm, Status* st) {
   obs::ProfScope psc(prof_, obs::Callsite::Probe, prof_vci(comm), 0);
+  obs::RecScope rsc(rec_, obs::Callsite::Probe, src, tag, rec_vci(comm), 0);
   bool flag = false;
   obs::BlockScope block(*this, "Probe");
   rt::Backoff backoff;
@@ -623,6 +678,8 @@ Err Engine::type_get_extent(Datatype dt, std::int64_t* lb, std::int64_t* extent)
 
 Err Engine::send(const void* buf, int count, Datatype dt, Rank dest, Tag tag, Comm comm) {
   obs::ProfScope psc(prof_, obs::Callsite::Send, prof_vci(comm), prof_bytes(count, dt));
+  obs::RecScope rsc(rec_, obs::Callsite::Send, dest, tag, rec_vci(comm),
+                    rec_bytes(count, dt));
   Request r = kRequestNull;
   if (Err e = isend_impl(buf, count, dt, dest, tag, comm, &r); !ok(e)) return e;
   return wait_impl(&r, nullptr);
@@ -630,6 +687,8 @@ Err Engine::send(const void* buf, int count, Datatype dt, Rank dest, Tag tag, Co
 
 Err Engine::recv(void* buf, int count, Datatype dt, Rank src, Tag tag, Comm comm, Status* st) {
   obs::ProfScope psc(prof_, obs::Callsite::Recv, prof_vci(comm), prof_bytes(count, dt));
+  obs::RecScope rsc(rec_, obs::Callsite::Recv, src, tag, rec_vci(comm),
+                    rec_bytes(count, dt));
   Request r = kRequestNull;
   if (Err e = irecv_impl(buf, count, dt, src, tag, comm, &r); !ok(e)) return e;
   return wait_impl(&r, st);
@@ -640,6 +699,13 @@ Err Engine::sendrecv(const void* sbuf, int scount, Datatype sdt, Rank dest, Tag 
                      Status* st) {
   obs::ProfScope psc(prof_, obs::Callsite::Sendrecv, prof_vci(comm),
                      prof_bytes(scount, sdt) + prof_bytes(rcount, rdt));
+  // Two records: the send half under the Sendrecv kind, then the recv half as
+  // a follower -- replay re-issues recv-first exactly like the body below.
+  obs::RecScope rsc(rec_, obs::Callsite::Sendrecv, dest, stag, rec_vci(comm),
+                    rec_bytes(scount, sdt));
+  if (rsc.armed()) {
+    rsc.aux(obs::kRecKindSendrecvRecv, src, rtag, rec_vci(comm), rec_bytes(rcount, rdt));
+  }
   Request rr = kRequestNull;
   Request sr = kRequestNull;
   if (Err e = irecv_impl(rbuf, rcount, rdt, src, rtag, comm, &rr); !ok(e)) return e;

@@ -51,6 +51,7 @@ class World;
 namespace obs {
 struct RankSnapshot;  // obs/introspect.hpp
 class BlockScope;     // obs/watchdog.hpp
+class RankRec;        // obs/recorder.hpp
 }
 
 namespace rma {
@@ -290,6 +291,9 @@ class Engine {
   // This rank's profile accumulators, or nullptr when WorldOptions::prof is
   // off (every hook then costs one null test).
   obs::RankProf* prof() const noexcept { return prof_; }
+  // This rank's flight-recorder ring (obs/recorder.hpp), or nullptr when
+  // WorldOptions::record is off. Same single-null-test discipline as prof().
+  obs::RankRec* rec() const noexcept { return rec_; }
   // Pcontrol-style phase regions scoped to this rank; World::phase_push/pop
   // applies the same to every rank at once. No-ops when profiling is off
   // (a pop is then not even misuse-counted -- there is nowhere to count it).
@@ -503,6 +507,10 @@ class Engine {
   Err irecv_impl(void* buf, int count, Datatype dt, Rank src, Tag tag, Comm comm,
                  Request* req);
   Err wait_impl(Request* req, Status* st);
+  // test() recurses through persistent handles (test -> test(&inner)), so the
+  // recorder's success-gated exit record must live in the public wrapper and
+  // the body in an _impl like the blocking wrappers above.
+  Err test_impl(Request* req, bool* flag, Status* st);
 
   // ---- aggregate-profiler internals ----
   // ProfScope arguments, computed only when a profiler is attached so the
@@ -522,6 +530,35 @@ class Engine {
     return static_cast<std::uint64_t>(dt::packed_size(types_, count, dt));
   }
   int prof_win_vci(Win win) noexcept;  // rma/rma.cpp (needs WindowLocal)
+
+  // ---- flight-recorder internals (obs/recorder.hpp) ----
+  // RecScope arguments; same disabled-path / hot-path reasoning as the
+  // profiler helpers directly above, gated on rec_ instead of prof_.
+  std::uint8_t rec_vci(Comm comm) const noexcept {
+    if (rec_ == nullptr) return 0;
+    if (comm == kCommWorld) return static_cast<std::uint8_t>(world_vci_);
+    const int v = vci_of(comm);
+    return v < 0 ? 0 : static_cast<std::uint8_t>(v);
+  }
+  std::uint32_t rec_bytes(int count, Datatype dt) const {
+    if (rec_ == nullptr || count <= 0) return 0;
+    const std::uint64_t b =
+        is_builtin(dt) ? static_cast<std::uint64_t>(count) * builtin_size(dt)
+                       : static_cast<std::uint64_t>(dt::packed_size(types_, count, dt));
+    return b > 0xFFFFFFFFull ? 0xFFFFFFFFu : static_cast<std::uint32_t>(b);
+  }
+  // Builtin element size recorded in a collective's tag field so replay can
+  // reconstruct (count, datatype) and hit the same algorithm splits; 0 for
+  // derived types (replay falls back to a byte count of kChar).
+  std::int32_t rec_esize(Datatype dt) const noexcept {
+    return (rec_ != nullptr && is_builtin(dt)) ? static_cast<std::int32_t>(builtin_size(dt))
+                                               : 0;
+  }
+  // The link handle for completion ops, resolved at entry (completion nulls
+  // the handle before the scope closes).
+  Request rec_link(const Request* req) const noexcept {
+    return (rec_ != nullptr && req != nullptr) ? *req : kRequestNull;
+  }
 
   // ---- observability internals ----
   // Record one message-lifecycle trace event on this rank. Callers gate on
@@ -607,6 +644,9 @@ class Engine {
   // Aggregate-profiler accumulators for this rank (obs/profiler.hpp); null
   // when WorldOptions::prof is off. Owned by the World's Profiler.
   obs::RankProf* prof_ = nullptr;
+  // Flight-recorder ring for this rank (obs/recorder.hpp); null when
+  // WorldOptions::record is off. Owned by the World's Recorder.
+  obs::RankRec* rec_ = nullptr;
   // VCI of kCommWorld, cached by init_world_comms so prof_vci's hot path
   // (virtually all profiled traffic runs on the world communicator) skips the
   // comm-object lookup.

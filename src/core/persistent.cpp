@@ -7,6 +7,7 @@
 // codes (the paper's stencil/Nek use case), complementary to the Section-3
 // proposals.
 #include "core/engine.hpp"
+#include "obs/recorder.hpp"
 #include "runtime/world.hpp"
 
 namespace lwmpi {
@@ -15,6 +16,8 @@ Err Engine::send_init(const void* buf, int count, Datatype dt, Rank dest, Tag ta
                       Comm comm, Request* req) {
   obs::ProfScope psc(prof_, obs::Callsite::SendInit, prof_vci(comm),
                      prof_bytes(count, dt));
+  obs::RecScope rsc(rec_, obs::Callsite::SendInit, dest, tag, rec_vci(comm),
+                    rec_bytes(count, dt));
   if (req == nullptr) return Err::Request;
   if (cfg_.error_checking) {
     if (Err e = check_comm(comm); !ok(e)) return e;
@@ -36,6 +39,7 @@ Err Engine::send_init(const void* buf, int count, Datatype dt, Rank dest, Tag ta
   s->bound_tag = tag;
   s->comm = comm;
   *req = r;
+  rsc.bind_req(req);
   return Err::Success;
 }
 
@@ -43,6 +47,8 @@ Err Engine::recv_init(void* buf, int count, Datatype dt, Rank src, Tag tag, Comm
                       Request* req) {
   obs::ProfScope psc(prof_, obs::Callsite::RecvInit, prof_vci(comm),
                      prof_bytes(count, dt));
+  obs::RecScope rsc(rec_, obs::Callsite::RecvInit, src, tag, rec_vci(comm),
+                    rec_bytes(count, dt));
   if (req == nullptr) return Err::Request;
   if (cfg_.error_checking) {
     if (Err e = check_comm(comm); !ok(e)) return e;
@@ -64,6 +70,7 @@ Err Engine::recv_init(void* buf, int count, Datatype dt, Rank src, Tag tag, Comm
   s->bound_tag = tag;
   s->comm = comm;
   *req = r;
+  rsc.bind_req(req);
   return Err::Success;
 }
 
@@ -73,6 +80,10 @@ Err Engine::start(Request* req) {
                          ? static_cast<int>(request_vci(*req))
                          : 0,
                      0);
+  const Request h = rec_link(req);
+  obs::RecScope rsc(rec_, obs::Callsite::Start, 0, 0,
+                    h != kRequestNull ? static_cast<std::uint8_t>(request_vci(h)) : 0, 0,
+                    h);
   if (req == nullptr) return Err::Request;
   RequestSlot* s = req_slot(*req);
   if (s == nullptr) return Err::Request;
@@ -105,6 +116,13 @@ Err Engine::start(Request* req) {
 
 Err Engine::startall(std::span<Request> reqs) {
   obs::ProfScope psc(prof_, obs::Callsite::Startall, 0, 0);
+  obs::RecScope rsc(rec_, obs::Callsite::Startall, 0, 0, 0,
+                    static_cast<std::uint32_t>(reqs.size()));
+  if (rsc.armed()) {
+    for (const Request& r : reqs) {
+      if (r != kRequestNull) rsc.aux(obs::kRecKindWaitItem, 0, 0, 0, 0, r);
+    }
+  }
   for (Request& r : reqs) {
     if (Err e = start(&r); !ok(e)) return e;
   }
@@ -112,6 +130,9 @@ Err Engine::startall(std::span<Request> reqs) {
 }
 
 Err Engine::request_free(Request* req) {
+  // Guard-only: freeing may wait() on an active inner op, and that internal
+  // wait is not a surface call the replay should see.
+  obs::RecScope rsc(rec_);
   if (req == nullptr) return Err::Request;
   RequestSlot* s = req_slot(*req);
   if (s == nullptr) return Err::Request;

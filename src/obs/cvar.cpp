@@ -58,6 +58,14 @@ constexpr CvarInfo kInfo[kNumCvars] = {
      CvarScope::Startup, true, 0, "main"},
     {"prof_path", "World-teardown profile JSON artifact path (empty = no file)",
      CvarScope::Startup, true, 0, ""},
+    {"record", "enable the flight recorder (WorldOptions::record default)",
+     CvarScope::Startup, false, 0},
+    {"record_path", "flight-recorder trace-bundle prefix (empty = no flush)",
+     CvarScope::Startup, true, 0, ""},
+    {"record_ring_depth", "per-rank flight-recorder op-ring capacity (records kept)",
+     CvarScope::Startup, false, 1024},
+    {"record_sample_shift", "1 in 2^n recorded ops carry TSC timing (0 = stamp all)",
+     CvarScope::Startup, false, 8},
     {"max_vcis", "compile-time per-rank VCI ceiling (echo)", CvarScope::Constant, false,
      kMaxVcis},
 };

@@ -60,6 +60,10 @@ enum class Cv : std::uint8_t {
   Prof,                   // Startup: enable the aggregate profiler (WorldOptions::prof)
   ProfDefaultPhase,       // Startup (string): name of phase 0 (default "main")
   ProfPath,               // Startup (string): World-teardown profile JSON path
+  Record,                 // Startup: enable the flight recorder (WorldOptions::record)
+  RecordPath,             // Startup (string): trace-bundle prefix for the flush
+  RecordRingDepth,        // Startup: per-rank op-ring capacity (records kept)
+  RecordSampleShift,      // Startup: 1 in 2^n recorded ops carry timing stamps
   MaxVcis,                // Constant: compile-time kMaxVcis echo (writes rejected)
   kCount,
 };

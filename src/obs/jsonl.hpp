@@ -1,0 +1,57 @@
+// Tolerant reader for line-oriented JSON artifacts.
+//
+// Every disk artifact the observability tiers write -- the telemetry
+// sampler's JSONL time series, the profiler artifact, the watchdog hang
+// report, the recorder's provenance sidecar -- is newline-terminated, and
+// every one of them can legitimately be read while (or after) a writer died
+// mid-append: --follow dashboards race the sampler, a killed job leaves a
+// half-written report, a copied trace loses its tail. The shared policy,
+// factored out of tools/lwmpi_top: consume only newline-terminated lines and
+// drop the unterminated tail, flagging that it happened. The completed line
+// shows up on the next re-read; half a record never reaches a parser.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lwmpi::obs {
+
+struct JsonlFile {
+  std::vector<std::string> lines;  // complete (newline-terminated) lines, in order
+  bool truncated_tail = false;     // the file ended mid-line; the tail was dropped
+};
+
+// Split in-memory text under the same policy (for callers that already own
+// the bytes). Empty lines are skipped.
+inline JsonlFile split_jsonl(std::string text) {
+  JsonlFile out;
+  const std::size_t last_nl = text.rfind('\n');
+  if (last_nl == std::string::npos) {
+    out.truncated_tail = !text.empty();
+    return out;
+  }
+  out.truncated_tail = last_nl + 1 != text.size();
+  text.resize(last_nl);
+  std::istringstream lines(std::move(text));
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty()) out.lines.push_back(std::move(line));
+  }
+  return out;
+}
+
+// Read `path` tolerantly. Returns false only when the file cannot be opened;
+// a truncated tail is reported through JsonlFile::truncated_tail, not failure.
+inline bool read_jsonl(const std::string& path, JsonlFile* out) {
+  std::ifstream f(path);
+  if (!f) return false;
+  std::ostringstream whole;
+  whole << f.rdbuf();
+  *out = split_jsonl(std::move(whole).str());
+  return true;
+}
+
+}  // namespace lwmpi::obs

@@ -7,6 +7,7 @@
 #include "obs/counters.hpp"
 #include "obs/histogram.hpp"
 #include "obs/profiler.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "runtime/world.hpp"
 
@@ -355,6 +356,38 @@ const Entry kRegistry[] = {
      +[](Engine& e, int) -> std::uint64_t {
        const Profiler* p = e.world().profiler();
        return p == nullptr ? 0 : static_cast<std::uint64_t>(p->num_phases());
+     }},
+    // Flight-recorder pvars (obs/recorder.hpp). All read 0 when recording is
+    // off (WorldOptions::record).
+    {{"rec_ops_captured", "surface calls captured by the flight recorder",
+      PvarClass::Counter, PvarBind::Engine},
+     +[](Engine& e, int) -> std::uint64_t {
+       const RankRec* r = e.rec();
+       return r == nullptr ? 0 : r->total_ops();
+     }},
+    {{"rec_ops_dropped", "recorded ops overwritten in the ring before flush",
+      PvarClass::Counter, PvarBind::Engine},
+     +[](Engine& e, int) -> std::uint64_t {
+       const RankRec* r = e.rec();
+       return r == nullptr ? 0 : r->dropped();
+     }},
+    {{"rec_ops_sampled", "recorded ops carrying TSC timing anchors", PvarClass::Counter,
+      PvarBind::Engine},
+     +[](Engine& e, int) -> std::uint64_t {
+       const RankRec* r = e.rec();
+       return r == nullptr ? 0 : r->anchor_count();
+     }},
+    {{"rec_bytes_flushed", "trace-bundle bytes written for this rank", PvarClass::Counter,
+      PvarBind::Engine},
+     +[](Engine& e, int) -> std::uint64_t {
+       const RankRec* r = e.rec();
+       return r == nullptr ? 0 : r->flushed_bytes();
+     }},
+    {{"rec_flush_ns", "total ns spent flushing this rank's trace", PvarClass::Counter,
+      PvarBind::Engine},
+     +[](Engine& e, int) -> std::uint64_t {
+       const RankRec* r = e.rec();
+       return r == nullptr ? 0 : r->flush_ns();
      }},
 };
 

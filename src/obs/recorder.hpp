@@ -1,0 +1,419 @@
+// Flight recorder: a durable, DXT-style per-rank record of every surface
+// call (observability tier 4).
+//
+// The trace ring (obs/trace.hpp) records *message lifecycle* events for the
+// causal analyzer; this tier records the *application's own call stream* --
+// one compact 16-byte record per MPI surface call, held in a per-rank
+// overwrite-oldest ring and flushed to a per-rank binary `.lwtrace` file
+// (plus one JSON provenance sidecar) at World teardown or when the watchdog
+// fires (postmortem flight-recorder mode). The format is deliberately
+// replayable: src/apps/replay.cpp re-issues the recorded ops through the
+// normal public API, so the record carries exactly what the surface call
+// needs to be reconstructed (kind, peer/root, tag/element-size, vci, packed
+// bytes, request linkage) and nothing the replay can recompute.
+//
+// Cost discipline (the <2% bench_obs_overhead gate, like every other tier):
+//   * The hot path is clock-free. A RecOp is a 16-byte store into an
+//     L2-resident ring plus a release head bump; no TSC, no atomics beyond
+//     the head. Timing (start ns, duration, inter-op compute gap) follows the
+//     histogram tier's sampling discipline: 1 in 2^sample_shift ops (the ring
+//     head is the sampling clock; op 0 is always sampled) pays two
+//     obs::lat_now_ns() stamps and lands in a side "anchor" ring, merged into
+//     the records at flush. Shift 0 stamps everything -- that is how the
+//     shipped bench/traces bundles are recorded, where fidelity matters and
+//     overhead does not.
+//   * Outermost-wins: blocking wrappers and collectives re-enter the
+//     instrumented surface (send -> isend_impl + wait_impl, testall ->
+//     waitall, probe -> iprobe ...); a thread-local depth guard (same shape
+//     as ProfScope's) ensures one user call produces exactly one record.
+//     Depth is a call-stack property, so thread_local is correct even with
+//     multiple user threads driving one engine.
+//
+// Writer discipline: one RankRec belongs to one rank, and under World::run
+// exactly one thread issues that rank's calls, so ring/anchor writes are
+// single-writer. The watchdog may read mid-run (last_ops); it snapshots
+// under the released head and tolerates a racing in-place overwrite exactly
+// like the trace ring's mid-run collect -- a hung rank is not pushing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/vci.hpp"
+#include "obs/histogram.hpp"
+#include "obs/profiler.hpp"
+
+namespace lwmpi {
+class Engine;
+}
+
+namespace lwmpi::obs {
+
+// Op kinds are obs::Callsite values (one per surface entry point) plus two
+// auxiliary follower kinds the replay needs that are not callsites of their
+// own: the recv half of a sendrecv, and the per-request items that follow a
+// Waitall/Testall/Startall header record.
+inline constexpr std::uint8_t kRecKindSendrecvRecv = 200;
+inline constexpr std::uint8_t kRecKindWaitItem = 201;
+
+std::string_view rec_kind_name(std::uint8_t kind) noexcept;
+
+// One recorded surface call. 16 bytes, stored raw in the ring.
+//   peer  -- pt2pt peer comm-rank (kProcNull/kAnySource pass through);
+//            collective ROOT for rooted collectives, 0 otherwise.
+//   tag   -- pt2pt tag; for collectives the builtin ELEMENT SIZE of the
+//            datatype (0 for derived types -> replay falls back to bytes of
+//            kChar), so replay reconstructs count = bytes / elem_size and
+//            internal algorithm selection (element splits, Rabenseifner)
+//            behaves identically.
+//   bytes -- packed payload bytes of this rank's contribution (per-block for
+//            alltoall, per-rank block for scatter/gather-style ops).
+//   link  -- backward distance in ops from this record to the record that
+//            issued the request this op completes/starts (wait -> isend,
+//            start -> send_init, WaitItem -> isend/irecv). 0 = no link;
+//            saturates at 0xFFFF when the issuer scrolled too far back.
+struct RecOp {
+  std::int32_t peer = 0;
+  std::int32_t tag = 0;
+  std::uint32_t bytes = 0;
+  std::uint16_t link = 0;
+  std::uint8_t vci = 0;
+  std::uint8_t kind = 0;
+};
+static_assert(sizeof(RecOp) == 16);
+
+// Sampled timing sidecar: op_index identifies the ring record the stamp
+// belongs to. gap_ns is the compute gap since the previous *sampled* op
+// ended -- the replay's pacing input. Anchors live in their own small
+// overwrite-oldest ring so long flight-recorder runs stay bounded.
+struct RecAnchor {
+  std::uint64_t op_index = 0;
+  std::uint64_t t0_ns = 0;
+  std::uint32_t gap_ns = 0;
+  std::uint32_t dur_ns = 0;
+};
+
+// The exactly-reproducible pvar totals a recording carries for fidelity
+// checking, summed over a rank's VCIs (obs/counters.hpp + fabric counters).
+// matches/misses individually depend on arrival timing; their SUM equals
+// recvs_posted-wildcards and is the exact invariant replay asserts.
+struct RecTotals {
+  std::uint64_t sends_eager = 0;
+  std::uint64_t sends_rdv = 0;
+  std::uint64_t recvs_posted = 0;
+  std::uint64_t matches = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t injected_bytes = 0;
+};
+inline constexpr std::size_t kNumRecTotals = 7;
+
+// Read the fidelity totals for one rank from its live counters (pvar
+// backing stores; requires a counters-enabled build for nonzero values).
+RecTotals read_rec_totals(Engine& e);
+
+// Sentinel for "no request to link" in RecScope.
+inline constexpr Request kRecNoReq = kRequestNull;
+
+// Per-rank recorder state: the op ring, the anchor ring, and the
+// request-slot -> op-index link map.
+class RankRec {
+ public:
+  // ring_depth/anchor ring sizes are rounded up to powers of two.
+  RankRec(int rank, int nvcis, std::size_t ring_depth, int sample_shift);
+
+  // --- hot path (called via RecScope) ---------------------------------------
+  // Everything here is inline and branch-light: the overhead gate budget is
+  // single-digit nanoseconds per surface call.
+  // Append one record; returns its op index. The record is packed into two
+  // 64-bit words in registers so the ring write is two stores, not five
+  // field-sized ones.
+  [[gnu::always_inline]] inline std::uint64_t push(const RecOp& op) noexcept {
+    const std::uint64_t lo = static_cast<std::uint32_t>(op.peer) |
+                             (static_cast<std::uint64_t>(static_cast<std::uint32_t>(op.tag))
+                              << 32);
+    const std::uint64_t hi = op.bytes | (static_cast<std::uint64_t>(op.link) << 32) |
+                             (static_cast<std::uint64_t>(op.vci) << 48) |
+                             (static_cast<std::uint64_t>(op.kind) << 56);
+    const std::uint64_t idx = head_.load(std::memory_order_relaxed);
+    const std::uint64_t words[2] = {lo, hi};
+    static_assert(sizeof(words) == sizeof(RecOp));
+    __builtin_memcpy(&ring_[idx & ring_mask_], words, sizeof(words));
+    head_.store(idx + 1, std::memory_order_release);
+    return idx;
+  }
+  // Append an anchor for `op_index` with timing [t0, now); updates the
+  // last-end stamp the next gap is measured from. Out-of-line: runs for
+  // 1 in 2^sample_shift ops only.
+  void stamp(std::uint64_t op_index, std::uint64_t t0) noexcept;
+  // Remember that request `req` was issued by op `op_index` (O(1): indexed by
+  // the request handle's (slot, vci) bits; slot reuse overwrites naturally).
+  // The table is flat -- one bounds check, one load level -- because the
+  // bind/resolve pair sits on the latency-critical wait path.
+  [[gnu::always_inline]] inline void bind(Request req, std::uint64_t op_index) noexcept {
+    const std::uint32_t idx = link_slot(req);
+    if (idx >= links_.size()) [[unlikely]] bind_grow(links_, idx);
+    links_[idx] = op_index + 1;
+  }
+  // The op index that issued `req`, or ~0ull when unknown.
+  [[gnu::always_inline]] inline std::uint64_t issuer_of(Request req) const noexcept {
+    const std::uint32_t idx = link_slot(req);
+    if (idx >= links_.size()) return ~0ull;
+    const std::uint64_t v = links_[idx];
+    return v == 0 ? ~0ull : v - 1;
+  }
+  // Backward-distance encoding for RecOp::link relative to the *next* op.
+  std::uint16_t link_to(Request req) const noexcept {
+    const std::uint64_t issuer = issuer_of(req);
+    if (issuer == ~0ull) return 0;
+    const std::uint64_t next = head_.load(std::memory_order_relaxed);
+    const std::uint64_t dist = next - issuer;
+    return dist > 0xFFFF ? 0xFFFF : static_cast<std::uint16_t>(dist);
+  }
+
+  bool sampled(std::uint64_t op_index) const noexcept {
+    return (op_index & sample_mask_) == 0;
+  }
+
+  // --- read side -------------------------------------------------------------
+  int rank() const noexcept { return rank_; }
+  int sample_shift() const noexcept { return sample_shift_; }
+  std::uint64_t total_ops() const noexcept {
+    return head_.load(std::memory_order_acquire);
+  }
+  std::uint64_t dropped() const noexcept {
+    const std::uint64_t h = total_ops();
+    return h > ring_.size() ? h - ring_.size() : 0;
+  }
+  std::uint64_t anchor_count() const noexcept {
+    return anchor_head_.load(std::memory_order_acquire);
+  }
+  // The last `n` records, oldest first (watchdog "last moves" embed; mid-run
+  // tolerant-racy, see header comment). The second element of each pair is
+  // the op index.
+  std::vector<std::pair<std::uint64_t, RecOp>> last_ops(std::size_t n) const;
+  // Ordered surviving records / anchors for the flush path (quiescent).
+  std::vector<std::pair<std::uint64_t, RecOp>> collect() const;
+  std::vector<RecAnchor> collect_anchors() const;
+
+  // Flush statistics (rec_* pvars).
+  std::uint64_t flushed_bytes() const noexcept {
+    return flushed_bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t flush_ns() const noexcept {
+    return flush_ns_.load(std::memory_order_relaxed);
+  }
+  void note_flush(std::uint64_t bytes, std::uint64_t ns) noexcept {
+    flushed_bytes_.store(flushed_bytes() + bytes, std::memory_order_relaxed);
+    flush_ns_.store(flush_ns() + ns, std::memory_order_relaxed);
+  }
+
+ private:
+  // Cold-path growth for bind()'s link table (recorder.cpp).
+  static void bind_grow(std::vector<std::uint64_t>& m, std::uint32_t slot);
+
+  // Hot members first so one cache line serves the whole push/bind path:
+  // push reads ring_'s data pointer, ring_mask_ and head_; the sampling gate
+  // reads sample_mask_; bind/issuer_of start at links_.
+  std::vector<RecOp> ring_;      // power-of-two capacity
+  std::uint64_t ring_mask_;      // ring_.size() - 1, cached off the hot path
+  std::atomic<std::uint64_t> head_{0};
+  std::uint64_t sample_mask_;
+  // links_[(slot << 3) | vci] = op_index + 1 (0 = unbound). Request slots are
+  // dense small integers per VCI and vci fits 3 bits (kMaxVcis == 8), so the
+  // flat table stays compact; grows on demand.
+  static std::uint32_t link_slot(Request req) noexcept {
+    return (request_idx(req) << 3) | request_vci(req);
+  }
+  std::vector<std::uint64_t> links_;
+
+  const int rank_;
+  const int nvcis_;
+  const int sample_shift_;
+  std::vector<RecAnchor> anchors_;  // power-of-two capacity
+  std::uint64_t anchor_mask_;
+  std::atomic<std::uint64_t> anchor_head_{0};
+  std::uint64_t last_end_ns_ = 0;  // owning thread only
+  std::atomic<std::uint64_t> flushed_bytes_{0};
+  std::atomic<std::uint64_t> flush_ns_{0};
+};
+
+// --- on-disk format ----------------------------------------------------------
+// `<prefix>.rank<r>.lwtrace`: one 128-byte header + nrecords x 32-byte
+// DiskRec, little-endian host byte order (the replay runs on the recording
+// machine's architecture; the JSON sidecar is the portable view).
+inline constexpr std::uint32_t kLwtraceMagic = 0x5254574C;  // "LWTR"
+inline constexpr std::uint32_t kLwtraceVersion = 1;
+
+struct LwtraceHeader {
+  std::uint32_t magic = kLwtraceMagic;
+  std::uint32_t version = kLwtraceVersion;
+  std::uint32_t rank = 0;
+  std::uint32_t nranks = 0;
+  std::uint32_t nvcis = 0;
+  std::uint32_t sample_shift = 0;
+  std::uint64_t eager_threshold = 0;
+  std::uint64_t total_ops = 0;  // ops pushed; > nrecords when the ring wrapped
+  std::uint64_t nrecords = 0;   // records that follow
+  std::uint64_t base_ns = 0;    // t0 of the earliest surviving anchor (0 = none)
+  std::uint64_t totals[kNumRecTotals] = {};  // RecTotals, field order
+  std::uint8_t reserved[16] = {};
+};
+static_assert(sizeof(LwtraceHeader) == 128);
+
+// One record on disk: the ring record plus its merged anchor timing (zeros
+// when the op was not sampled).
+struct DiskRec {
+  std::uint64_t t0_ns = 0;
+  std::uint32_t dur_ns = 0;
+  std::uint32_t gap_ns = 0;
+  std::int32_t peer = 0;
+  std::int32_t tag = 0;
+  std::uint32_t bytes = 0;
+  std::uint16_t link = 0;
+  std::uint8_t vci = 0;
+  std::uint8_t kind = 0;
+};
+static_assert(sizeof(DiskRec) == 32);
+
+// The per-World recorder: owns one RankRec per rank and the flush path.
+class Recorder {
+ public:
+  Recorder(int nranks, int nvcis, std::size_t ring_depth, int sample_shift);
+
+  int nranks() const noexcept { return nranks_; }
+  RankRec& rank(int r) { return *ranks_.at(static_cast<std::size_t>(r)); }
+  const RankRec& rank(int r) const { return *ranks_.at(static_cast<std::size_t>(r)); }
+
+  // Recorded into every header so the replay can rebuild a World whose
+  // eager/rendezvous split matches the recording.
+  void set_eager_threshold(std::uint64_t t) noexcept { eager_threshold_ = t; }
+
+  // Write `<prefix>.rank<r>.lwtrace` for every rank plus the `<prefix>.json`
+  // sidecar. `totals` holds one RecTotals per rank (the fidelity ground
+  // truth, also embedded in each binary header); `provenance_json` is a
+  // ready-made JSON object fragment ({"netmod":...}) spliced into the
+  // sidecar. Idempotent: a second flush rewrites the same files (the
+  // watchdog may flush mid-run, teardown flushes again). Returns false if
+  // any file failed to open.
+  bool flush(const std::string& prefix, const std::vector<RecTotals>& totals,
+             const std::string& provenance_json);
+
+ private:
+  const int nranks_;
+  const int nvcis_;
+  std::uint64_t eager_threshold_ = 0;
+  std::vector<std::unique_ptr<RankRec>> ranks_;
+};
+
+// RAII recording hook for one surface call, mirroring ProfScope's
+// outermost-wins discipline (see header comment). Two modes:
+//   * entry-recording ctor: pushes the record immediately (ops that always
+//     count: sends, recvs, waits, collectives);
+//   * guard-only ctor: claims depth but records nothing; the call site emits
+//     success-gated records via record_exit() (test/iprobe record only when
+//     they complete something).
+class RecScope {
+ public:
+  RecScope(const RecScope&) = delete;
+  RecScope& operator=(const RecScope&) = delete;
+
+  // Guard-only: holds the depth slot so nested re-entry stays suppressed.
+  [[gnu::always_inline]] inline explicit RecScope(RankRec* r) noexcept : r_(r) {
+    if (r_ == nullptr) return;
+    depth_ = &depth();  // one TLS address computation, reused by the dtor
+    if ((*depth_)++ != 0) armed_ = false;
+  }
+
+  // Entry-recording: push the op now (outermost only). `link_req` is the
+  // request this op completes/starts (kRecNoReq for none); the link must be
+  // resolved here, at entry, because completion nulls the handle.
+  [[gnu::always_inline]] inline RecScope(RankRec* r, Callsite site, std::int32_t peer,
+                                         std::int32_t tag, std::uint8_t vci,
+                                         std::uint32_t bytes,
+                                         Request link_req = kRecNoReq) noexcept
+      : r_(r) {
+    if (r_ == nullptr) return;
+    depth_ = &depth();
+    if ((*depth_)++ != 0) {
+      armed_ = false;
+      return;
+    }
+    op_index_ = push_entry(r_, static_cast<std::uint8_t>(site), peer, tag, vci, bytes,
+                           link_req);
+    if (r_->sampled(op_index_)) [[unlikely]] t0_ = lat_now_ns();
+  }
+
+  [[gnu::always_inline]] inline ~RecScope() {
+    if (r_ == nullptr) return;
+    --(*depth_);
+    if (t0_ != 0) [[unlikely]] r_->stamp(op_index_, t0_);
+  }
+
+  // True when this scope is the outermost recorded call on this thread.
+  bool armed() const noexcept { return r_ != nullptr && armed_; }
+
+  // Success-gated exit record (guard-only mode). Also arms sampling so the
+  // scope's dtor stamps it; the stamp covers only the tail of the call in
+  // this mode, which is fine -- exit-recorded ops (test/iprobe hits) are
+  // sub-microsecond and their timing is informational.
+  void record_exit(std::uint8_t kind, std::int32_t peer, std::int32_t tag,
+                   std::uint8_t vci, std::uint32_t bytes,
+                   Request link_req = kRecNoReq) noexcept {
+    if (!armed()) return;
+    op_index_ = push_entry(r_, kind, peer, tag, vci, bytes, link_req);
+    if (r_->sampled(op_index_)) t0_ = lat_now_ns();
+  }
+
+  // Follower record sharing this scope's suppression (sendrecv's recv half,
+  // Waitall/Testall/Startall items). Followers are never sampled separately;
+  // the header op's anchor covers the whole call.
+  void aux(std::uint8_t kind, std::int32_t peer, std::int32_t tag, std::uint8_t vci,
+           std::uint32_t bytes, Request link_req = kRecNoReq) noexcept {
+    if (!armed()) return;
+    push_entry(r_, kind, peer, tag, vci, bytes, link_req);
+  }
+
+  // Associate the request produced by this call with this op (isend/irecv/
+  // *_init): later waits resolve their `link` through it.
+  void bind_req(const Request* req) noexcept {
+    if (!armed() || req == nullptr || *req == kRequestNull) return;
+    if (handle_kind(*req) != HandleKind::Request) return;
+    r_->bind(*req, op_index_);
+  }
+
+ private:
+  static int& depth() noexcept {
+    thread_local int d = 0;
+    return d;
+  }
+  // Inline: the common call sites pass link_req = kRecNoReq as a constant, so
+  // the link-resolution branch folds away and the whole append compiles down
+  // to the 16-byte ring store plus the head bump.
+  [[gnu::always_inline]] static inline std::uint64_t push_entry(
+      RankRec* r, std::uint8_t kind, std::int32_t peer, std::int32_t tag,
+      std::uint8_t vci, std::uint32_t bytes, Request link_req) noexcept {
+    RecOp op;
+    op.peer = peer;
+    op.tag = tag;
+    op.bytes = bytes;
+    op.vci = vci;
+    op.kind = kind;
+    if (link_req != kRequestNull && handle_kind(link_req) == HandleKind::Request) {
+      op.link = r->link_to(link_req);
+    }
+    return r->push(op);
+  }
+
+  RankRec* r_;
+  int* depth_ = nullptr;  // cached TLS slot (valid whenever r_ != nullptr)
+  bool armed_ = true;
+  std::uint64_t op_index_ = 0;
+  std::uint64_t t0_ = 0;
+};
+
+}  // namespace lwmpi::obs

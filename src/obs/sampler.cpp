@@ -19,6 +19,7 @@
 #include "obs/counters.hpp"
 #include "obs/cvar.hpp"
 #include "obs/profiler.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "runtime/world.hpp"
 
@@ -502,6 +503,41 @@ std::string Sampler::prometheus() const {
     for (int r = 0; r < p->nranks(); ++r) {
       o << "lwmpi_prof_pop_warnings_total{rank=\"" << r << "\"} "
         << p->rank(r).pop_warnings() << '\n';
+    }
+  }
+
+  // Flight-recorder counters (the rec_* pvars). Only present when
+  // WorldOptions::record is on.
+  if (Recorder* rec = world_.recorder(); rec != nullptr) {
+    struct R {
+      const char* name;
+      const char* help;
+      std::uint64_t (*get)(const RankRec&);
+    };
+    static constexpr R kRecCounters[] = {
+        {"lwmpi_rec_ops_total", "Surface calls captured by the flight recorder.",
+         [](const RankRec& r) { return r.total_ops(); }},
+        {"lwmpi_rec_ops_dropped_total", "Recorded ops overwritten before flush.",
+         [](const RankRec& r) { return r.dropped(); }},
+        {"lwmpi_rec_ops_sampled_total", "Recorded ops carrying TSC timing anchors.",
+         [](const RankRec& r) { return r.anchor_count(); }},
+        {"lwmpi_rec_flushed_bytes_total", "Trace-bundle bytes written per rank.",
+         [](const RankRec& r) { return r.flushed_bytes(); }},
+        {"lwmpi_rec_flush_seconds_total", "Seconds spent flushing per rank.",
+         [](const RankRec& r) { return r.flush_ns(); }},
+    };
+    for (const R& g : kRecCounters) {
+      const bool seconds = std::string_view(g.name).ends_with("seconds_total");
+      o << "# HELP " << g.name << ' ' << g.help << "\n# TYPE " << g.name << " counter\n";
+      for (int r = 0; r < world_.nranks(); ++r) {
+        o << g.name << "{rank=\"" << r << "\"} ";
+        if (seconds) {
+          put_double(o, static_cast<double>(g.get(rec->rank(r))) / 1e9);
+        } else {
+          o << g.get(rec->rank(r));
+        }
+        o << '\n';
+      }
     }
   }
 

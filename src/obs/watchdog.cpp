@@ -52,6 +52,16 @@ std::string render_text(const HangReport& r) {
       << s.blocked_ns / 1'000'000 << "ms, no progress for " << s.stalled_ns / 1'000'000
       << "ms)\n";
     o << render_text(s.snap);
+    if (!s.last_moves.empty()) {
+      o << "  last moves (oldest first):\n";
+      for (const auto& [idx, op] : s.last_moves) {
+        o << "    #" << idx << ' ' << rec_kind_name(op.kind) << " peer=" << op.peer
+          << " tag=" << op.tag << " vci=" << static_cast<int>(op.vci)
+          << " bytes=" << op.bytes;
+        if (op.link != 0) o << " link=-" << op.link;
+        o << '\n';
+      }
+    }
   }
   return o.str();
 }
@@ -63,7 +73,19 @@ std::string render_json(const HangReport& r) {
     const StuckRank& s = r.stuck[i];
     o << (i == 0 ? "" : ",") << "{\"rank\":" << s.rank << ",\"call\":\"" << s.call
       << "\",\"blocked_ns\":" << s.blocked_ns << ",\"stalled_ns\":" << s.stalled_ns
-      << ",\"snapshot\":" << render_json(s.snap) << '}';
+      << ",\"snapshot\":" << render_json(s.snap);
+    if (!s.last_moves.empty()) {
+      o << ",\"last_moves\":[";
+      for (std::size_t j = 0; j < s.last_moves.size(); ++j) {
+        const auto& [idx, op] = s.last_moves[j];
+        o << (j == 0 ? "" : ",") << "{\"op\":" << idx << ",\"kind\":\""
+          << rec_kind_name(op.kind) << "\",\"peer\":" << op.peer << ",\"tag\":" << op.tag
+          << ",\"vci\":" << static_cast<int>(op.vci) << ",\"bytes\":" << op.bytes
+          << ",\"link\":" << op.link << '}';
+      }
+      o << ']';
+    }
+    o << '}';
   }
   o << "]";
   if (!r.timeline_json.empty()) o << ",\"timeline\":" << r.timeline_json;
@@ -148,6 +170,9 @@ void Watchdog::run() {
       if (s.snap.blocking_call != nullptr) s.call = s.snap.blocking_call;
       s.blocked_ns = s.snap.blocked_ns;
       s.stalled_ns = now - state[static_cast<std::size_t>(r)].last_change_ns;
+      if (Recorder* rec = world_.recorder(); rec != nullptr) {
+        s.last_moves = rec->rank(r).last_ops(opts_.last_moves_depth);
+      }
       report.stuck.push_back(std::move(s));
     }
     if (opts_.sampler != nullptr) {
@@ -172,6 +197,9 @@ void Watchdog::run() {
         causal::export_jsonl(f, events);
       }
     }
+    // A hung run may never reach World teardown; flush the trace bundle now
+    // so the stall is replayable postmortem (teardown re-flushes harmlessly).
+    if (!world_.options().record_path.empty()) world_.flush_recording();
     if (opts_.announce) std::cerr << render_text(report);
     if (opts_.on_hang) opts_.on_hang(report);
   }

@@ -35,6 +35,7 @@
 #include "core/engine.hpp"
 #include "obs/histogram.hpp"
 #include "obs/introspect.hpp"
+#include "obs/recorder.hpp"
 
 namespace lwmpi {
 class World;
@@ -77,6 +78,10 @@ struct StuckRank {
   std::uint64_t blocked_ns = 0;               // time inside that call
   std::uint64_t stalled_ns = 0;               // time since last observed progress
   RankSnapshot snap;
+  // When the world has a flight recorder, the stalled rank's last N surface
+  // calls (oldest first) as (absolute op index, record) pairs -- the "last
+  // moves" leading into the hang. Empty when recording is off.
+  std::vector<std::pair<std::uint64_t, RecOp>> last_moves;
 };
 
 struct HangReport {
@@ -115,6 +120,11 @@ struct WatchdogOptions {
   // watchdog.
   const Sampler* sampler = nullptr;
   std::size_t timeline_depth = 16;
+  // How many of the stalled rank's most recent flight-recorder ops to embed
+  // as StuckRank::last_moves (when the world records). On fire the watchdog
+  // also flushes the trace bundle mid-run if the world has a record_path, so
+  // a hung job still yields a replayable trace.
+  std::size_t last_moves_depth = 16;
   // Also print the text rendering to stderr when firing.
   bool announce = false;
 };

@@ -22,6 +22,7 @@
 #include "core/engine.hpp"
 #include "cost/meter.hpp"
 #include "cost/model.hpp"
+#include "obs/recorder.hpp"
 #include "obs/watchdog.hpp"
 #include "runtime/backoff.hpp"
 #include "runtime/world.hpp"
@@ -204,6 +205,10 @@ Err Engine::put(const void* origin, int origin_count, Datatype origin_dt, Rank t
                 std::uint64_t target_disp, int target_count, Datatype target_dt, Win win) {
   obs::ProfScope psc(prof_, obs::Callsite::Put, prof_win_vci(win),
                      prof_bytes(origin_count, origin_dt));
+  // RMA ops are recorded for the timeline but skip-counted by replay (window
+  // geometry is not captured in the trace).
+  obs::RecScope rsc(rec_, obs::Callsite::Put, target, 0, 0,
+                    rec_bytes(origin_count, origin_dt));
   if (!cfg_.ipo) {
     cost::charge(cost::Category::CallOverhead, cost::kCallEntry + cost::kCallPmpiAliasRma);
   }
@@ -329,6 +334,8 @@ Err Engine::put_va(const void* origin, int origin_count, Datatype origin_dt, Ran
                    void* target_va, Win win) {
   obs::ProfScope psc(prof_, obs::Callsite::PutVa, prof_win_vci(win),
                      prof_bytes(origin_count, origin_dt));
+  obs::RecScope rsc(rec_, obs::Callsite::PutVa, target, 0, 0,
+                    rec_bytes(origin_count, origin_dt));
   if (!cfg_.ipo) {
     cost::charge(cost::Category::CallOverhead, cost::kCallEntry + cost::kCallPmpiAliasRma);
   }
@@ -371,6 +378,8 @@ Err Engine::get(void* origin, int origin_count, Datatype origin_dt, Rank target,
                 std::uint64_t target_disp, int target_count, Datatype target_dt, Win win) {
   obs::ProfScope psc(prof_, obs::Callsite::Get, prof_win_vci(win),
                      prof_bytes(origin_count, origin_dt));
+  obs::RecScope rsc(rec_, obs::Callsite::Get, target, 0, 0,
+                    rec_bytes(origin_count, origin_dt));
   if (!cfg_.ipo) {
     cost::charge(cost::Category::CallOverhead, cost::kCallEntry + cost::kCallPmpiAliasRma);
   }
@@ -459,6 +468,8 @@ Err Engine::accumulate(const void* origin, int count, Datatype dt_, Rank target,
                        std::uint64_t target_disp, ReduceOp op, Win win) {
   obs::ProfScope psc(prof_, obs::Callsite::Accumulate, prof_win_vci(win),
                      prof_bytes(count, dt_));
+  obs::RecScope rsc(rec_, obs::Callsite::Accumulate, target, 0, 0,
+                    rec_bytes(count, dt_));
   if (!cfg_.ipo) {
     cost::charge(cost::Category::CallOverhead, cost::kCallEntry + cost::kCallPmpiAliasRma);
   }
@@ -515,6 +526,8 @@ Err Engine::get_accumulate(const void* origin, int count, Datatype dt_, void* re
                            Rank target, std::uint64_t target_disp, ReduceOp op, Win win) {
   obs::ProfScope psc(prof_, obs::Callsite::GetAccumulate, prof_win_vci(win),
                      prof_bytes(count, dt_));
+  obs::RecScope rsc(rec_, obs::Callsite::GetAccumulate, target, 0, 0,
+                    rec_bytes(count, dt_));
   WindowLocal* w = win_obj(win);
   VciGate gate(w == nullptr ? nullptr : vcis_[w->vci].get(), cfg_.thread_safety,
                cost::kThreadGateRma);
@@ -666,6 +679,7 @@ Err Engine::orig_flush_pending(WindowLocal& w, Win win, Rank target) {
 
 Err Engine::win_fence(Win win) {
   obs::ProfScope psc(prof_, obs::Callsite::WinFence, prof_win_vci(win), 0);
+  obs::RecScope rsc(rec_, obs::Callsite::WinFence, 0, 0, 0, 0);
   WindowLocal* w = win_obj(win);
   if (w == nullptr) return Err::Win;
   obs::BlockScope block(*this, "Win_fence");
@@ -679,6 +693,7 @@ Err Engine::win_fence(Win win) {
 
 Err Engine::win_flush(Rank target, Win win) {
   obs::ProfScope psc(prof_, obs::Callsite::WinFlush, prof_win_vci(win), 0);
+  obs::RecScope rsc(rec_, obs::Callsite::WinFlush, target, 0, 0, 0);
   WindowLocal* w = win_obj(win);
   if (w == nullptr) return Err::Win;
   vcis_[w->vci]->counters.inc(obs::VciCtr::RmaFlush);
@@ -690,6 +705,7 @@ Err Engine::win_flush(Rank target, Win win) {
 
 Err Engine::win_flush_all(Win win) {
   obs::ProfScope psc(prof_, obs::Callsite::WinFlush, prof_win_vci(win), 0);
+  obs::RecScope rsc(rec_, obs::Callsite::WinFlush, -1, 0, 0, 0);
   WindowLocal* w = win_obj(win);
   if (w == nullptr) return Err::Win;
   vcis_[w->vci]->counters.inc(obs::VciCtr::RmaFlush);
@@ -699,6 +715,7 @@ Err Engine::win_flush_all(Win win) {
 
 Err Engine::win_lock(LockType type, Rank target, Win win) {
   obs::ProfScope psc(prof_, obs::Callsite::WinLock, prof_win_vci(win), 0);
+  obs::RecScope rsc(rec_, obs::Callsite::WinLock, target, static_cast<int>(type), 0, 0);
   WindowLocal* w = win_obj(win);
   if (w == nullptr) return Err::Win;
   if (target < 0 || target >= w->global->nranks) return Err::Rank;
@@ -749,6 +766,7 @@ Err Engine::win_lock(LockType type, Rank target, Win win) {
 
 Err Engine::win_unlock(Rank target, Win win) {
   obs::ProfScope psc(prof_, obs::Callsite::WinUnlock, prof_win_vci(win), 0);
+  obs::RecScope rsc(rec_, obs::Callsite::WinUnlock, target, 0, 0, 0);
   WindowLocal* w = win_obj(win);
   if (w == nullptr) return Err::Win;
   if (target < 0 || target >= w->global->nranks) return Err::Rank;
@@ -840,6 +858,7 @@ std::vector<Rank> group_world_ranks(Engine& eng, Group g) {
 
 Err Engine::win_post(Group group, Win win) {
   obs::ProfScope psc(prof_, obs::Callsite::WinPost, prof_win_vci(win), 0);
+  obs::RecScope rsc(rec_, obs::Callsite::WinPost, 0, 0, 0, 0);
   WindowLocal* w = win_obj(win);
   if (w == nullptr) return Err::Win;
   const std::vector<Rank> origins = group_world_ranks(*this, group);
@@ -862,6 +881,7 @@ Err Engine::win_post(Group group, Win win) {
 
 Err Engine::win_start(Group group, Win win) {
   obs::ProfScope psc(prof_, obs::Callsite::WinStart, prof_win_vci(win), 0);
+  obs::RecScope rsc(rec_, obs::Callsite::WinStart, 0, 0, 0, 0);
   WindowLocal* w = win_obj(win);
   if (w == nullptr) return Err::Win;
   const std::vector<Rank> targets = group_world_ranks(*this, group);
@@ -881,6 +901,7 @@ Err Engine::win_start(Group group, Win win) {
 
 Err Engine::win_complete(Win win) {
   obs::ProfScope psc(prof_, obs::Callsite::WinComplete, prof_win_vci(win), 0);
+  obs::RecScope rsc(rec_, obs::Callsite::WinComplete, 0, 0, 0, 0);
   WindowLocal* w = win_obj(win);
   if (w == nullptr) return Err::Win;
   if (w->epoch.load(std::memory_order_relaxed) != WindowLocal::Epoch::Pscw) {
@@ -903,6 +924,7 @@ Err Engine::win_complete(Win win) {
 
 Err Engine::win_wait(Win win) {
   obs::ProfScope psc(prof_, obs::Callsite::WinWait, prof_win_vci(win), 0);
+  obs::RecScope rsc(rec_, obs::Callsite::WinWait, 0, 0, 0, 0);
   WindowLocal* w = win_obj(win);
   if (w == nullptr) return Err::Win;
   const auto expected = static_cast<std::uint32_t>(w->pscw_exposure_group.size());

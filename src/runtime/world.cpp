@@ -10,6 +10,7 @@
 #include "obs/cvar.hpp"
 #include "obs/histogram.hpp"
 #include "obs/pvar.hpp"
+#include "obs/recorder.hpp"
 #include "obs/table.hpp"
 #include "obs/trace.hpp"
 
@@ -44,6 +45,20 @@ WorldOptions apply_cvars(WorldOptions opts) {
   if (obs::cvar_overridden(obs::Cv::ProfPath) && opts.prof_path.empty()) {
     opts.prof_path = obs::cvar_str(obs::Cv::ProfPath);
   }
+  if (obs::cvar_overridden(obs::Cv::Record)) {
+    opts.record = obs::cvar(obs::Cv::Record) != 0;
+  }
+  if (obs::cvar_overridden(obs::Cv::RecordPath) && opts.record_path.empty()) {
+    opts.record_path = obs::cvar_str(obs::Cv::RecordPath);
+  }
+  if (obs::cvar_overridden(obs::Cv::RecordRingDepth)) {
+    const auto d = obs::cvar(obs::Cv::RecordRingDepth);
+    if (d > 0) opts.record_ring_depth = static_cast<std::size_t>(d);
+  }
+  if (obs::cvar_overridden(obs::Cv::RecordSampleShift)) {
+    const auto s = obs::cvar(obs::Cv::RecordSampleShift);
+    if (s >= 0 && s <= 32) opts.record_sample_shift = static_cast<int>(s);
+  }
   return opts;
 }
 
@@ -59,6 +74,12 @@ World::World(int nranks, WorldOptions opts)
     profiler_ = std::make_unique<obs::Profiler>(nranks_, opts_.build.vcis(),
                                                 opts_.prof_default_phase);
     fabric_.set_profiler(profiler_.get());
+  }
+  if (opts_.record) {
+    recorder_ = std::make_unique<obs::Recorder>(nranks_, opts_.build.vcis(),
+                                                opts_.record_ring_depth,
+                                                opts_.record_sample_shift);
+    recorder_->set_eager_threshold(opts_.eager_threshold);
   }
   engines_.reserve(static_cast<std::size_t>(nranks_));
   for (int r = 0; r < nranks_; ++r) {
@@ -80,6 +101,28 @@ World::~World() {
   if (profiler_ != nullptr && !opts_.prof_path.empty()) {
     profiler_->write_artifact(opts_.prof_path, fabric_.backend_name());
   }
+  // Teardown trace-bundle flush: quiescent rings, exact totals. Overwrites a
+  // mid-run watchdog flush with the complete picture.
+  if (recorder_ != nullptr && !opts_.record_path.empty()) flush_recording();
+}
+
+bool World::flush_recording(const std::string& prefix) {
+  if (recorder_ == nullptr) return false;
+  const std::string& out = prefix.empty() ? opts_.record_path : prefix;
+  if (out.empty()) return false;
+  std::vector<obs::RecTotals> totals;
+  totals.reserve(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    totals.push_back(obs::read_rec_totals(*engines_[static_cast<std::size_t>(r)]));
+  }
+  std::ostringstream prov;
+  prov << "\"netmod\":\"" << fabric_.backend_name() << "\",\"device\":\""
+       << to_string(opts_.device) << "\",\"eager_threshold\":" << opts_.eager_threshold
+       << ",\"ring_depth\":" << opts_.record_ring_depth
+       << ",\"sample_shift\":" << opts_.record_sample_shift
+       << ",\"counters\":" << (opts_.build.counters ? "true" : "false")
+       << ",\"profile\":\"" << opts_.profile.name << '"';
+  return recorder_->flush(out, totals, prov.str());
 }
 
 void World::phase_push(std::string_view name) {

@@ -27,6 +27,9 @@ class Engine;
 namespace rma {
 struct WindowGlobal;
 }
+namespace obs {
+class Recorder;  // obs/recorder.hpp
+}
 
 struct WorldOptions {
   int ranks_per_node = 16;
@@ -62,6 +65,19 @@ struct WorldOptions {
   // When profiling is on and this is non-empty, World teardown writes the
   // versioned profile JSON artifact here (tools/lwmpi_prof input).
   std::string prof_path;
+  // Flight recorder (obs/recorder.hpp): per-rank DXT-style op rings, flushed
+  // as a `.lwtrace` trace bundle at teardown (or by the watchdog on a hang).
+  // Seeded from LWMPI_CVAR_RECORD / _RECORD_PATH / _RECORD_RING_DEPTH /
+  // _RECORD_SAMPLE_SHIFT when the caller leaves these at their defaults.
+  bool record = false;
+  std::string record_path;       // bundle prefix; empty = record but never flush
+  // 1024 x 16B keeps the always-on ring L1-resident (the <2% overhead gate);
+  // bundle-recording tools raise it so whole runs survive without wrapping.
+  std::size_t record_ring_depth = 1024;
+  // 1-in-2^8 timing anchors: the rdtsc stamp pair is the recorder's largest
+  // per-op cost, so the always-on default samples sparsely (the <2% gate);
+  // 0 = stamp every op (bundle-recording mode).
+  int record_sample_shift = 8;
 };
 
 class World {
@@ -98,6 +114,15 @@ class World {
   // imbalance, top-k callsites, matrix hot spots. Empty when profiling is off.
   std::string profile_report(bool as_json = false);
 
+  // --- flight recorder (obs/recorder.hpp) ------------------------------------
+  // Null when WorldOptions::record is off.
+  obs::Recorder* recorder() noexcept { return recorder_.get(); }
+  // Write the trace bundle now: `<prefix>.rank<r>.lwtrace` per rank plus the
+  // `<prefix>.json` provenance sidecar. `prefix` empty uses
+  // options().record_path. Idempotent (teardown re-flushes after a watchdog
+  // flush). Returns false when recording is off or no prefix is known.
+  bool flush_recording(const std::string& prefix = {});
+
   // Global id allocators. Context ids are handed out in pairs: (ctx) for
   // pt2pt and (ctx + 1) for the collective plane of the same communicator.
   std::uint32_t alloc_context_pair() noexcept {
@@ -122,8 +147,9 @@ class World {
   WorldOptions opts_;
   net::Fabric fabric_;
   // Declared before engines_ so the profiler outlives the engines holding
-  // RankProf pointers into it.
+  // RankProf pointers into it. Same ordering argument for the recorder.
   std::unique_ptr<obs::Profiler> profiler_;
+  std::unique_ptr<obs::Recorder> recorder_;
   std::vector<std::unique_ptr<Engine>> engines_;
   std::atomic<std::uint32_t> next_ctx_;
   std::atomic<std::uint32_t> next_win_{1};

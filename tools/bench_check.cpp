@@ -3,6 +3,7 @@
 //   bench_check [--tolerance <frac>] [--update] <baseline-dir> <current-dir> [name...]
 //   bench_check --promlint <exposition.prom>
 //   bench_check --profcheck <profile.json>
+//   bench_check --replaycheck <BENCH_replay.json>
 //
 // Compares <current-dir>/BENCH_<name>.json against the committed baseline in
 // <baseline-dir> for each bench name (default: the deterministic benches,
@@ -17,6 +18,14 @@
 // cells with in-range endpoints and known message classes. Pure jsonmini
 // string processing -- no lwmpi dependency -- so CI can gate the artifact
 // format even while the library is mid-refactor.
+//
+// --replaycheck validates a BENCH_replay.json artifact (bench/bench_replay):
+// every bundle x netmod cell must be present with its throughput, op counts,
+// and captured-pvar entries under the expected units, and the recorded
+// fidelity gates must have held -- fidelity_exact == 1 and timeouts == 0 for
+// all cells. This is the acceptance half of the replay tier: the bench
+// writes the artifact, the sentinel refuses to bless a run whose replays
+// were not bit-exact against their recordings. Pure string processing.
 //
 // --promlint validates a Prometheus text-exposition file (the telemetry
 // sampler's export format) against the format rules promtool enforces:
@@ -370,6 +379,96 @@ int run_profcheck(const char* path) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --replaycheck: trace-replay bench artifact validator
+// ---------------------------------------------------------------------------
+
+int run_replaycheck(const char* path) {
+  std::string body;
+  if (!read_file(path, body)) {
+    std::fprintf(stderr, "bench_check: cannot read %s\n", path);
+    return 2;
+  }
+  const lwmpi::tools::BenchFile bf = lwmpi::tools::parse_bench_json(body);
+  if (!bf.ok || bf.bench != "replay") {
+    std::fprintf(stderr, "replaycheck: %s is not a BENCH_replay.json artifact\n", path);
+    return 1;
+  }
+
+  auto find = [&bf](const std::string& label) -> const lwmpi::tools::Entry* {
+    for (const lwmpi::tools::Entry& e : bf.entries) {
+      if (e.label == label) return &e;
+    }
+    return nullptr;
+  };
+
+  int errors = 0;
+  auto fail = [&errors](const char* what, const std::string& detail) {
+    std::fprintf(stderr, "replaycheck: %s: %s\n", what, detail.c_str());
+    ++errors;
+  };
+
+  // The cell grid bench_replay sweeps, and the unit every field must carry.
+  static const char* kBundles[] = {"stencil4", "md8", "storm4"};
+  static const char* kNetmods[] = {"mailbox", "rdma"};
+  static const struct {
+    const char* suffix;
+    const char* unit;
+  } kFields[] = {
+      {"_ops_per_sec", "ops/s"}, {"_replayed", "count"}, {"_skipped", "count"},
+      {"_timeouts", "count"},    {"_fidelity_exact", "bool"},
+  };
+
+  int cells = 0;
+  for (const char* bundle : kBundles) {
+    for (const char* netmod : kNetmods) {
+      const std::string cell = std::string(bundle) + "_" + netmod;
+      ++cells;
+      for (const auto& f : kFields) {
+        const lwmpi::tools::Entry* e = find(cell + f.suffix);
+        if (e == nullptr) {
+          fail("missing entry", cell + f.suffix);
+          continue;
+        }
+        if (e->unit != f.unit) {
+          fail("wrong unit", cell + f.suffix + ": '" + e->unit + "' (want '" +
+                                 f.unit + "')");
+        }
+      }
+      // The gates the bench itself enforces; a hand-edited or stale artifact
+      // that slipped past them fails here.
+      if (const lwmpi::tools::Entry* e = find(cell + "_fidelity_exact");
+          e != nullptr && e->value != 1.0) {
+        fail("fidelity not exact", cell);
+      }
+      if (const lwmpi::tools::Entry* e = find(cell + "_timeouts");
+          e != nullptr && e->value != 0.0) {
+        fail("replay hit timeouts", cell);
+      }
+      if (const lwmpi::tools::Entry* e = find(cell + "_replayed");
+          e != nullptr && e->value <= 0.0) {
+        fail("nothing replayed", cell);
+      }
+    }
+  }
+
+  // Captured-pvar entries ride along per cell; only their unit convention is
+  // schema (which pvars are captured is the bench's choice).
+  for (const lwmpi::tools::Entry& e : bf.entries) {
+    const bool is_ns = e.label.size() >= 3 &&
+                       e.label.compare(e.label.size() - 3, 3, "_ns") == 0;
+    if (is_ns && e.unit != "ns") fail("ns-suffixed entry not in ns", e.label);
+  }
+
+  if (errors != 0) {
+    std::fprintf(stderr, "replaycheck: %d error(s) in %s\n", errors, path);
+    return 1;
+  }
+  std::printf("replaycheck: %s OK (%d cells, %zu entries)\n", path, cells,
+              bf.entries.size());
+  return 0;
+}
+
 bool copy_file(const std::string& from, const std::string& to) {
   std::string body;
   if (!read_file(from, body)) return false;
@@ -384,7 +483,8 @@ int usage() {
                "usage: bench_check [--tolerance <frac>] [--update] "
                "<baseline-dir> <current-dir> [name...]\n"
                "       bench_check --promlint <exposition.prom>\n"
-               "       bench_check --profcheck <profile.json>\n");
+               "       bench_check --profcheck <profile.json>\n"
+               "       bench_check --replaycheck <BENCH_replay.json>\n");
   return 2;
 }
 
@@ -402,6 +502,10 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--profcheck") == 0) {
       if (i + 1 >= argc) return usage();
       return run_profcheck(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--replaycheck") == 0) {
+      if (i + 1 >= argc) return usage();
+      return run_replaycheck(argv[i + 1]);
     }
     if (std::strcmp(argv[i], "--update") == 0) {
       update = true;

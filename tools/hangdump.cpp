@@ -30,6 +30,7 @@
 
 #include "core/engine.hpp"
 #include "obs/cvar.hpp"
+#include "obs/jsonl.hpp"
 #include "obs/sampler.hpp"
 #include "obs/watchdog.hpp"
 #include "runtime/world.hpp"
@@ -171,6 +172,25 @@ int print_report(const JValue& root, bool with_timeline) {
         }
       }
     }
+    if (const JValue* moves = s.get("last_moves");
+        moves != nullptr && moves->kind == JValue::Kind::Arr && !moves->arr.empty()) {
+      std::printf("  last moves (oldest first):\n");
+      for (const JValue& m : moves->arr) {
+        const JValue* kind = m.get("kind");
+        const long link = m.get("link") != nullptr ? m.get("link")->i64() : 0;
+        std::printf("    #%llu %-12s peer=%ld tag=%ld vci=%ld bytes=%llu",
+                    static_cast<unsigned long long>(
+                        m.get("op") != nullptr ? m.get("op")->u64() : 0),
+                    kind != nullptr ? kind->str.c_str() : "?",
+                    m.get("peer") != nullptr ? m.get("peer")->i64() : 0,
+                    m.get("tag") != nullptr ? m.get("tag")->i64() : 0,
+                    m.get("vci") != nullptr ? m.get("vci")->i64() : 0,
+                    static_cast<unsigned long long>(
+                        m.get("bytes") != nullptr ? m.get("bytes")->u64() : 0));
+        if (link != 0) std::printf(" link=-%ld", link);
+        std::printf("\n");
+      }
+    }
     if (const JValue* wins = snap->get("windows"); wins != nullptr) {
       for (const JValue& w : wins->arr) {
         std::printf("  win %llu: epoch=%s acks=%llu deferred=%llu\n",
@@ -210,6 +230,7 @@ int run_demo() {
   WorldOptions o;
   o.profile = net::loopback();
   o.ranks_per_node = 2;
+  o.record = true;  // the diagnosis embeds the stuck rank's last moves
   World w(2, o);
   // Telemetry sampler, declared before the watchdog so it outlives it; the
   // watchdog embeds its last intervals into the diagnosis.
@@ -266,16 +287,20 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::ifstream f(path);
-  if (!f) {
+  // One newline-terminated JSON line per report; the tolerant reader
+  // (obs/jsonl.hpp) drops a tail the watchdog was still appending when the
+  // hung job got killed.
+  lwmpi::obs::JsonlFile file;
+  if (!lwmpi::obs::read_jsonl(path, &file)) {
     std::fprintf(stderr, "hangdump: cannot open %s\n", path);
     return 1;
   }
-  std::stringstream buf;
-  buf << f.rdbuf();
-  const std::string text = buf.str();
+  if (file.lines.empty()) {
+    std::fprintf(stderr, "hangdump: no complete JSON line in %s\n", path);
+    return 1;
+  }
   bool ok = false;
-  const JValue root = jsonmini::parse(text, &ok);
+  const JValue root = jsonmini::parse(file.lines.front(), &ok);
   if (!ok || root.kind != JValue::Kind::Obj) {
     std::fprintf(stderr, "hangdump: %s is not valid JSON\n", path);
     return 1;

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "obs/jsonl.hpp"
 #include "runtime/world.hpp"
 #include "tools/json_mini.hpp"
 
@@ -61,15 +62,20 @@ struct Profile {
 };
 
 bool load_profile(const char* path, Profile* out, std::string* err) {
-  std::ifstream f(path);
-  if (!f) {
+  // The artifact is one newline-terminated JSON line; the tolerant reader
+  // (obs/jsonl.hpp) drops a half-appended tail -- e.g. a re-profiled run
+  // killed mid-write over an old artifact -- instead of failing the parse.
+  lwmpi::obs::JsonlFile file;
+  if (!lwmpi::obs::read_jsonl(path, &file)) {
     *err = std::string("cannot open ") + path;
     return false;
   }
-  std::ostringstream whole;
-  whole << f.rdbuf();
+  if (file.lines.empty()) {
+    *err = std::string("no complete JSON line in ") + path;
+    return false;
+  }
   bool ok = false;
-  const JValue root = jsonmini::parse(whole.str(), &ok);
+  const JValue root = jsonmini::parse(file.lines.front(), &ok);
   if (!ok || root.kind != JValue::Kind::Obj) {
     *err = std::string("malformed JSON in ") + path;
     return false;

@@ -33,6 +33,7 @@
 
 #include "core/engine.hpp"
 #include "obs/cvar.hpp"
+#include "obs/jsonl.hpp"
 #include "obs/sampler.hpp"
 #include "runtime/world.hpp"
 #include "tools/json_mini.hpp"
@@ -164,26 +165,17 @@ int render_frame(const std::vector<JValue>& latest, std::uint64_t alerts_total,
 // Parse a JSONL telemetry file and keep the newest sample per rank (by seq)
 // plus the total alert count across all retained records.
 //
-// Only newline-terminated lines are consumed: the sampler appends records
-// while we read, so the final line may be truncated mid-append. Skipping it
-// (rather than feeding half a record to the parser) keeps --follow clean --
-// the completed line shows up on the next tick's re-read.
+// The tolerant truncated-tail policy lives in obs/jsonl.hpp: the sampler
+// appends records while we read, so the final line may be cut mid-append;
+// only complete lines reach the parser and the finished line shows up on the
+// next tick's re-read.
 bool load_jsonl(const char* path, std::vector<JValue>* latest,
                 std::uint64_t* alerts_total) {
-  std::ifstream f(path);
-  if (!f) return false;
+  lwmpi::obs::JsonlFile file;
+  if (!lwmpi::obs::read_jsonl(path, &file)) return false;
   latest->clear();
   *alerts_total = 0;
-  std::ostringstream whole;
-  whole << f.rdbuf();
-  std::string text = std::move(whole).str();
-  const std::size_t last_nl = text.rfind('\n');
-  if (last_nl == std::string::npos) return true;  // nothing complete yet
-  text.resize(last_nl);  // drop the (possibly partial) unterminated tail
-  std::istringstream lines(std::move(text));
-  std::string line;
-  while (std::getline(lines, line)) {
-    if (line.empty()) continue;
+  for (const std::string& line : file.lines) {
     bool ok = false;
     JValue v = jsonmini::parse(line, &ok);
     if (!ok || v.kind != JValue::Kind::Obj) continue;
